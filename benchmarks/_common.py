@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one figure or table of the paper: it runs the
+workload sweep on the simulated CM-2, prints the series the paper plots,
+writes them under ``benchmarks/results/``, and asserts the qualitative
+shape (who wins, rough factors, crossovers).  pytest-benchmark measures
+the harness wall time; the scientific payload is the *simulated* elapsed
+time series.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,88 @@
+"""Table O — code optimizations (§4): common-subexpression detection.
+
+§4 classifies the compiler's work into *code optimizations* (peephole,
+CSE), *processor optimizations* (bench_processor_opt) and *communication
+optimizations* (bench_mappings).  This table completes the trio: the same
+programs run with the CSE pass on and off, results asserted identical.
+
+The savings concentrate where one statement evaluates an expensive
+expression twice — a relaxation predicate and its body, or the figure-11
+neighbour minimum appearing in both the ``st`` clause and the update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import floyd_warshall, random_distance_matrix
+from repro.algorithms.grid_path import BIG, grid_reference_distances, obstacle_mask
+from repro.bench.report import format_table
+from repro.bench.workloads import APSP_N2_UC, OBSTACLE_UC, RANKSORT_UC
+from repro.interp.program import UCProgram
+
+from _common import save_report
+
+
+def run_table_o():
+    rows = []
+
+    # figure-4 relaxation: pred and body share d[i][k] + d[k][j]
+    dist = random_distance_matrix(16, seed=1)
+    ref = floyd_warshall(dist)
+    on = UCProgram(APSP_N2_UC, defines={"N": 16}, cse=True).run({"d": dist})
+    off = UCProgram(APSP_N2_UC, defines={"N": 16}, cse=False).run({"d": dist})
+    assert np.array_equal(on["d"], ref) and np.array_equal(off["d"], ref)
+    rows.append(("APSP relaxation (fig 4), N=16", off.elapsed_us / 1e3,
+                 on.elapsed_us / 1e3, off.elapsed_us / on.elapsed_us))
+
+    # figure-11 grid: the 4-neighbour min appears in st() and in the update
+    obs_on = UCProgram(OBSTACLE_UC, defines={"R": 32, "WALL": BIG}, cse=True).run()
+    obs_off = UCProgram(OBSTACLE_UC, defines={"R": 32, "WALL": BIG}, cse=False).run()
+    gref = grid_reference_distances(32)
+    free = ~obstacle_mask(32)
+    assert np.array_equal(np.asarray(obs_on["a"])[free], gref[free])
+    assert np.array_equal(np.asarray(obs_off["a"])[free], gref[free])
+    rows.append(("obstacle grid (fig 11), R=32", obs_off.elapsed_us / 1e3,
+                 obs_on.elapsed_us / 1e3, obs_off.elapsed_us / obs_on.elapsed_us))
+
+    # ranksort: no shared subexpressions — CSE must cost nothing
+    data = np.random.default_rng(3).permutation(32)
+    rs_on = UCProgram(RANKSORT_UC, defines={"N": 32}, cse=True).run({"a": data})
+    rs_off = UCProgram(RANKSORT_UC, defines={"N": 32}, cse=False).run({"a": data})
+    assert rs_on["a"].tolist() == sorted(data.tolist())
+    assert rs_off["a"].tolist() == sorted(data.tolist())
+    rows.append(("ranksort (3.4), N=32", rs_off.elapsed_us / 1e3,
+                 rs_on.elapsed_us / 1e3, rs_off.elapsed_us / rs_on.elapsed_us))
+    return rows
+
+
+def check_table_o(rows) -> None:
+    by_name = {name: speedup for name, _off, _on, speedup in rows}
+    assert by_name["APSP relaxation (fig 4), N=16"] > 1.2
+    assert by_name["obstacle grid (fig 11), R=32"] > 1.2
+    # no shared work -> no change (and, crucially, no slowdown)
+    assert 0.98 <= by_name["ranksort (3.4), N=32"] <= 1.05
+
+
+@pytest.mark.benchmark(group="code-opts")
+def test_code_optimizations(benchmark):
+    rows = benchmark.pedantic(run_table_o, iterations=1, rounds=1)
+    check_table_o(rows)
+    save_report(
+        "table_code_opts",
+        format_table(
+            ["workload", "CSE off (ms)", "CSE on (ms)", "speedup"],
+            rows,
+            title="Table O: code optimizations (§4) — common-subexpression detection",
+        ),
+    )
+
+
+if __name__ == "__main__":
+    rows = run_table_o()
+    check_table_o(rows)
+    save_report(
+        "table_code_opts",
+        format_table(["workload", "CSE off (ms)", "CSE on (ms)", "speedup"], rows),
+    )

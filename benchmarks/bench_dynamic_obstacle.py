@@ -1,0 +1,156 @@
+"""Figure 8's dynamic variant — "the obstacles may also be moved
+dynamically in a random manner to simulate a dynamic graph" (§5).
+
+A random obstacle field moves every step (each wall cell drifts one cell
+in a random direction); the *same* self-stabilising relaxation program
+re-converges from the previous distance field.  Every step is validated
+against a fresh BFS; we report warm re-convergence vs cold solve per step
+and assert that the program handles arbitrary motion correctly and that
+re-convergence stays within a small factor of a cold start (Jacobi
+relaxation cannot exploit locality much when distances must *grow*, which
+is why the paper's dynamic story is about *not rewriting the program*,
+not about big warm-start savings).
+
+Finding: re-convergence is bimodal.  Ordinary motion adapts in ~0.5x of
+a cold solve; a step that newly encloses a region forces that region's
+stale distances to count up to WALL one sweep at a time — the worst case
+of the self-stabilising update, bounded by choosing WALL as a tight
+upper bound on reachable distances rather than a huge "infinity".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.grid_path import (
+    BIG,
+    grid_reference_distances,
+    random_obstacle_mask,
+)
+from repro.bench.report import format_table
+from repro.bench.workloads import DYNAMIC_OBSTACLE_UC, OBSTACLE_UC
+from repro.interp.program import UCProgram
+
+from _common import save_report
+
+R = 32
+STEPS = 6
+#: "infinity" for the relaxation: a tight upper bound on any reachable
+#: distance, so cells that obstacles enclose stabilise at WALL within
+#: O(WALL) sweeps instead of counting toward 10^6
+WALL = 8 * R
+
+
+def _drift(walls: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Move every wall cell one step in a random direction (staying on
+    the grid and off the goal)."""
+    r = walls.shape[0]
+    out = np.zeros_like(walls)
+    ii, jj = np.nonzero(walls)
+    moves = rng.integers(0, 4, len(ii))
+    di = np.where(moves == 0, -1, np.where(moves == 1, 1, 0))
+    dj = np.where(moves == 2, -1, np.where(moves == 3, 1, 0))
+    ni = np.clip(ii + di, 0, r - 1)
+    nj = np.clip(jj + dj, 0, r - 1)
+    out[ni, nj] = True
+    out[0, 0] = False
+    return out
+
+
+def run_dynamic():
+    rng = np.random.default_rng(99)
+    walls = random_obstacle_mask(R, density=0.08, seed=5)
+    prog = UCProgram(DYNAMIC_OBSTACLE_UC, defines={"R": R, "WALL": WALL})
+
+    # cold start: relax *from above* (everything "disconnected", goal 0);
+    # monotone decrease converges in O(diameter) sweeps and enclosed cells
+    # simply stay at WALL
+    state = _cold_state()
+    first = prog.run({"a": state, "walls": walls.astype(np.int64)})
+    _validate(first, walls)
+    cold_us = first.elapsed_us
+    state = np.asarray(first["a"])
+
+    rows = []
+    for step in range(1, STEPS + 1):
+        old_walls = walls
+        walls = _drift(walls, rng)
+        # freed cells restart from "disconnected", the rest stay warm
+        state = state.copy()
+        state[old_walls & ~walls] = WALL
+        warm = prog.run({"a": state, "walls": walls.astype(np.int64)})
+        _validate(warm, walls)
+        state = np.asarray(warm["a"])
+
+        cold = prog.run({"a": _cold_state(), "walls": walls.astype(np.int64)})
+        _validate(cold, walls)
+        rows.append(
+            (
+                step,
+                int(walls.sum()),
+                warm.elapsed_us / 1e3,
+                cold.elapsed_us / 1e3,
+                warm.elapsed_us / cold.elapsed_us,
+            )
+        )
+    return cold_us, rows
+
+
+def _cold_state() -> np.ndarray:
+    state = np.full((R, R), WALL, dtype=np.int64)
+    state[0, 0] = 0
+    return state
+
+
+def _validate(run, walls) -> None:
+    ref = grid_reference_distances(R, walls)
+    got = np.asarray(run["a"])
+    free = ~walls
+    reachable = ref[free] < BIG
+    assert (ref[free][reachable] < WALL).all(), "WALL bound too tight"
+    assert np.array_equal(got[free][reachable], ref[free][reachable])
+    # enclosed free cells stabilise at exactly WALL ("disconnected")
+    assert (got[free][~reachable] == WALL).all()
+
+
+def check_dynamic(rows) -> None:
+    for step, n_walls, warm_ms, cold_ms, ratio in rows:
+        assert n_walls > 0
+        # same program, arbitrary motion, always correct.  Re-convergence
+        # is bimodal: local changes adapt in a fraction of a cold solve;
+        # steps that newly *enclose* a region force its stale cells to
+        # count up to WALL (the self-stabilising rule's worst case).
+        assert 0.02 <= ratio <= WALL / 10, f"step {step}: ratio {ratio:.2f}"
+    ratios = [r[4] for r in rows]
+    assert min(ratios) < 0.9, "warm starts never helped"
+    assert sum(1 for x in ratios if x < 0.9) >= len(ratios) // 2
+
+
+@pytest.mark.benchmark(group="dynamic")
+def test_dynamic_obstacles(benchmark):
+    cold_us, rows = benchmark.pedantic(run_dynamic, iterations=1, rounds=1)
+    check_dynamic(rows)
+    save_report(
+        "dynamic_obstacles",
+        format_table(
+            ["step", "wall cells", "re-converge (ms)", "cold solve (ms)", "warm/cold"],
+            rows,
+            title=(
+                f"Dynamic obstacles on a {R}x{R} grid "
+                f"(initial cold solve: {cold_us/1e3:.1f} ms)"
+            ),
+        ),
+    )
+
+
+if __name__ == "__main__":
+    cold_us, rows = run_dynamic()
+    check_dynamic(rows)
+    save_report(
+        "dynamic_obstacles",
+        format_table(
+            ["step", "wall cells", "re-converge (ms)", "cold solve (ms)", "warm/cold"],
+            rows,
+        ),
+    )

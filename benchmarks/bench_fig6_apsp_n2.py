@@ -1,0 +1,79 @@
+"""Figure 6 — shortest path with O(N²) parallelism: UC vs C*.
+
+Paper: elapsed time grows roughly linearly in the number of rows N (the
+outer ``seq (K)`` contributes N front-end turnarounds and N parallel
+relaxation steps); the UC curve tracks the hand-written C* curve with a
+small constant factor above it.
+
+Reproduced here: the figure-4 UC program and the figure-9 C* program run
+on the same simulated 16K CM-2 over N = 4..32, both validated against
+Floyd–Warshall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import floyd_warshall, random_distance_matrix
+from repro.bench.harness import Sweep
+from repro.bench.report import ascii_plot, format_series_table
+from repro.bench.workloads import run_apsp_n2
+from repro.cstar.programs import apsp_n2 as cstar_apsp_n2
+
+from _common import save_report
+
+NS = (4, 8, 12, 16, 20, 24, 28, 32)
+
+
+def run_figure6() -> Sweep:
+    sweep = Sweep("Figure 6: shortest path, O(N^2) parallelism", "rows")
+    for n in NS:
+        dist = random_distance_matrix(n, seed=1)
+        reference = floyd_warshall(dist)
+
+        uc = run_apsp_n2(n, dist)
+        assert np.array_equal(uc["d"], reference), f"UC wrong at N={n}"
+        sweep.record("UC", n, uc.elapsed_us / 1e6)
+
+        cs = cstar_apsp_n2(dist)
+        assert np.array_equal(cs.distances, reference), f"C* wrong at N={n}"
+        sweep.record("C*", n, cs.elapsed_us / 1e6)
+    return sweep
+
+
+def check_figure6(sweep: Sweep) -> None:
+    """The paper's qualitative claims."""
+    for n in NS:
+        ratio = sweep.ratio("UC", "C*", n)
+        # "the performance of UC programs matches that of C*": same order,
+        # UC paying a small constant factor for its generality
+        assert 0.8 <= ratio <= 2.5, f"UC/C* ratio {ratio:.2f} out of band at N={n}"
+    # both curves grow with N (the seq(K) loop) ...
+    for name in ("UC", "C*"):
+        ys = sweep.series[name].ys()
+        assert ys[-1] > ys[0] * 3, f"{name} curve unexpectedly flat"
+    # ... roughly linearly: doubling N from 16 to 32 should roughly double
+    # the time, not quadruple it
+    for name in ("UC", "C*"):
+        s = sweep.series[name]
+        growth = s.at(32) / s.at(16)
+        assert 1.4 <= growth <= 3.2, f"{name} growth {growth:.2f} not near-linear"
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_apsp_n2(benchmark):
+    sweep = benchmark.pedantic(run_figure6, iterations=1, rounds=1)
+    check_figure6(sweep)
+    save_report(
+        "fig6_apsp_n2",
+        format_series_table(sweep)
+        + "\n\n" + ascii_plot(sweep)
+        + f"\n\nUC/C* ratio at N=32: {sweep.ratio('UC', 'C*', 32):.2f}",
+    )
+
+
+if __name__ == "__main__":
+    s = run_figure6()
+    check_figure6(s)
+    save_report("fig6_apsp_n2", format_series_table(s))

@@ -1,0 +1,85 @@
+"""Figure 8 — grid shortest path with an obstacle: sequential C vs UC.
+
+Paper: the iterative relaxation runs as sequential C on the Sun-4 front
+end (plain ``cc`` and ``cc -O``) and as a UC ``*par`` program on the 16K
+CM.  Sequential time grows like sweeps × cells (steeply, to ~40 s by 120
+rows); the CM curve stays nearly flat because a sweep is a constant
+number of Paris instructions while the grid fits the machine.  The
+curves cross at a few tens of rows.
+
+Reproduced here over rows = 20..120, all three executions validated
+against BFS distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.grid_path import grid_reference_distances, obstacle_mask
+from repro.bench.harness import Sweep
+from repro.bench.report import ascii_plot, format_series_table
+from repro.bench.workloads import run_obstacle
+from repro.seqc import sequential_obstacle_path
+
+from _common import save_report
+
+ROWS = (10, 20, 40, 60, 80, 100, 120)
+
+
+def run_figure8() -> Sweep:
+    sweep = Sweep("Figure 8: shortest path with obstacle", "rows")
+    for r in ROWS:
+        reference = grid_reference_distances(r)
+        free = ~obstacle_mask(r)
+
+        seq = sequential_obstacle_path(r)
+        assert np.array_equal(seq.distances[free], reference[free])
+        sweep.record("C (seq)", r, seq.elapsed_us / 1e6)
+
+        seq_o = sequential_obstacle_path(r, optimized=True)
+        assert np.array_equal(seq_o.distances[free], reference[free])
+        sweep.record("C -O (seq)", r, seq_o.elapsed_us / 1e6)
+
+        uc = run_obstacle(r)
+        assert np.array_equal(np.asarray(uc["a"])[free], reference[free])
+        sweep.record("UC (16K CM)", r, uc.elapsed_us / 1e6)
+    return sweep
+
+
+def check_figure8(sweep: Sweep) -> None:
+    # sequential C grows steeply; -O is a constant factor below it
+    for r in ROWS:
+        ratio = sweep.ratio("C (seq)", "C -O (seq)", r)
+        assert 1.8 <= ratio <= 3.2, f"-O factor {ratio:.2f} out of band at {r} rows"
+    # the CM wins by roughly an order of magnitude at 120 rows (paper ~10x)
+    big = sweep.ratio("C (seq)", "UC (16K CM)", 120)
+    assert 5.0 <= big <= 40.0, f"seq/UC factor {big:.1f} at 120 rows (expect ~10x)"
+    # the crossover falls in the tens of rows: sequential still wins at 10,
+    # loses by 60
+    assert sweep.ratio("C (seq)", "UC (16K CM)", 10) < 1.0
+    assert sweep.ratio("C (seq)", "UC (16K CM)", 60) > 1.0
+    # the CM curve is nearly flat relative to the sequential one
+    uc_growth = sweep.series["UC (16K CM)"].at(120) / sweep.series["UC (16K CM)"].at(20)
+    seq_growth = sweep.series["C (seq)"].at(120) / sweep.series["C (seq)"].at(20)
+    assert seq_growth > 10 * uc_growth, "sequential curve should grow far faster"
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_obstacle(benchmark):
+    sweep = benchmark.pedantic(run_figure8, iterations=1, rounds=1)
+    check_figure8(sweep)
+    cross = sweep.crossover("C (seq)", "UC (16K CM)")
+    save_report(
+        "fig8_obstacle",
+        format_series_table(sweep)
+        + "\n\n" + ascii_plot(sweep)
+        + f"\n\ncrossover (sequential loses) at ~{cross} rows; "
+        + f"seq/UC factor at 120 rows: {sweep.ratio('C (seq)', 'UC (16K CM)', 120):.1f}x",
+    )
+
+
+if __name__ == "__main__":
+    s = run_figure8()
+    check_figure8(s)
+    save_report("fig8_obstacle", format_series_table(s))

@@ -1,0 +1,87 @@
+"""Numerical-kernel comparison — §5's "both numerical computations and
+graph algorithms were used as benchmarks and the results were similar".
+
+Figures 6–8 cover the graph algorithms; this bench covers the numerical
+side with the paper's own §3.4 kernel, matrix multiply
+(``c[i][j] = $+(K; a[i][k] * b[k][j])``), run as UC and as hand-written
+C* (gather the two operands into an (i,j,k) domain, multiply locally,
+combining-send the sum), both validated against numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import Sweep
+from repro.bench.report import format_series_table
+from repro.bench.workloads import MATMUL_UC
+from repro.cstar import CStarRuntime
+from repro.interp.program import UCProgram
+from repro.machine import Machine
+
+from _common import save_report
+
+NS = (4, 8, 16, 24, 32)
+
+
+def cstar_matmul(a: np.ndarray, b: np.ndarray):
+    """Matrix multiply in the mini C* runtime (XMED-domain style)."""
+    n = a.shape[0]
+    rt = CStarRuntime(Machine())
+    grid = rt.domain("GRID", (n, n), {"a": int, "b": int, "c": int})
+    cube = rt.domain("CUBE", (n, n, n), {"prod": int})
+    grid.load("a", a)
+    grid.load("b", b)
+    rt.machine.clock.reset()
+    with cube.activate() as x:
+        av = rt.get_from(cube, grid, "a", x.coord(0), x.coord(2))
+        bv = rt.get_from(cube, grid, "b", x.coord(2), x.coord(1))
+        x["prod"] = av * bv
+        rt.send_to(x["prod"], grid, "c", x.coord(0), x.coord(1), combine="add")
+    return grid.read("c"), rt.elapsed_us
+
+
+def run_numerical() -> Sweep:
+    sweep = Sweep("Matrix multiply (numerical kernel): UC vs C*", "N")
+    rng = np.random.default_rng(13)
+    for n in NS:
+        a = rng.integers(0, 20, (n, n))
+        b = rng.integers(0, 20, (n, n))
+        ref = a @ b
+
+        uc = UCProgram(MATMUL_UC, defines={"N": n}).run({"a": a, "b": b})
+        assert np.array_equal(uc["c"], ref), f"UC matmul wrong at N={n}"
+        sweep.record("UC", n, uc.elapsed_us / 1e3, unit="ms")
+
+        cs, cs_us = cstar_matmul(a, b)
+        assert np.array_equal(cs, ref), f"C* matmul wrong at N={n}"
+        sweep.record("C*", n, cs_us / 1e3, unit="ms")
+    return sweep
+
+
+def check_numerical(sweep: Sweep) -> None:
+    # "the results were similar": same story as the graph kernels
+    for n in NS:
+        ratio = sweep.ratio("UC", "C*", n)
+        assert 0.3 <= ratio <= 3.0, f"UC/C* ratio {ratio:.2f} out of band at N={n}"
+    # one N^3-parallel step: near-flat until the cube outgrows the machine
+    uc = sweep.series["UC"]
+    assert uc.at(32) < uc.at(4) * 12
+
+
+@pytest.mark.benchmark(group="numerical")
+def test_numerical_matmul(benchmark):
+    sweep = benchmark.pedantic(run_numerical, iterations=1, rounds=1)
+    check_numerical(sweep)
+    save_report(
+        "numerical_matmul",
+        format_series_table(sweep)
+        + f"\n\nUC/C* ratio at N=32: {sweep.ratio('UC', 'C*', 32):.2f}",
+    )
+
+
+if __name__ == "__main__":
+    s = run_numerical()
+    check_numerical(s)
+    save_report("numerical_matmul", format_series_table(s))

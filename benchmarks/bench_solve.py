@@ -1,0 +1,112 @@
+"""Table C — solve strategies (paper §3.6).
+
+The paper describes two implementations of ``solve`` and their trade-off:
+
+* the *scheduled* translation (source transformation into seq/par, [14])
+  executes each dependency level once — fast, but only applies when the
+  references are affine in the index elements;
+* the *guarded* translation (the general ``*par`` with impossible-value
+  bookkeeping) applies always but "the programmer need not save redundant
+  intermediate states" — i.e. it costs more.
+
+Also measured: ``*solve`` (fixed-point iteration) against the explicit
+``seq``-driven figure-5 program for APSP — the paper notes ``*solve``
+yields concise programs at some run-time cost (the fixed-point detection
+runs one extra sweep and saves state every sweep).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import floyd_warshall, random_distance_matrix, wavefront_matrix
+from repro.bench.report import format_table
+from repro.bench.workloads import APSP_N3_UC, APSP_SOLVE_UC, WAVEFRONT_UC, log2_ceil
+from repro.interp.program import UCProgram
+
+from _common import save_report
+
+#: wavefront values grow like 5.8^N — keep N small enough for int64
+WAVEFRONT_NS = (8, 12, 16)
+APSP_NS = (8, 16, 32)
+
+
+def run_table_c():
+    rows = []
+    for n in WAVEFRONT_NS:
+        reference = wavefront_matrix(n)
+        scheduled = UCProgram(
+            WAVEFRONT_UC, defines={"N": n}, solve_strategy="scheduled"
+        ).run()
+        guarded = UCProgram(
+            WAVEFRONT_UC, defines={"N": n}, solve_strategy="guarded"
+        ).run()
+        assert np.array_equal(scheduled["a"], reference)
+        assert np.array_equal(guarded["a"], reference)
+        rows.append(
+            (
+                f"wavefront N={n}",
+                "scheduled vs guarded",
+                scheduled.elapsed_us / 1e3,
+                guarded.elapsed_us / 1e3,
+                guarded.elapsed_us / scheduled.elapsed_us,
+            )
+        )
+    for n in APSP_NS:
+        dist = random_distance_matrix(n, seed=1)
+        reference = floyd_warshall(dist)
+        explicit = UCProgram(
+            APSP_N3_UC, defines={"N": n, "LOGN": log2_ceil(n)}
+        ).run({"d": dist})
+        star_solve = UCProgram(APSP_SOLVE_UC, defines={"N": n}).run({"dist": dist})
+        assert np.array_equal(explicit["d"], reference)
+        assert np.array_equal(star_solve["dist"], reference)
+        rows.append(
+            (
+                f"APSP N={n}",
+                "explicit seq/par vs *solve",
+                explicit.elapsed_us / 1e3,
+                star_solve.elapsed_us / 1e3,
+                star_solve.elapsed_us / explicit.elapsed_us,
+            )
+        )
+    return rows
+
+
+def check_table_c(rows) -> None:
+    for name, what, fast_ms, general_ms, overhead in rows:
+        if what.startswith("scheduled"):
+            # guarded solve pays for readiness bookkeeping every sweep
+            assert 1.0 <= overhead <= 6.0, f"{name}: overhead {overhead:.2f}"
+        else:
+            # *solve pays for fixed-point detection but may also *win* by
+            # stopping as soon as the distances converge (§3.5's point
+            # about iterating only while something changes)
+            assert 0.4 <= overhead <= 6.0, f"{name}: overhead {overhead:.2f}"
+
+
+@pytest.mark.benchmark(group="solve")
+def test_solve_strategies(benchmark):
+    rows = benchmark.pedantic(run_table_c, iterations=1, rounds=1)
+    check_table_c(rows)
+    save_report(
+        "table_solve",
+        format_table(
+            ["workload", "comparison", "specialised (ms)", "general (ms)", "overhead"],
+            rows,
+            title="Table C: solve implementation strategies (§3.6)",
+        ),
+    )
+
+
+if __name__ == "__main__":
+    rows = run_table_c()
+    check_table_c(rows)
+    save_report(
+        "table_solve",
+        format_table(
+            ["workload", "comparison", "specialised (ms)", "general (ms)", "overhead"],
+            rows,
+        ),
+    )

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Grid navigation with obstacles — the paper's figure 8/11 workload.
+
+Every cell of an R×R grid iteratively recomputes its distance to a goal
+cell as 1 + min(neighbour distances) — a self-stabilising relaxation
+expressed with UC's ``*par``.  Because the update is self-stabilising it
+also handles *moving* obstacles: we displace the wall mid-computation and
+let the same program re-converge, which is the dynamic variant the paper
+describes ("the obstacles may also be moved dynamically").
+
+Run:  python examples/grid_navigation.py [R]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.algorithms.grid_path import (
+    BIG,
+    grid_reference_distances,
+    obstacle_mask,
+)
+from repro.bench.workloads import OBSTACLE_UC
+from repro.interp.program import UCProgram
+from repro.seqc import sequential_obstacle_path
+
+r = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+
+# ---------------------------------------------------------------------------
+# 1. Stationary obstacle: UC on the CM vs sequential C on the Sun-4
+# ---------------------------------------------------------------------------
+
+uc = UCProgram(OBSTACLE_UC, defines={"R": r, "WALL": BIG}).run()
+seq = sequential_obstacle_path(r)
+seq_opt = sequential_obstacle_path(r, optimized=True)
+
+reference = grid_reference_distances(r)
+free = ~obstacle_mask(r)
+assert np.array_equal(np.asarray(uc["a"])[free], reference[free])
+assert np.array_equal(seq.distances[free], reference[free])
+
+print(f"{r}x{r} grid, wall on the anti-diagonal band, goal at (0,0)")
+print(f"  sequential C   : {seq.elapsed_us/1e6:8.3f} s")
+print(f"  sequential C -O: {seq_opt.elapsed_us/1e6:8.3f} s")
+print(f"  UC on 16K CM   : {uc.elapsed_us/1e6:8.3f} s")
+
+# a small ASCII picture (distances mod 10; '#' = wall)
+if r <= 32:
+    art = np.asarray(uc["a"]) % 10
+    print("\ndistance field (mod 10):")
+    for i in range(r):
+        print(
+            "  "
+            + "".join(
+                "#" if obstacle_mask(r)[i, j] else str(int(art[i, j]))
+                for j in range(r)
+            )
+        )
+
+# ---------------------------------------------------------------------------
+# 2. Dynamic obstacle: move the wall, re-run the same relaxation
+# ---------------------------------------------------------------------------
+
+DYNAMIC = """
+index_set I:i = {0..R-1}, J:j = I;
+int a[R][R];
+int walls[R][R];
+main {
+    /* distances already loaded; walls moved by the host: raise the new
+       walls first so nobody paths through a stale value, then re-relax */
+    par (I, J) st (walls[i][j] == 1) a[i][j] = WALL;
+    *par (I, J)
+        st (walls[i][j] == 0 && (i != 0 || j != 0) &&
+            a[i][j] != 1 + min(min(i > 0 ? a[i-1][j] : WALL,
+                                   i < R-1 ? a[i+1][j] : WALL),
+                               min(j > 0 ? a[i][j-1] : WALL,
+                                   j < R-1 ? a[i][j+1] : WALL)))
+        a[i][j] = 1 + min(min(i > 0 ? a[i-1][j] : WALL,
+                              i < R-1 ? a[i+1][j] : WALL),
+                          min(j > 0 ? a[i][j-1] : WALL,
+                              j < R-1 ? a[i][j+1] : WALL));
+}
+"""
+
+# shift the wall band one column right and reuse the converged field
+old_walls = obstacle_mask(r)
+new_walls = np.zeros_like(old_walls)
+new_walls[:, 1:] = old_walls[:, :-1]
+
+start = np.asarray(uc["a"]).copy()
+start[old_walls] = 0  # the old wall cells become free space again
+
+dyn = UCProgram(DYNAMIC, defines={"R": r, "WALL": BIG}).run(
+    {"a": start, "walls": new_walls.astype(np.int64)}
+)
+new_reference = grid_reference_distances(r, new_walls)
+new_free = ~new_walls
+assert np.array_equal(np.asarray(dyn["a"])[new_free], new_reference[new_free])
+print(
+    f"\nobstacle moved one column right; the same relaxation re-converged "
+    f"to the new\ndistance field in {dyn.elapsed_us/1e6:.3f} s simulated "
+    f"(from-scratch solve: {uc.elapsed_us/1e6:.3f} s).\nNo code changed — "
+    "the self-stabilising update is what lets the paper's program\nhandle "
+    "obstacles that move dynamically."
+)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The paper's headline benchmark: all-pairs shortest paths, three ways.
+
+Runs the figure-4 (O(N²)-parallel), figure-5 (O(N³)-parallel) and §3.6
+(``*solve``) UC programs plus the appendix's hand-written C* programs on
+the same simulated 16K CM-2, validates them against Floyd–Warshall, and
+prints a figure-6/7-style comparison.
+
+Run:  python examples/shortest_path.py [N]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.algorithms import floyd_warshall, random_distance_matrix
+from repro.bench.workloads import (
+    APSP_N2_UC,
+    APSP_N3_UC,
+    APSP_SOLVE_UC,
+    log2_ceil,
+)
+from repro.cstar import programs as cstar_programs
+from repro.interp.program import UCProgram
+
+n = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+dist = random_distance_matrix(n, seed=42)
+reference = floyd_warshall(dist)
+print(f"random {n}x{n} distance matrix (d[i][j] = rand()%N + 1, 0 diagonal)\n")
+
+rows = []
+
+uc_n2 = UCProgram(APSP_N2_UC, defines={"N": n}).run({"d": dist})
+assert np.array_equal(uc_n2["d"], reference)
+rows.append(("UC, O(N^2) parallelism (fig 4)", uc_n2.elapsed_us))
+
+uc_n3 = UCProgram(APSP_N3_UC, defines={"N": n, "LOGN": log2_ceil(n)}).run({"d": dist})
+assert np.array_equal(uc_n3["d"], reference)
+rows.append(("UC, O(N^3) parallelism (fig 5)", uc_n3.elapsed_us))
+
+uc_solve = UCProgram(APSP_SOLVE_UC, defines={"N": n}).run({"dist": dist})
+assert np.array_equal(uc_solve["dist"], reference)
+rows.append(("UC, *solve fixed point (3.6)", uc_solve.elapsed_us))
+
+cs_n2 = cstar_programs.apsp_n2(dist)
+assert np.array_equal(cs_n2.distances, reference)
+rows.append(("C*, O(N^2) parallelism (fig 9)", cs_n2.elapsed_us))
+
+cs_n3 = cstar_programs.apsp_n3(dist)
+assert np.array_equal(cs_n3.distances, reference)
+rows.append(("C*, O(N^3) parallelism (fig 10)", cs_n3.elapsed_us))
+
+width = max(len(name) for name, _ in rows)
+print(f"{'program':{width}s}  simulated elapsed")
+for name, us in rows:
+    print(f"{name:{width}s}  {us/1000:10.2f} ms")
+
+print(
+    "\nNote the paper's two observations: the O(N^3)-parallel algorithm "
+    "wins at larger N\n(log N instead of N iterations), and UC tracks the "
+    "hand-written C* closely.\nAlso note what UC did NOT require: the C* "
+    "O(N^3) program needs an explicit 3-D\nXMED domain "
+    f"({len(cs_n3.runtime.domains)} domains declared); the UC programs "
+    "differ only in one statement."
+)

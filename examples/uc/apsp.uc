@@ -1,0 +1,18 @@
+/* All-pairs shortest path with O(N^2) parallelism (paper figure 4).
+   Run:  python -m repro run examples/uc/apsp.uc -D N=8 --print d --ledger */
+
+index_set I:i = {0..N-1}, J:j = I, K:k = I;
+int d[N][N];
+
+main {
+    /* random distance matrix: 0 on the diagonal, 1..N elsewhere */
+    par (I, J) st (i == j)
+        d[i][j] = 0;
+      others
+        d[i][j] = rand() % N + 1;
+
+    seq (K)
+      par (I, J)
+        st (d[i][k] + d[k][j] < d[i][j])
+          d[i][j] = d[i][k] + d[k][j];
+}

@@ -1,0 +1,13 @@
+/* The paper's digit-count example (section 4): the compiler deduces that
+   N (not 10*N) virtual processors suffice.
+   Run:  python -m repro analyze examples/uc/histogram.uc -D N=64 */
+
+index_set I:i = {0..N-1}, J:j = {0..9};
+int samples[N];
+int count[10];
+
+main {
+    par (I) samples[i] = rand() % 10;
+    par (J)
+        count[j] = $+(I st (samples[i] == j) 1);
+}

@@ -1,0 +1,18 @@
+/* The worked mapping example of section 4: a[i] = a[i] + b[i+1] becomes
+   local under  permute (I) b[i+1] :- a[i].
+   Compare:  python -m repro run examples/uc/shifted.uc --ledger
+             python -m repro run examples/uc/shifted.uc --no-maps --ledger */
+
+int N = 64;
+index_set I:i = {0..N-2};
+int a[64], b[64];
+
+map (I) {
+    permute (I) b[i+1] :- a[i];
+}
+
+main {
+    par (I) b[i] = i;
+    b[63] = 63;
+    par (I) a[i] = a[i] + b[i+1];
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""The solve construct: proper equation sets without explicit scheduling.
+
+The wavefront problem (§3.6): build a matrix where the borders are 1 and
+every interior element is the sum of its west, north-west and north
+neighbours.  In UC you state the equations; the compiler finds an
+execution order.  This script runs both implementation strategies the
+paper describes and shows the dependency levels the static scheduler
+derives (the anti-diagonal wavefront that gives the problem its name).
+
+Run:  python examples/wavefront_solve.py
+"""
+
+import numpy as np
+
+from repro.algorithms import wavefront_matrix
+from repro.bench.workloads import WAVEFRONT_UC
+from repro.interp.program import UCProgram
+
+n = 12
+reference = wavefront_matrix(n)
+
+# ---------------------------------------------------------------------------
+# 1. The declarative program, two execution strategies
+# ---------------------------------------------------------------------------
+
+scheduled = UCProgram(WAVEFRONT_UC, defines={"N": n}, solve_strategy="scheduled")
+run_s = scheduled.run()
+assert np.array_equal(run_s["a"], reference)
+
+guarded = UCProgram(WAVEFRONT_UC, defines={"N": n}, solve_strategy="guarded")
+run_g = guarded.run()
+assert np.array_equal(run_g["a"], reference)
+
+print(f"wavefront {n}x{n}:")
+print(f"  scheduled solve (static levels, ref [14]): {run_s.elapsed_us/1e3:8.2f} ms")
+print(f"  guarded solve (the general *par method):   {run_g.elapsed_us/1e3:8.2f} ms")
+print("  identical results; the scheduled form skips the per-sweep readiness "
+      "bookkeeping.")
+
+print("\ncorner of the matrix:")
+for row in reference[:6]:
+    print("  ", "".join(f"{v:8d}" for v in row[:6]))
+
+# ---------------------------------------------------------------------------
+# 2. What the static scheduler saw: L(i,j) = i + j anti-diagonals
+# ---------------------------------------------------------------------------
+
+from repro.compiler.solve_sched import try_schedule
+from repro.interp.interpreter import Interpreter
+from repro.interp.eval_expr import ExecContext
+from repro.interp.env import Env
+from repro.interp.values import GridContext
+from repro.interp.statements import enter_grid
+from repro.interp.solve import _collect_assignments
+from repro.machine import Machine
+from repro.lang import ast as uc_ast
+
+interp = Interpreter(scheduled.info, Machine(), scheduled.layouts)
+main = scheduled.info.program.main
+solve_stmt = next(s for s in uc_ast.walk(main) if isinstance(s, uc_ast.UCStmt))
+ctx = ExecContext(GridContext(), None, Env(interp.global_env))
+inner = enter_grid(interp, solve_stmt, ctx)
+schedule = try_schedule(interp, solve_stmt, _collect_assignments(solve_stmt), inner)
+assert schedule is not None
+print(f"\ndependency levels derived by the scheduler (max {schedule.max_level}):")
+for row in schedule.levels[:6]:
+    print("  ", "".join(f"{v:4d}" for v in row[:6]))
+print("  — the anti-diagonal wavefront: element (i,j) runs at level i+j.")
+
+# ---------------------------------------------------------------------------
+# 3. *solve: iterate arbitrary statements to a fixed point
+# ---------------------------------------------------------------------------
+
+HEAT = """
+index_set I:i = {1..N-2}, J:j = I;
+int t[N][N];
+main {
+    /* integer heat diffusion: relax to the fixed point where every
+       interior cell is the average of its four neighbours */
+    *solve (I, J)
+        t[i][j] = (t[i-1][j] + t[i+1][j] + t[i][j-1] + t[i][j+1]) / 4;
+}
+"""
+m = 10
+t0 = np.zeros((m, m), dtype=np.int64)
+t0[0, :] = 100  # hot north edge
+run_h = UCProgram(HEAT, defines={"N": m}).run({"t": t0})
+print("\n*solve heat diffusion (hot north edge), equilibrium rows 0..3:")
+for row in np.asarray(run_h["t"])[:4]:
+    print("  ", "".join(f"{v:5d}" for v in row))

@@ -1,0 +1,48 @@
+"""repro — a reproduction of "UC: A Language for the Connection Machine".
+
+The package provides, from the bottom up:
+
+* :mod:`repro.machine` — a cost-accurate CM-2 simulator (VP sets, NEWS
+  grid, general router, scans, global-OR, front-end latency).
+* :mod:`repro.lang` — lexer, parser and semantic checks for UC source.
+* :mod:`repro.mapping` — the paper's data-mapping subsystem (default
+  mappings plus ``permute`` / ``fold`` / ``copy``).
+* :mod:`repro.interp` — a vectorised interpreter executing UC programs on
+  the simulator; the top-level entry point is :class:`repro.UCProgram`.
+* :mod:`repro.compiler` — optimization passes and the UC → C* backend.
+* :mod:`repro.cstar` — a mini C* runtime (the paper's baseline language).
+* :mod:`repro.seqc` — a sequential Sun-4 cost model (figure 8 baseline).
+* :mod:`repro.algorithms` — pure-numpy reference implementations used to
+  validate everything above.
+
+Quickstart
+----------
+>>> from repro import UCProgram
+>>> src = '''
+... index_set I:i = {0..9};
+... int a[10];
+... main {
+...     par (I) a[i] = i * i;
+... }
+... '''
+... # doctest: +SKIP
+>>> prog = UCProgram(src)     # doctest: +SKIP
+>>> result = prog.run()       # doctest: +SKIP
+>>> result["a"]               # doctest: +SKIP
+array([ 0, 1, 4, ..., 81])
+"""
+
+__version__ = "1.0.0"
+
+from .machine import Machine, MachineConfig
+from .interp.program import UCProgram, RunResult
+from .ucdsl import UCBuilder
+
+__all__ = [
+    "Machine",
+    "MachineConfig",
+    "UCProgram",
+    "RunResult",
+    "UCBuilder",
+    "__version__",
+]

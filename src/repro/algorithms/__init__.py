@@ -1,0 +1,35 @@
+"""Reference implementations (pure numpy) used to validate everything.
+
+These are the ground-truth oracles for the test suite and benchmarks:
+Floyd–Warshall and min-plus matrix powering for all-pairs shortest paths,
+BFS grid distances for the obstacle problem, sorting and prefix-sum
+references, and the wavefront recurrence.
+"""
+
+from .grid_path import (
+    BIG,
+    grid_reference_distances,
+    jacobi_step,
+    obstacle_mask,
+    random_obstacle_mask,
+)
+from .prefix import prefix_sums
+from .shortest_path import floyd_warshall, min_plus_power, random_distance_matrix
+from .sorting import is_sorted, odd_even_transposition_steps, ranks
+from .wavefront import wavefront_matrix
+
+__all__ = [
+    "floyd_warshall",
+    "min_plus_power",
+    "random_distance_matrix",
+    "grid_reference_distances",
+    "obstacle_mask",
+    "random_obstacle_mask",
+    "jacobi_step",
+    "BIG",
+    "prefix_sums",
+    "ranks",
+    "is_sorted",
+    "odd_even_transposition_steps",
+    "wavefront_matrix",
+]

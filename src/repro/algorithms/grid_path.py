@@ -1,0 +1,107 @@
+"""The figure-8 / figure-11 workload: grid shortest path with obstacles.
+
+An R×R grid of cells, each connected to its four NEWS neighbours with
+edge weight 1.  Cell (0,0) is the goal G; the obstacle is a wall on the
+anti-diagonal ``i + j == R-1`` restricted to ``|i - R/2| <= R/4``
+(figure 11's initialisation).  Every cell is initialised to distance 0
+and the iterative algorithm repeatedly recomputes each non-goal,
+non-wall cell as ``1 + min(neighbour distances)`` until nothing changes
+— a self-stabilising relaxation that also copes with obstacles moving
+between sweeps (the paper's dynamic variant).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: stands in for "disconnected": larger than any reachable grid distance
+BIG = 1_000_000
+
+
+def obstacle_mask(r: int) -> np.ndarray:
+    """The stationary obstacle of figure 11 on an r×r grid."""
+    i, j = np.indices((r, r))
+    return (i + j == r - 1) & (np.abs(i - r // 2) <= r // 4)
+
+
+def random_obstacle_mask(
+    r: int, *, density: float = 0.1, seed: int = 0, keep_goal_clear: bool = True
+) -> np.ndarray:
+    """A random obstacle field (for the dynamic-obstacle experiments)."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((r, r)) < density
+    if keep_goal_clear:
+        mask[0, 0] = False
+    return mask
+
+
+def jacobi_step(
+    d: np.ndarray, walls: np.ndarray, goal: Tuple[int, int] = (0, 0)
+) -> np.ndarray:
+    """One synchronous sweep: each free cell becomes 1 + min(neighbours).
+
+    Wall cells hold BIG (disconnected); the goal holds 0.  This is the
+    exact update the UC ``*par`` program performs, shared here so the
+    sequential model and the tests use identical semantics.
+    """
+    padded = np.pad(d, 1, constant_values=BIG)
+    north = padded[:-2, 1:-1]
+    south = padded[2:, 1:-1]
+    west = padded[1:-1, :-2]
+    east = padded[1:-1, 2:]
+    best = np.minimum(np.minimum(north, south), np.minimum(west, east))
+    new = np.minimum(best + 1, BIG)
+    new[walls] = BIG
+    new[goal] = 0
+    return new
+
+
+def relax_to_fixpoint(
+    d: np.ndarray,
+    walls: np.ndarray,
+    goal: Tuple[int, int] = (0, 0),
+    *,
+    max_sweeps: Optional[int] = None,
+) -> Tuple[np.ndarray, int]:
+    """Iterate :func:`jacobi_step` until unchanged; returns (d, sweeps)."""
+    r = d.shape[0]
+    limit = max_sweeps if max_sweeps is not None else 8 * r + 16
+    sweeps = 0
+    current = d.copy()
+    current[walls] = BIG
+    current[goal] = 0
+    for _ in range(limit):
+        new = jacobi_step(current, walls, goal)
+        sweeps += 1
+        if np.array_equal(new, current):
+            return new, sweeps
+        current = new
+    raise RuntimeError(f"grid relaxation did not converge in {limit} sweeps")
+
+
+def grid_reference_distances(
+    r: int,
+    walls: Optional[np.ndarray] = None,
+    goal: Tuple[int, int] = (0, 0),
+) -> np.ndarray:
+    """Ground-truth BFS distances from the goal (walls = BIG)."""
+    if walls is None:
+        walls = obstacle_mask(r)
+    dist = np.full((r, r), BIG, dtype=np.int64)
+    if walls[goal]:
+        raise ValueError("goal cell is inside the obstacle")
+    dist[goal] = 0
+    frontier = [goal]
+    while frontier:
+        nxt = []
+        for (ci, cj) in frontier:
+            for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                ni, nj = ci + di, cj + dj
+                if 0 <= ni < r and 0 <= nj < r and not walls[ni, nj]:
+                    if dist[ni, nj] > dist[ci, cj] + 1:
+                        dist[ni, nj] = dist[ci, cj] + 1
+                        nxt.append((ni, nj))
+        frontier = nxt
+    return dist

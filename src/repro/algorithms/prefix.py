@@ -1,0 +1,10 @@
+"""Prefix-sum reference (figures 2 and 3 compute this in log N steps)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def prefix_sums(a: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sums: ``out[i] = a[0] + ... + a[i]``."""
+    return np.cumsum(np.asarray(a))

@@ -1,0 +1,62 @@
+"""All-pairs shortest path references.
+
+The paper's two data-parallel algorithms (figures 4 and 5) are
+Floyd–Warshall with O(N²) parallelism and min-plus matrix powering (log N
+squarings) with O(N³) parallelism; both references are implemented here
+directly for validation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+
+def random_distance_matrix(
+    n: int, *, seed: int = 0, low: int = 1, high: Optional[int] = None
+) -> np.ndarray:
+    """The paper's workload: ``d[i][i] = 0``, ``d[i][j] = rand() % N + 1``.
+
+    ``high`` defaults to ``n`` (exclusive of ``high + 1``), matching the
+    ``1..N`` range of figure 4's initialisation.
+    """
+    if high is None:
+        high = max(low, n)
+    rng = np.random.default_rng(seed)
+    d = rng.integers(low, high + 1, size=(n, n)).astype(np.int64)
+    np.fill_diagonal(d, 0)
+    return d
+
+
+def floyd_warshall(dist: np.ndarray) -> np.ndarray:
+    """Classic O(N³)-work Floyd–Warshall (the figure-4 algorithm, run
+    serially): relax through each intermediate node in turn."""
+    d = np.array(dist, dtype=np.int64, copy=True)
+    n = d.shape[0]
+    if d.shape != (n, n):
+        raise ValueError("distance matrix must be square")
+    for k in range(n):
+        np.minimum(d, d[:, k : k + 1] + d[k : k + 1, :], out=d)
+    return d
+
+
+def min_plus_product(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """(min, +) matrix product: ``out[i,j] = min_k a[i,k] + b[k,j]``."""
+    return (a[:, :, None] + b[None, :, :]).min(axis=1)
+
+
+def min_plus_power(dist: np.ndarray, *, squarings: Optional[int] = None) -> np.ndarray:
+    """Repeated (min,+) squaring — the figure-5 algorithm.
+
+    ``squarings`` defaults to ``ceil(log2 N)``; after that many squarings
+    every at-most-N-hop path has been considered.
+    """
+    d = np.array(dist, dtype=np.int64, copy=True)
+    n = d.shape[0]
+    if squarings is None:
+        squarings = max(1, math.ceil(math.log2(max(2, n))))
+    for _ in range(squarings):
+        d = min_plus_product(d, d)
+    return d

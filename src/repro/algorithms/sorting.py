@@ -1,0 +1,45 @@
+"""Sorting references: ranksort and odd-even transposition (§3.4, §3.7)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def ranks(a: np.ndarray) -> np.ndarray:
+    """The ranksort rank: ``rank[i] = |{j : a[j] < a[i]}|`` (distinct keys)."""
+    a = np.asarray(a)
+    return (a[None, :] < a[:, None]).sum(axis=1)
+
+
+def is_sorted(a: np.ndarray) -> bool:
+    a = np.asarray(a)
+    return bool(np.all(a[:-1] <= a[1:]))
+
+
+def odd_even_transposition_steps(a: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Deterministic odd-even transposition sort; returns (sorted, phases).
+
+    The UC program of §3.7 performs the same exchanges but picks the
+    odd/even phase non-deterministically via ``*oneof``; this reference
+    alternates phases and is the oracle the tests compare termination
+    results against.
+    """
+    x = np.array(a, copy=True)
+    n = len(x)
+    phases = 0
+    for sweep in range(n + 1):
+        changed = False
+        for parity in (0, 1):
+            idx = np.arange(parity, n - 1, 2)
+            swap = x[idx] > x[idx + 1]
+            if np.any(swap):
+                changed = True
+                hi = x[idx[swap]]
+                x[idx[swap]] = x[idx[swap] + 1]
+                x[idx[swap] + 1] = hi
+            phases += 1
+        if not changed:
+            break
+    return x, phases

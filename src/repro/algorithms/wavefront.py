@@ -1,0 +1,18 @@
+"""The wavefront recurrence of §3.6 (I-structures reference [1]).
+
+``a[0][j] = a[i][0] = 1``;
+``a[i][j] = a[i-1][j] + a[i-1][j-1] + a[i][j-1]`` for ``i, j > 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def wavefront_matrix(n: int, dtype=np.int64) -> np.ndarray:
+    """The n×n wavefront matrix, computed row by row."""
+    a = np.ones((n, n), dtype=dtype)
+    for i in range(1, n):
+        for j in range(1, n):
+            a[i, j] = a[i - 1, j] + a[i - 1, j - 1] + a[i, j - 1]
+    return a

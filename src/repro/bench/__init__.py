@@ -1,0 +1,14 @@
+"""Benchmark support: canonical workloads, sweep harness, paper-style reports."""
+
+from .harness import Series, Sweep, run_sweep
+from .report import format_series_table, format_table
+from . import workloads
+
+__all__ = [
+    "Series",
+    "Sweep",
+    "run_sweep",
+    "format_table",
+    "format_series_table",
+    "workloads",
+]

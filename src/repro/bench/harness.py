@@ -1,0 +1,84 @@
+"""Sweep harness: run a workload across a parameter range, collect series.
+
+A :class:`Sweep` maps a parameter (``N`` for figures 6–7, rows for
+figure 8) to one or more named time series — the exact structure of the
+paper's figures — and renders itself as the rows the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Series:
+    """One named curve: parameter values -> measured values."""
+
+    name: str
+    unit: str = "s"
+    points: Dict[int, float] = field(default_factory=dict)
+
+    def add(self, x: int, y: float) -> None:
+        self.points[x] = y
+
+    def xs(self) -> List[int]:
+        return sorted(self.points)
+
+    def ys(self) -> List[float]:
+        return [self.points[x] for x in self.xs()]
+
+    def at(self, x: int) -> float:
+        return self.points[x]
+
+
+@dataclass
+class Sweep:
+    """A family of series over one shared parameter axis."""
+
+    title: str
+    x_label: str
+    series: Dict[str, Series] = field(default_factory=dict)
+
+    def series_named(self, name: str, unit: str = "s") -> Series:
+        if name not in self.series:
+            self.series[name] = Series(name, unit)
+        return self.series[name]
+
+    def record(self, name: str, x: int, y: float, unit: str = "s") -> None:
+        self.series_named(name, unit).add(x, y)
+
+    def xs(self) -> List[int]:
+        out: List[int] = []
+        for s in self.series.values():
+            for x in s.points:
+                if x not in out:
+                    out.append(x)
+        return sorted(out)
+
+    def crossover(self, a: str, b: str) -> Optional[int]:
+        """Smallest x where series ``a`` exceeds series ``b`` (None if never)."""
+        sa, sb = self.series[a], self.series[b]
+        for x in self.xs():
+            if x in sa.points and x in sb.points and sa.at(x) > sb.at(x):
+                return x
+        return None
+
+    def ratio(self, a: str, b: str, x: int) -> float:
+        return self.series[a].at(x) / self.series[b].at(x)
+
+
+def run_sweep(
+    title: str,
+    x_label: str,
+    xs: Sequence[int],
+    runners: Dict[str, Callable[[int], float]],
+    *,
+    unit: str = "s",
+) -> Sweep:
+    """Run each named callable at every x; collect the resulting curves."""
+    sweep = Sweep(title, x_label)
+    for x in xs:
+        for name, fn in runners.items():
+            sweep.record(name, x, fn(x), unit=unit)
+    return sweep

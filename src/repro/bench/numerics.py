@@ -1,0 +1,116 @@
+"""Numerical UC programs: the §5 "experiments in progress" workloads.
+
+The paper closes its evaluation with "Experiments are in progress to
+study the performance of UC programs for CFD applications as well as
+numerical computations involving SVD and Jacobi diagonalization".  This
+module carries those experiments out:
+
+* :data:`JACOBI_EIGEN_UC` — classical Jacobi diagonalization of a
+  symmetric matrix: the front end drives sweeps, each sweep locating the
+  largest off-diagonal element with reductions and applying the rotation
+  to the affected row/column pairs in ``par``;
+* :data:`LAPLACE_UC` — a Jacobi relaxation for Laplace's equation (the
+  CFD-flavoured kernel): iterate the five-point stencil to a fixed point
+  with ``*solve``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..interp.program import RunResult, UCProgram
+from ..machine import MachineConfig
+
+#: classical Jacobi eigenvalue iteration; eigenvalues land on the diagonal
+JACOBI_EIGEN_UC = """
+index_set I:i = {0..N-1}, J:j = I;
+float a[N][N];
+float EPS;
+float apq, app, aqq, theta, t, c, s;
+int p, q, pq;
+
+main {
+    while ($>(I, J st (i < j) ABS(a[i][j])) > EPS) {
+        /* locate the largest off-diagonal element (ties: smallest i*N+j) */
+        apq = $>(I, J st (i < j) ABS(a[i][j]));
+        pq  = $<(I, J st (i < j && ABS(a[i][j]) == apq) i * N + j);
+        p = pq / N;
+        q = pq % N;
+
+        /* rotation angle (Rutishauser's stable formulas) */
+        app = a[p][p];
+        aqq = a[q][q];
+        theta = (aqq - app) / (2.0 * a[p][q]);
+        t = (theta >= 0.0 ? 1.0 : 0.0 - 1.0)
+            / (ABS(theta) + sqrt(theta * theta + 1.0));
+        c = 1.0 / sqrt(t * t + 1.0);
+        s = t * c;
+
+        /* rotate columns p and q, then rows p and q, in parallel */
+        par (I) {
+            float xip, xiq;
+            xip = a[i][p];
+            xiq = a[i][q];
+            a[i][p] = c * xip - s * xiq;
+            a[i][q] = s * xip + c * xiq;
+        }
+        par (J) {
+            float xpj, xqj;
+            xpj = a[p][j];
+            xqj = a[q][j];
+            a[p][j] = c * xpj - s * xqj;
+            a[q][j] = s * xpj + c * xqj;
+        }
+    }
+}
+"""
+
+#: Laplace relaxation with fixed boundary (integer-scaled temperatures so
+#: the *solve fixed point is exact)
+LAPLACE_UC = """
+index_set I:i = {1..N-2}, J:j = I;
+int t[N][N];
+main {
+    *solve (I, J)
+        t[i][j] = (t[i-1][j] + t[i+1][j] + t[i][j-1] + t[i][j+1]) / 4;
+}
+"""
+
+
+def random_symmetric(n: int, *, seed: int = 0, scale: float = 10.0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    m = rng.normal(0.0, scale, (n, n))
+    return (m + m.T) / 2.0
+
+
+def run_jacobi_eigen(
+    a: np.ndarray,
+    *,
+    eps: float = 1e-8,
+    machine_config: Optional[MachineConfig] = None,
+) -> Tuple[np.ndarray, RunResult]:
+    """Diagonalise symmetric ``a``; returns (sorted eigenvalues, RunResult)."""
+    n = a.shape[0]
+    if a.shape != (n, n) or not np.allclose(a, a.T):
+        raise ValueError("matrix must be square and symmetric")
+    prog = UCProgram(
+        JACOBI_EIGEN_UC,
+        defines={"N": n},
+        machine_config=machine_config,
+    )
+    result = prog.run({"a": a.astype(np.float64), "EPS": eps})
+    eig = np.sort(np.diag(np.asarray(result["a"])))
+    return eig, result
+
+
+def run_laplace(
+    boundary: np.ndarray,
+    *,
+    machine_config: Optional[MachineConfig] = None,
+) -> RunResult:
+    """Relax the interior of ``boundary`` (int64 grid) to equilibrium."""
+    n = boundary.shape[0]
+    prog = UCProgram(LAPLACE_UC, defines={"N": n}, machine_config=machine_config)
+    return prog.run({"t": boundary.astype(np.int64)})

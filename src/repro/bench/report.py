@@ -1,0 +1,99 @@
+"""Text rendering of benchmark results in the paper's figure/table style."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .harness import Sweep
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """A plain monospace table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def ascii_plot(
+    sweep: Sweep,
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+) -> str:
+    """A terminal rendering of the sweep, shaped like the paper's figures.
+
+    Each series gets a marker character; points are placed on a
+    ``width``×``height`` canvas with linear axes from 0 to the maxima.
+    """
+    markers = "*o+x#@"
+    xs_all = sweep.xs()
+    if not xs_all:
+        return "(empty sweep)"
+    x_max = max(xs_all)
+    y_max = max(
+        (max(s.points.values()) for s in sweep.series.values() if s.points),
+        default=1.0,
+    )
+    x_max = max(x_max, 1)
+    y_max = y_max if y_max > 0 else 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for k, (name, series) in enumerate(sweep.series.items()):
+        mark = markers[k % len(markers)]
+        for x, y in series.points.items():
+            col = min(width - 1, int(round(x / x_max * (width - 1))))
+            row = min(height - 1, int(round(y / y_max * (height - 1))))
+            canvas[height - 1 - row][col] = mark
+    lines: List[str] = []
+    if title or sweep.title:
+        lines.append(title if title is not None else sweep.title)
+    lines.append(f"{y_max:.3g} ┤")
+    for row in canvas:
+        lines.append("      │" + "".join(row))
+    lines.append("    0 └" + "─" * width)
+    lines.append(f"       0{' ' * (width - len(str(x_max)) - 1)}{x_max}  ({sweep.x_label})")
+    legend = "   ".join(
+        f"{markers[k % len(markers)]} {name}" for k, name in enumerate(sweep.series)
+    )
+    lines.append("       " + legend)
+    return "\n".join(lines)
+
+
+def format_series_table(sweep: Sweep, *, title: Optional[str] = None) -> str:
+    """Render a sweep as the rows the paper's figure plots."""
+    names = list(sweep.series)
+    headers = [sweep.x_label] + [
+        f"{name} ({sweep.series[name].unit})" for name in names
+    ]
+    rows = []
+    for x in sweep.xs():
+        row: List[object] = [x]
+        for name in names:
+            s = sweep.series[name]
+            row.append(s.points.get(x, float("nan")))
+        rows.append(row)
+    return format_table(headers, rows, title=title if title is not None else sweep.title)

@@ -1,0 +1,342 @@
+"""Canonical UC sources and runners for the paper's workloads.
+
+Every benchmark and example builds on these, so the program text is in
+exactly one place.  The sources are parameterised through ``defines``
+(standing in for the paper's ``#define N 32``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.grid_path import BIG, obstacle_mask
+from ..interp.program import RunResult, UCProgram
+from ..machine import MachineConfig
+
+#: Figure 4 — all-pairs shortest path, O(N²) parallelism
+APSP_N2_UC = """
+index_set I:i = {0..N-1}, J:j = I, K:k = I;
+int d[N][N];
+main {
+    seq (K)
+      par (I, J)
+        st (d[i][k] + d[k][j] < d[i][j])
+          d[i][j] = d[i][k] + d[k][j];
+}
+"""
+
+#: Figure 4 including the paper's random initialisation (rand()%N + 1)
+APSP_N2_UC_SELFINIT = """
+index_set I:i = {0..N-1}, J:j = I, K:k = I;
+int d[N][N];
+main {
+    par (I, J) st (i==j)
+        d[i][j] = 0;
+      others
+        d[i][j] = rand() % N + 1;
+    seq (K)
+      par (I, J)
+        st (d[i][k] + d[k][j] < d[i][j])
+          d[i][j] = d[i][k] + d[k][j];
+}
+"""
+
+#: Figure 5 — all-pairs shortest path, O(N³) parallelism (log N squarings)
+APSP_N3_UC = """
+index_set I:i = {0..N-1}, J:j = I, K:k = I;
+index_set L:l = {0..LOGN-1};
+int d[N][N];
+main {
+    seq (L)
+      par (I, J)
+        d[i][j] = $<(K; d[i][k] + d[k][j]);
+}
+"""
+
+#: §3.6 — all-pairs shortest path via *solve (fixed point)
+APSP_SOLVE_UC = """
+index_set I:i = {0..N-1}, J:j = I, K:k = I;
+int dist[N][N];
+main {
+    *solve (I, J)
+        dist[i][j] = $<(K; dist[i][k] + dist[k][j]);
+}
+"""
+
+#: Figures 8/11 — grid shortest path with the stationary obstacle.
+#: Init follows figure 11 (wall on the anti-diagonal band, all other
+#: cells at distance 0, goal fixed at (0,0)); the *par then iterates the
+#: neighbour relaxation until no cell changes.
+OBSTACLE_UC = """
+index_set I:i = {0..R-1}, J:j = I;
+int a[R][R];
+main {
+    par (I, J)
+        st (i + j == R-1 && ABS(i - R/2) <= R/4) a[i][j] = WALL;
+        others a[i][j] = 0;
+    a[0][0] = 0;
+    *par (I, J)
+        st (a[i][j] != WALL && (i != 0 || j != 0) &&
+            a[i][j] != 1 + min(min(i > 0 ? a[i-1][j] : WALL,
+                                   i < R-1 ? a[i+1][j] : WALL),
+                               min(j > 0 ? a[i][j-1] : WALL,
+                                   j < R-1 ? a[i][j+1] : WALL)))
+        a[i][j] = 1 + min(min(i > 0 ? a[i-1][j] : WALL,
+                              i < R-1 ? a[i+1][j] : WALL),
+                          min(j > 0 ? a[i][j-1] : WALL,
+                              j < R-1 ? a[i][j+1] : WALL));
+}
+"""
+
+#: Figure 8's dynamic variant: walls arrive via an input array; the host
+#: raises the new walls first (so nobody paths through a stale value) and
+#: the same self-stabilising relaxation re-converges.  The update clamps
+#: at WALL so cells that random obstacles have *enclosed* stabilise at
+#: "disconnected" instead of counting up forever.
+DYNAMIC_OBSTACLE_UC = """
+index_set I:i = {0..R-1}, J:j = I;
+int a[R][R];
+int walls[R][R];
+main {
+    par (I, J) st (walls[i][j] == 1) a[i][j] = WALL;
+    *par (I, J)
+        st (walls[i][j] == 0 && (i != 0 || j != 0) &&
+            a[i][j] != min(WALL,
+                           1 + min(min(i > 0 ? a[i-1][j] : WALL,
+                                       i < R-1 ? a[i+1][j] : WALL),
+                                   min(j > 0 ? a[i][j-1] : WALL,
+                                       j < R-1 ? a[i][j+1] : WALL))))
+        a[i][j] = min(WALL,
+                      1 + min(min(i > 0 ? a[i-1][j] : WALL,
+                                  i < R-1 ? a[i+1][j] : WALL),
+                              min(j > 0 ? a[i][j-1] : WALL,
+                                  j < R-1 ? a[i][j+1] : WALL)));
+}
+"""
+
+#: §3.6 — the wavefront recurrence via solve
+WAVEFRONT_UC = """
+index_set I:i = {0..N-1}, J:j = I;
+int a[N][N];
+main {
+    solve (I, J)
+        a[i][j] = (i == 0 || j == 0) ? 1
+                : a[i-1][j] + a[i-1][j-1] + a[i][j-1];
+}
+"""
+
+#: Figure 2 — prefix sums with *par
+PREFIX_STARPAR_UC = """
+index_set I:i = {0..N-1};
+int a[N], cnt[N];
+int power2(int x) { return 1 << x; }
+main {
+    par (I) { a[i] = i; cnt[i] = 0; }
+    *par (I) st (i >= power2(cnt[i])) {
+        a[i] = a[i] + a[i - power2(cnt[i])];
+        cnt[i] = cnt[i] + 1;
+    }
+}
+"""
+
+#: Figure 3 — prefix sums with seq-in-par
+PREFIX_SEQ_UC = """
+index_set I:i = {0..N-1}, J:j = {0..LOGN-1};
+int a[N];
+int power2(int x) { return 1 << x; }
+main {
+    par (I) {
+        a[i] = i;
+        seq (J) st (i - power2(j) >= 0)
+            a[i] = a[i] + a[i - power2(j)];
+    }
+}
+"""
+
+#: §3.7 — odd-even transposition sort with *oneof
+ODDEVEN_UC = """
+index_set I:i = {0..N-2};
+int x[N];
+main {
+    *oneof (I)
+      st (i % 2 == 0 && x[i] > x[i+1]) swap(x[i], x[i+1]);
+      st (i % 2 != 0 && x[i] > x[i+1]) swap(x[i], x[i+1]);
+}
+"""
+
+#: §3.4 — ranksort
+RANKSORT_UC = """
+index_set I:i = {0..N-1}, J:j = I;
+int a[N];
+main {
+    par (I) {
+        int rank;
+        rank = $+(J st (a[j] < a[i]) 1);
+        a[rank] = a[i];
+    }
+}
+"""
+
+#: §4 — the digit-count processor-optimization example
+DIGIT_COUNT_UC = """
+index_set I:i = {0..N-1}, J:j = {0..9};
+int samples[N];
+int count[10];
+main {
+    par (J)
+        count[j] = $+(I st (samples[i] == j) 1);
+}
+"""
+
+#: §1 / §4 — matrix multiply (the paper's introduction kernel)
+MATMUL_UC = """
+index_set I:i = {0..N-1}, J:j = I, K:k = I;
+int a[N][N], b[N][N], c[N][N];
+main {
+    par (I, J)
+        c[i][j] = $+(K; a[i][k] * b[k][j]);
+}
+"""
+
+#: Mapping kernel (a): shifted assignment a[i] = b[i+1] (NEWS -> local)
+SHIFT_KERNEL_UC = """
+index_set I:i = {0..N-2}, T:t = {0..REPS-1};
+int a[N], b[N];
+MAYBE_MAP
+main {
+    seq (T)
+        par (I) a[i] = a[i] + b[i+1];
+}
+"""
+
+SHIFT_KERNEL_MAP = """
+map (I) {
+    permute (I) b[i+1] :- a[i];
+}
+"""
+
+#: Mapping kernel (b): transpose access (router -> local).  Two transposed
+#: operand arrays keep the kernel communication-bound, mirroring the
+#: router-heavy programs where [2] measured its ~10x improvements.
+TRANSPOSE_KERNEL_UC = """
+index_set I:i = {0..N-1}, J:j = I, T:t = {0..REPS-1};
+int a[N][N], b[N][N], c[N][N];
+MAYBE_MAP
+main {
+    seq (T)
+        par (I, J) a[i][j] = a[i][j] + b[j][i] + c[j][i];
+}
+"""
+
+TRANSPOSE_KERNEL_MAP = """
+map (I, J) {
+    permute (I, J) b[j][i] :- a[i][j];
+    permute (I, J) c[j][i] :- a[i][j];
+}
+"""
+
+#: Mapping kernel (c): fold — pairing a[i] with a[i + N/2] (router -> local)
+FOLD_KERNEL_UC = """
+index_set I:i = {0..N/2-1}, T:t = {0..REPS-1};
+int a[N], s[N/2];
+MAYBE_MAP
+main {
+    seq (T)
+        par (I) s[i] = a[i] + a[i + N/2];
+}
+"""
+
+FOLD_KERNEL_MAP = """
+map (I) {
+    fold (I) a[i + N/2] :- a[i];
+}
+"""
+
+#: Mapping kernel (d): copy — vector/matrix combination needing spreads
+COPY_KERNEL_UC = """
+index_set I:i = {0..N-1}, K:k = I, T:t = {0..REPS-1};
+int v[N], w[N], m[N][N];
+MAYBE_MAP
+main {
+    seq (T)
+        par (I, K) m[i][k] = m[i][k] + v[i] + w[i];
+}
+"""
+
+COPY_KERNEL_MAP = """
+map (I, K) {
+    copy (I, K) v[i][k] :- v[i];
+    copy (I, K) w[i][k] :- w[i];
+}
+"""
+
+
+def with_map(source: str, map_section: str, enable: bool) -> str:
+    """Inject (or drop) a map section at the ``MAYBE_MAP`` marker."""
+    return source.replace("MAYBE_MAP", map_section if enable else "")
+
+
+def log2_ceil(n: int) -> int:
+    return max(1, math.ceil(math.log2(max(2, n))))
+
+
+@dataclass
+class UCRun:
+    """Convenience record: result + headline numbers."""
+
+    result: RunResult
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.result.elapsed_us
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.result.elapsed_us / 1e6
+
+
+def run_apsp_n2(
+    n: int,
+    dist: Optional[np.ndarray] = None,
+    *,
+    machine_config: Optional[MachineConfig] = None,
+    seed: int = 1,
+) -> RunResult:
+    from ..algorithms.shortest_path import random_distance_matrix
+
+    d = dist if dist is not None else random_distance_matrix(n, seed=seed)
+    prog = UCProgram(APSP_N2_UC, defines={"N": n}, machine_config=machine_config)
+    return prog.run({"d": d})
+
+
+def run_apsp_n3(
+    n: int,
+    dist: Optional[np.ndarray] = None,
+    *,
+    machine_config: Optional[MachineConfig] = None,
+    seed: int = 1,
+) -> RunResult:
+    from ..algorithms.shortest_path import random_distance_matrix
+
+    d = dist if dist is not None else random_distance_matrix(n, seed=seed)
+    prog = UCProgram(
+        APSP_N3_UC,
+        defines={"N": n, "LOGN": log2_ceil(n)},
+        machine_config=machine_config,
+    )
+    return prog.run({"d": d})
+
+
+def run_obstacle(
+    r: int,
+    *,
+    machine_config: Optional[MachineConfig] = None,
+) -> RunResult:
+    prog = UCProgram(
+        OBSTACLE_UC, defines={"R": r, "WALL": BIG}, machine_config=machine_config
+    )
+    return prog.run()

@@ -1,0 +1,190 @@
+"""Command-line front end: run, check, translate and analyse UC programs.
+
+Usage (also via ``python -m repro``):
+
+    repro run program.uc -D N=32 --print a --ledger
+    repro check program.uc
+    repro cstar program.uc            # emit C* source (paper appendix style)
+    repro analyze program.uc          # communication report + map suggestions
+
+``run`` executes ``main`` on the simulated CM-2 and reports the final
+variables and simulated elapsed time; ``--no-maps`` ignores the program's
+map sections (for quick before/after comparisons) and ``--pes`` resizes
+the machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .compiler.comm_opt import analyze_communication
+from .compiler.cstar_gen import generate_cstar
+from .compiler.processor_opt import analyze_program as analyze_vp_plans
+from .interp.program import UCProgram
+from .lang.errors import UCError
+from .machine import MachineConfig
+
+
+def _parse_defines(items: Sequence[str]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for item in items:
+        if "=" not in item:
+            raise SystemExit(f"bad define {item!r}: expected NAME=VALUE")
+        name, _, value = item.partition("=")
+        try:
+            out[name.strip()] = int(value, 0)
+        except ValueError:
+            raise SystemExit(f"bad define {item!r}: value must be an integer")
+    return out
+
+
+def _load_program(args: argparse.Namespace) -> UCProgram:
+    try:
+        source = open(args.file).read()
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.file}: {exc}")
+    config = None
+    if getattr(args, "pes", None):
+        config = MachineConfig(n_pes=args.pes, name=f"CM (simulated, {args.pes} PEs)")
+    try:
+        return UCProgram(
+            source,
+            defines=_parse_defines(getattr(args, "define", []) or []),
+            machine_config=config,
+            apply_maps=not getattr(args, "no_maps", False),
+        )
+    except UCError as exc:
+        raise SystemExit(f"{args.file}: {exc}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    prog = _load_program(args)
+    try:
+        result = prog.run(seed=args.seed, profile=args.profile)
+    except UCError as exc:
+        raise SystemExit(f"{args.file}: runtime error: {exc}")
+    if result.stdout:
+        sys.stdout.write(result.stdout)
+    names = args.print or sorted(result.keys())
+    for name in names:
+        if name not in result:
+            raise SystemExit(f"no variable named {name!r} in the program")
+        value = result[name]
+        if isinstance(value, np.ndarray):
+            with np.printoptions(threshold=64, linewidth=100):
+                print(f"{name} = {value}")
+        else:
+            print(f"{name} = {value}")
+    print(f"-- simulated elapsed: {result.elapsed_us / 1e3:.3f} ms "
+          f"({result.elapsed_us:.0f} us)")
+    if args.ledger:
+        print("-- instruction ledger:")
+        for kind in sorted(result.counts):
+            print(
+                f"   {kind:16s} x{result.counts[kind]:<8d} "
+                f"{result.times[kind]:12.0f} us"
+            )
+    if args.profile and result.profile:
+        print("-- per-statement profile (simulated):")
+        for label, us in sorted(result.profile.items(), key=lambda kv: -kv[1]):
+            share = 100.0 * us / max(result.elapsed_us, 1e-9)
+            print(f"   {us/1e3:10.2f} ms  {share:5.1f}%  {label}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    prog = _load_program(args)
+    n_arrays = len(prog.info.arrays)
+    n_sets = len(prog.info.index_sets)
+    print(
+        f"{args.file}: OK ({n_sets} index sets, {n_arrays} arrays, "
+        f"{len(prog.info.functions)} functions, "
+        f"{len(prog.layouts.non_canonical())} mapped arrays)"
+    )
+    return 0
+
+
+def cmd_cstar(args: argparse.Namespace) -> int:
+    prog = _load_program(args)
+    print(generate_cstar(prog.info, prog.layouts))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    prog = _load_program(args)
+    report = analyze_communication(prog.info, prog.layouts)
+    print(f"{args.file}: {len(report.references)} parallel array references")
+    for ref in report.references:
+        note = f"  ({ref.note})" if ref.note else ""
+        print(f"  line {ref.line:4d}  {ref.kind:9s}  {ref.text}{note}")
+    if report.suggestions:
+        print("suggestions:")
+        for s in report.suggestions:
+            print(f"  - {s}")
+    plans = [p for p in analyze_vp_plans(prog.info) if p.partitioned]
+    for p in plans:
+        print(
+            f"processor optimization: reduction at line {p.line} needs "
+            f"{p.optimized_vps} VPs (naive: {p.naive_vps})"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UC language tools on a simulated Connection Machine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("file", help="UC source file")
+        p.add_argument(
+            "-D",
+            "--define",
+            action="append",
+            metavar="NAME=VALUE",
+            help="compile-time constant (repeatable)",
+        )
+        p.add_argument("--no-maps", action="store_true", help="ignore map sections")
+        p.add_argument("--pes", type=int, help="physical processors (default 16384)")
+
+    p_run = sub.add_parser("run", help="execute main on the simulator")
+    common(p_run)
+    p_run.add_argument("--seed", type=int, default=20250704, help="RNG seed")
+    p_run.add_argument(
+        "--print", action="append", metavar="VAR", help="variable(s) to print"
+    )
+    p_run.add_argument("--ledger", action="store_true", help="print the cost ledger")
+    p_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="per-statement simulated-time profile",
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_check = sub.add_parser("check", help="parse + semantic analysis only")
+    common(p_check)
+    p_check.set_defaults(func=cmd_check)
+
+    p_cstar = sub.add_parser("cstar", help="emit C* target source")
+    common(p_cstar)
+    p_cstar.set_defaults(func=cmd_cstar)
+
+    p_an = sub.add_parser("analyze", help="communication report + map suggestions")
+    common(p_an)
+    p_an.set_defaults(func=cmd_analyze)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,212 @@
+"""Communication analysis: classify references at compile time, suggest maps.
+
+The run-time classifier (:mod:`repro.mapping.locality`) is exact; this
+pass is its static counterpart, used for reporting and for suggesting map
+sections: it walks every parallel construct, canonicalises each array
+subscript to ``elem ± const`` where possible, and predicts the
+communication tier under the active layouts.  References it cannot
+canonicalise (data-dependent subscripts) are reported as router traffic.
+
+For each non-local reference the pass emits a concrete suggestion:
+
+* constant-offset shifts → a ``permute`` with the matching offset;
+* transposed element orders → a transposing ``permute``;
+* values constant along a construct axis → a ``copy`` along that axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..lang import ast
+from ..lang.errors import UCSemanticError
+from ..lang.semantics import ProgramInfo
+from ..mapping.layout import LayoutTable
+from ..mapping.maps import AffineSub, affine_subscript
+
+
+@dataclass(frozen=True)
+class RefReport:
+    """Verdict for one source reference."""
+
+    text: str
+    array: str
+    kind: str  # local | news | spread | broadcast | router
+    note: str = ""
+    line: int = 0
+
+
+@dataclass
+class CommReport:
+    references: List[RefReport] = field(default_factory=list)
+    suggestions: List[str] = field(default_factory=list)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for r in self.references if r.kind == kind)
+
+    @property
+    def remote_count(self) -> int:
+        return sum(1 for r in self.references if r.kind != "local")
+
+
+def analyze_communication(info: ProgramInfo, layouts: LayoutTable) -> CommReport:
+    """Classify every array reference inside parallel constructs."""
+    report = CommReport()
+    roots: List[ast.Node] = []
+    if info.program.main is not None:
+        roots.append(info.program.main)
+    roots.extend(f.body for f in info.program.funcs)
+    for root in roots:
+        _walk(root, [], info, layouts, report)
+    _dedupe_suggestions(report)
+    return report
+
+
+def _walk(
+    node: ast.Node,
+    elem_stack: List[Tuple[str, str]],  # (elem, set) in axis order
+    info: ProgramInfo,
+    layouts: LayoutTable,
+    report: CommReport,
+) -> None:
+    if isinstance(node, ast.UCStmt) and node.kind in ("par", "solve", "oneof"):
+        extended = list(elem_stack)
+        for set_name in node.index_sets:
+            isv = info.index_sets.get(set_name)
+            if isv is not None:
+                extended = [e for e in extended if e[0] != isv.elem_name]
+                extended.append((isv.elem_name, set_name))
+        for child in ast.children(node):
+            _walk(child, extended, info, layouts, report)
+        return
+    if isinstance(node, ast.Reduction):
+        extended = list(elem_stack)
+        for set_name in node.index_sets:
+            isv = info.index_sets.get(set_name)
+            if isv is not None:
+                extended = [e for e in extended if e[0] != isv.elem_name]
+                extended.append((isv.elem_name, set_name))
+        for child in ast.children(node):
+            _walk(child, extended, info, layouts, report)
+        return
+    if isinstance(node, ast.Index) and elem_stack and node.base in info.arrays:
+        report.references.append(
+            _classify_static(node, elem_stack, info, layouts, report)
+        )
+    for child in ast.children(node):
+        _walk(child, elem_stack, info, layouts, report)
+
+
+def _classify_static(
+    node: ast.Index,
+    elem_stack: Sequence[Tuple[str, str]],
+    info: ProgramInfo,
+    layouts: LayoutTable,
+    report: CommReport,
+) -> RefReport:
+    from .cstar_gen import expr_to_text
+
+    text = expr_to_text(node)
+    elems = {e: s for e, s in elem_stack}
+    elem_axis = {e: k for k, (e, _s) in enumerate(elem_stack)}
+    layout = layouts.get(node.base) if node.base in layouts else None
+
+    subs: List[Optional[AffineSub]] = []
+    for sub in node.subs:
+        try:
+            subs.append(affine_subscript(sub, elems, info.constants))
+        except UCSemanticError:
+            subs.append(None)
+
+    if any(s is None for s in subs):
+        return RefReport(
+            text, node.base, "router", "data-dependent subscript", node.line
+        )
+
+    perm = (
+        layout.axis_perm if layout is not None and layout.axis_perm else None
+    )
+    offsets = layout.offsets if layout is not None else (0,) * len(subs)
+    used_elems: List[Optional[str]] = []
+    total_shift = 0
+    transposed = False
+    for a, s in enumerate(subs):
+        assert s is not None
+        if s.elem is None:
+            used_elems.append(None)
+            continue
+        used_elems.append(s.elem)
+        if s.scale != 1:
+            transposed = True  # mirrored: router unless a fold absorbs it
+            continue
+        eff = s.offset + (offsets[a] if a < len(offsets) else 0)
+        if layout is not None and layout.fold is not None and layout.fold.axis == a:
+            if layout.fold.kind == "wrap" and s.offset == layout.fold.param:
+                eff = offsets[a] if a < len(offsets) else 0
+        expected_axis = perm.index(a) if perm is not None else a
+        axis_here = elem_axis.get(s.elem, -1)
+        # relative order among construct axes must match array axis order
+        want = _nth_axis(elem_stack, expected_axis, subs)
+        if want is not None and s.elem != want:
+            transposed = True
+        total_shift += abs(eff)
+
+    uniform_axes = [a for a, e in enumerate(used_elems) if e is None]
+    unused = [
+        e
+        for e, _s in elem_stack
+        if e not in {u for u in used_elems if u is not None}
+    ]
+    if layout is not None and layout.copy_elem is not None:
+        unused = [e for e in unused if e != layout.copy_elem]
+
+    if transposed:
+        report.suggestions.append(
+            f"permute {node.base!r} so that {text} is stored locally "
+            f"(transposed element order)"
+        )
+        return RefReport(text, node.base, "router", "transposed element order", node.line)
+    if not any(e is not None for e in used_elems):
+        return RefReport(text, node.base, "broadcast", "uniform across the grid", node.line)
+    if unused or uniform_axes:
+        which = ", ".join(unused) if unused else "a fixed row/column"
+        report.suggestions.append(
+            f"copy {node.base!r} along {which} to avoid spreading {text}"
+        )
+        return RefReport(
+            text, node.base, "spread", f"constant along {which}", node.line
+        )
+    if total_shift > 0:
+        report.suggestions.append(
+            f"permute {node.base!r} with offset {total_shift} so that {text} "
+            "is stored locally"
+        )
+        return RefReport(
+            text, node.base, "news", f"constant shift of {total_shift}", node.line
+        )
+    return RefReport(text, node.base, "local", "", node.line)
+
+
+def _nth_axis(
+    elem_stack: Sequence[Tuple[str, str]],
+    expected: int,
+    subs: Sequence[Optional[AffineSub]],
+) -> Optional[str]:
+    """Which construct element 'should' sit on array axis ``expected``
+    under the canonical alignment: the elements used by this reference, in
+    construct-axis order, assigned to array axes left to right."""
+    order = [e for e, _s in elem_stack if any(s is not None and s.elem == e for s in subs)]
+    if expected < len(order):
+        return order[expected]
+    return None
+
+
+def _dedupe_suggestions(report: CommReport) -> None:
+    seen: Set[str] = set()
+    out: List[str] = []
+    for s in report.suggestions:
+        if s not in seen:
+            seen.add(s)
+            out.append(s)
+    report.suggestions = out

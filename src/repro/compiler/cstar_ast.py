@@ -1,0 +1,91 @@
+"""Target-side structures for the C* backend.
+
+The UC compiler of the paper emitted C* source which the TMC C* compiler
+then compiled.  Our backend mirrors that: it produces C* *source text*
+(matching the style of the paper's appendix listings) organised through
+these small structures, which the tests inspect without string-grepping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class CStarField:
+    name: str
+    ctype: str = "int"
+
+
+@dataclass
+class CStarDomain:
+    """``domain NAME { fields } instance[shape...];``"""
+
+    name: str
+    instance: str
+    shape: Tuple[int, ...]
+    fields: List[CStarField] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"domain {self.name} {{"]
+        lines.append("    int " + ", ".join(f.name for f in self.fields if f.ctype == "int") + ";")
+        floats = [f.name for f in self.fields if f.ctype == "float"]
+        if floats:
+            lines.append("    float " + ", ".join(floats) + ";")
+        lines.append("} " + self.instance + "".join(f"[{s}]" for s in self.shape) + ";")
+        return "\n".join(lines)
+
+    def render_init(self) -> str:
+        """The paper's address-arithmetic init member function."""
+        coords = [f.name for f in self.fields if f.name in ("i", "j", "k")][: len(self.shape)]
+        body = [f"int offset = (this - &{self.instance}" + "[0]" * len(self.shape) + ");"]
+        remaining = "offset"
+        for axis, cname in enumerate(coords):
+            stride = 1
+            for s in self.shape[axis + 1 :]:
+                stride *= s
+            if axis == len(coords) - 1:
+                body.append(f"{cname} = {remaining} % {self.shape[axis]};")
+            else:
+                body.append(f"{cname} = ({remaining} / {stride}) % {self.shape[axis]};")
+        lines = [f"void {self.name}::init() {{"]
+        lines.extend("    " + b for b in body)
+        lines.append("}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CStarProgram:
+    domains: List[CStarDomain] = field(default_factory=list)
+    host_decls: List[str] = field(default_factory=list)
+    main_lines: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def domain_for_shape(self, shape: Tuple[int, ...]) -> CStarDomain:
+        for d in self.domains:
+            if d.shape == shape:
+                return d
+        raise KeyError(f"no domain with shape {shape}")
+
+    def render(self) -> str:
+        parts: List[str] = []
+        for note in self.notes:
+            parts.append(f"/* {note} */")
+        for d in self.domains:
+            parts.append(d.render())
+            parts.append("")
+        for d in self.domains:
+            if any(f.name in ("i", "j", "k") for f in d.fields):
+                parts.append(d.render_init())
+                parts.append("")
+        for decl in self.host_decls:
+            parts.append(decl)
+        parts.append("")
+        parts.append("void main() {")
+        for d in self.domains:
+            if any(f.name in ("i", "j", "k") for f in d.fields):
+                parts.append(f"    [domain {d.name}].{{ init(); }}")
+        parts.extend("    " + line for line in self.main_lines)
+        parts.append("}")
+        return "\n".join(parts)

@@ -1,0 +1,200 @@
+"""Peephole optimizations: constant folding and algebraic identities.
+
+The paper (§4) lists "standard 'peep-hole' compiler optimizations like
+common sub-expression detection [and] constant folding".  We implement
+constant folding and the algebraic identities the mapping rewriter
+produces (``x+0``, ``x*1``, ``x*0``), applied bottom-up over expression
+trees.  The pass is semantics-preserving for the C integer semantics UC
+inherits (truncating division, dividend-signed remainder).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional, Union
+
+from ..lang import ast
+
+Number = Union[int, float]
+
+
+def _lit(node: ast.Expr) -> Optional[Number]:
+    if isinstance(node, ast.IntLit):
+        return node.value
+    if isinstance(node, ast.FloatLit):
+        return node.value
+    return None
+
+
+def _make_lit(value: Number, like: ast.Node) -> ast.Expr:
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        return ast.IntLit(line=like.line, col=like.col, value=value)
+    return ast.FloatLit(line=like.line, col=like.col, value=value)
+
+
+def _c_div(a: Number, b: Number) -> Optional[Number]:
+    if b == 0:
+        return None
+    if isinstance(a, int) and isinstance(b, int):
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    return a / b
+
+
+def _fold_binary(op: str, a: Number, b: Number) -> Optional[Number]:
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        return _c_div(a, b)
+    if op == "%":
+        if b == 0 or not (isinstance(a, int) and isinstance(b, int)):
+            return None
+        q = _c_div(a, b)
+        assert q is not None
+        return a - q * b
+    if op in ("==", "!=", "<", "<=", ">", ">="):
+        table = {
+            "==": a == b,
+            "!=": a != b,
+            "<": a < b,
+            "<=": a <= b,
+            ">": a > b,
+            ">=": a >= b,
+        }
+        return int(table[op])
+    if op == "&&":
+        return int(bool(a) and bool(b))
+    if op == "||":
+        return int(bool(a) or bool(b))
+    if isinstance(a, int) and isinstance(b, int):
+        if op == "&":
+            return a & b
+        if op == "|":
+            return a | b
+        if op == "^":
+            return a ^ b
+        if op == "<<" and 0 <= b < 64:
+            return a << b
+        if op == ">>" and 0 <= b < 64:
+            return a >> b
+    return None
+
+
+def fold_expr(expr: ast.Expr) -> ast.Expr:
+    """Fold ``expr`` bottom-up; returns a new tree (inputs unmodified)."""
+    if isinstance(expr, ast.Unary):
+        inner = fold_expr(expr.operand)
+        v = _lit(inner)
+        if v is not None:
+            if expr.op == "-":
+                return _make_lit(-v, expr)
+            if expr.op == "!":
+                return _make_lit(int(not v), expr)
+            if expr.op == "~" and isinstance(v, int):
+                return _make_lit(~v, expr)
+        return ast.Unary(line=expr.line, col=expr.col, op=expr.op, operand=inner)
+    if isinstance(expr, ast.Binary):
+        left = fold_expr(expr.left)
+        right = fold_expr(expr.right)
+        lv, rv = _lit(left), _lit(right)
+        if lv is not None and rv is not None:
+            folded = _fold_binary(expr.op, lv, rv)
+            if folded is not None:
+                return _make_lit(folded, expr)
+        # algebraic identities (integer-safe)
+        if expr.op == "+" and rv == 0:
+            return left
+        if expr.op == "+" and lv == 0:
+            return right
+        if expr.op == "-" and rv == 0:
+            return left
+        if expr.op == "*" and rv == 1:
+            return left
+        if expr.op == "*" and lv == 1:
+            return right
+        if expr.op == "*" and (rv == 0 or lv == 0):
+            return _make_lit(0, expr)
+        rebuilt = ast.Binary(
+            line=expr.line, col=expr.col, op=expr.op, left=left, right=right
+        )
+        if expr.op in ("+", "-"):
+            # combine additive constants: (x + c1) - c2 -> x + (c1 - c2)
+            from ..mapping.transform import simplify
+
+            return simplify(rebuilt)
+        return rebuilt
+    if isinstance(expr, ast.Ternary):
+        cond = fold_expr(expr.cond)
+        cv = _lit(cond)
+        if cv is not None:
+            return fold_expr(expr.then) if cv else fold_expr(expr.els)
+        return ast.Ternary(
+            line=expr.line,
+            col=expr.col,
+            cond=cond,
+            then=fold_expr(expr.then),
+            els=fold_expr(expr.els),
+        )
+    if isinstance(expr, ast.Index):
+        return ast.Index(
+            line=expr.line,
+            col=expr.col,
+            base=expr.base,
+            subs=[fold_expr(s) for s in expr.subs],
+        )
+    if isinstance(expr, ast.Call):
+        return ast.Call(
+            line=expr.line,
+            col=expr.col,
+            func=expr.func,
+            args=[fold_expr(a) for a in expr.args],
+        )
+    if isinstance(expr, ast.Assign):
+        return ast.Assign(
+            line=expr.line,
+            col=expr.col,
+            target=fold_expr(expr.target),  # type: ignore[arg-type]
+            op=expr.op,
+            value=fold_expr(expr.value),
+        )
+    if isinstance(expr, ast.Reduction):
+        out = copy.deepcopy(expr)
+        out.arms = [
+            ast.ScExpr(
+                line=a.line,
+                col=a.col,
+                pred=fold_expr(a.pred) if a.pred is not None else None,
+                expr=fold_expr(a.expr),
+            )
+            for a in expr.arms
+        ]
+        out.others = fold_expr(expr.others) if expr.others is not None else None
+        return out
+    return copy.deepcopy(expr)
+
+
+def fold_program(program: ast.Program) -> ast.Program:
+    """A deep copy of ``program`` with every expression folded."""
+    out = copy.deepcopy(program)
+    _fold_in_place(out)
+    return out
+
+
+def _fold_in_place(node: ast.Node) -> None:
+    for name, value in vars(node).items():
+        if isinstance(value, ast.Expr):
+            setattr(node, name, fold_expr(value))
+        elif isinstance(value, ast.Node):
+            _fold_in_place(value)
+        elif isinstance(value, list):
+            for k, item in enumerate(value):
+                if isinstance(item, ast.Expr):
+                    value[k] = fold_expr(item)
+                elif isinstance(item, ast.Node):
+                    _fold_in_place(item)

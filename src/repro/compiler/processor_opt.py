@@ -1,0 +1,144 @@
+"""Processor optimizations: virtual-processor count deduction (paper §4).
+
+The paper's example:
+
+    par (J)
+        count[j] = $+(I st (samples[i]==j) 1);
+
+A simplistic implementation uses ``|J| * |I|`` virtual processors (one
+reduction grid per j).  But the predicate equates an expression over the
+*reduction* elements with the *par* element, so each operand contributes
+to exactly one result — the whole thing runs with ``max(|I|, |J|)``
+processors as a single send-with-add through the router.
+
+This module provides the static analysis (:func:`analyze_program` /
+:func:`match_partition`) and the interpreter consults
+:func:`match_partition` when ``processor_opt`` is enabled to charge the
+cheap router-combine cost instead of the full product-grid scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..lang import ast
+from ..lang.semantics import ProgramInfo
+
+
+@dataclass(frozen=True)
+class ReductionPlan:
+    """VP requirements for one reduction inside a parallel statement."""
+
+    op: str
+    par_sets: Tuple[str, ...]
+    red_sets: Tuple[str, ...]
+    naive_vps: int
+    optimized_vps: int
+    partitioned: bool
+    line: int = 0
+
+    @property
+    def saving(self) -> float:
+        return self.naive_vps / max(1, self.optimized_vps)
+
+
+def _names_in(expr: ast.Expr) -> Set[str]:
+    out: Set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            out.add(node.ident)
+        elif isinstance(node, ast.Index):
+            out.add(node.base)
+    return out
+
+
+def match_partition(
+    red: ast.Reduction, par_elems: Sequence[str], red_elems: Sequence[str]
+) -> bool:
+    """Does the reduction's predicate partition operands across results?
+
+    True when some arm predicate is a conjunction containing an equality
+    ``f(reduction elements) == g(par element)`` where ``g`` is exactly one
+    par element and ``f`` mentions reduction elements but no par element —
+    then each operand is counted toward at most one result.
+    """
+    par_set = set(par_elems)
+    red_set = set(red_elems)
+    for arm in red.arms:
+        if arm.pred is None:
+            continue
+        for clause in _conjuncts(arm.pred):
+            if not (isinstance(clause, ast.Binary) and clause.op == "=="):
+                continue
+            for a, b in ((clause.left, clause.right), (clause.right, clause.left)):
+                a_names = _names_in(a)
+                b_names = _names_in(b)
+                if (
+                    isinstance(b, ast.Name)
+                    and b.ident in par_set
+                    and a_names & red_set
+                    and not (a_names & par_set)
+                ):
+                    return True
+    return False
+
+
+def _conjuncts(expr: ast.Expr):
+    if isinstance(expr, ast.Binary) and expr.op == "&&":
+        yield from _conjuncts(expr.left)
+        yield from _conjuncts(expr.right)
+    else:
+        yield expr
+
+
+def analyze_reduction(
+    red: ast.Reduction,
+    par_sets: Sequence[str],
+    info: ProgramInfo,
+) -> ReductionPlan:
+    """VP-count plan for one reduction nested in ``par (par_sets)``."""
+    par_extent = 1
+    for name in par_sets:
+        par_extent *= len(info.index_sets[name])
+    red_extent = 1
+    for name in red.index_sets:
+        red_extent *= len(info.index_sets[name])
+    par_elems = [info.index_sets[s].elem_name for s in par_sets]
+    red_elems = [info.index_sets[s].elem_name for s in red.index_sets]
+    partitioned = match_partition(red, par_elems, red_elems)
+    naive = par_extent * red_extent
+    optimized = max(par_extent, red_extent) if partitioned else naive
+    return ReductionPlan(
+        op=red.op,
+        par_sets=tuple(par_sets),
+        red_sets=tuple(red.index_sets),
+        naive_vps=naive,
+        optimized_vps=optimized,
+        partitioned=partitioned,
+        line=red.line,
+    )
+
+
+def analyze_program(info: ProgramInfo) -> List[ReductionPlan]:
+    """Plans for every reduction nested directly inside a par statement."""
+    plans: List[ReductionPlan] = []
+    program = info.program
+    roots: List[ast.Node] = []
+    if program.main is not None:
+        roots.append(program.main)
+    roots.extend(f.body for f in program.funcs)
+    for root in roots:
+        _walk_stmt(root, [], plans, info)
+    return plans
+
+
+def _walk_stmt(
+    node: ast.Node, par_stack: List[str], plans: List[ReductionPlan], info: ProgramInfo
+) -> None:
+    if isinstance(node, ast.UCStmt) and node.kind in ("par", "solve", "oneof"):
+        par_stack = par_stack + list(node.index_sets)
+    if isinstance(node, ast.Reduction) and par_stack:
+        plans.append(analyze_reduction(node, par_stack, info))
+    for child in ast.children(node):
+        _walk_stmt(child, par_stack, plans, info)

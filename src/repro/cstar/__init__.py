@@ -1,0 +1,29 @@
+"""A mini C* runtime: the paper's baseline language, on the same machine.
+
+C* (Rose & Steele, TMC 1987) structures data-parallel programs around
+*domains*: a struct replicated once per virtual processor, with member
+code executing synchronously on all active instances.  The paper's
+figures 6–7 compare UC against hand-written C* (its appendix lists the
+programs); this package provides enough of C* to express those programs
+as Python-embedded code running on the same simulator with the same cost
+model:
+
+* :class:`Domain` — a shaped collection of instances with named fields;
+* :class:`Pvar` — parallel values with overloaded arithmetic, comparison,
+  ``min_assign`` (C*'s ``<?=``) / ``max_assign`` (``>?=``) and general
+  inter-instance indexing ``domain.field.at(...)``;
+* activation contexts (``with domain.activate(): ...``) and ``where``
+  masks mirroring C*'s selection statement.
+
+Costs: every elementwise op charges one ALU instruction on the domain's
+VP set; ``.at`` references are classified with the same locality
+classifier UC uses (C* and UC compile to the same Paris operations —
+which is exactly the paper's measured result: the curves nearly
+coincide).
+"""
+
+from .domain import Domain
+from .pvar import Pvar
+from .runtime import CStarRuntime
+
+__all__ = ["CStarRuntime", "Domain", "Pvar"]

@@ -1,0 +1,169 @@
+"""C* domains: a struct replicated across a grid of virtual processors.
+
+A domain is declared with a shape and named member fields; member code is
+written as Python blocks inside ``with domain.activate():`` (all
+instances) optionally narrowed by ``with domain.where(cond):`` (C*'s
+selection statement).  Field reads/writes respect the active context and
+charge the machine clock, so C* programs produce CM-shaped timings
+directly comparable to UC runs on the same machine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..lang.errors import UCRuntimeError
+from .pvar import Operand, Pvar
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import CStarRuntime
+
+
+class Domain:
+    """One C* domain: shape + fields + activity context."""
+
+    def __init__(
+        self,
+        runtime: "CStarRuntime",
+        name: str,
+        shape: Sequence[int],
+        fields: Dict[str, type],
+    ) -> None:
+        self.runtime = runtime
+        self.name = name
+        self.shape: Tuple[int, ...] = tuple(int(s) for s in shape)
+        self.axis_names: Tuple[str, ...] = tuple(
+            f"_{name}_ax{k}" for k in range(len(self.shape))
+        )
+        self.vpset = runtime.machine.vpset(self.shape, name=f"domain:{name}")
+        self._fields: Dict[str, np.ndarray] = {}
+        self._context_stack: List[np.ndarray] = []
+        self._positions: Optional[List[np.ndarray]] = None
+        for fname, ftype in fields.items():
+            dtype = np.float64 if ftype is float else np.int64
+            self._fields[fname] = np.zeros(self.shape, dtype=dtype)
+            runtime.machine.clock.charge("alloc", vp_ratio=self.vpset.vp_ratio)
+
+    # -- geometry ---------------------------------------------------------------
+
+    def positions(self) -> List[np.ndarray]:
+        if self._positions is None:
+            self._positions = list(np.indices(self.shape, dtype=np.int64))
+        return self._positions
+
+    def coord(self, axis: int) -> Pvar:
+        """Per-instance coordinate along ``axis`` (like ``this - &d[0][0]``
+        arithmetic in the paper's init functions)."""
+        self.runtime.charge_alu(self)
+        return Pvar(self, self.positions()[axis].copy())
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape))
+
+    # -- context ------------------------------------------------------------------
+
+    @property
+    def context(self) -> np.ndarray:
+        if self._context_stack:
+            return self._context_stack[-1]
+        return np.ones(self.shape, dtype=bool)
+
+    def activate(self) -> "_Activation":
+        """``[domain D].{ ... }`` — all instances active."""
+        return _Activation(self, np.ones(self.shape, dtype=bool), combine=False)
+
+    def where(self, cond: Union[Pvar, np.ndarray]) -> "_Activation":
+        """C* ``where (cond) { ... }`` — narrows the current context."""
+        mask = cond.data.astype(bool) if isinstance(cond, Pvar) else np.asarray(cond, bool)
+        return _Activation(self, mask, combine=True)
+
+    def active_count(self) -> int:
+        return int(np.count_nonzero(self.context))
+
+    # -- field access -----------------------------------------------------------------
+
+    def __getitem__(self, field: str) -> Pvar:
+        try:
+            return Pvar(self, self._fields[field])
+        except KeyError:
+            raise UCRuntimeError(f"domain {self.name!r} has no field {field!r}") from None
+
+    def __setitem__(self, field: str, value: Operand) -> None:
+        if field not in self._fields:
+            raise UCRuntimeError(f"domain {self.name!r} has no field {field!r}")
+        data = self._fields[field]
+        src = value.data if isinstance(value, Pvar) else np.broadcast_to(np.asarray(value), self.shape)
+        self.runtime.charge_alu(self)
+        mask = self.context
+        if np.issubdtype(data.dtype, np.integer) and np.issubdtype(
+            np.asarray(src).dtype, np.floating
+        ):
+            src = np.trunc(src)
+        data[mask] = np.asarray(src)[mask].astype(data.dtype)
+
+    def min_assign(self, field: str, value: Operand) -> None:
+        """C*'s ``<?=``: ``field = min(field, value)`` on active instances."""
+        data = self._fields[field]
+        src = value.data if isinstance(value, Pvar) else np.broadcast_to(np.asarray(value), self.shape)
+        self.runtime.charge_alu(self)
+        mask = self.context
+        data[mask] = np.minimum(data, src.astype(data.dtype))[mask]
+
+    def max_assign(self, field: str, value: Operand) -> None:
+        """C*'s ``>?=``."""
+        data = self._fields[field]
+        src = value.data if isinstance(value, Pvar) else np.broadcast_to(np.asarray(value), self.shape)
+        self.runtime.charge_alu(self)
+        mask = self.context
+        data[mask] = np.maximum(data, src.astype(data.dtype))[mask]
+
+    def load(self, field: str, array: np.ndarray) -> None:
+        """Host -> domain bulk load (front-end I/O cost)."""
+        array = np.asarray(array)
+        if array.shape != self.shape:
+            raise UCRuntimeError(
+                f"load shape {array.shape} != domain shape {self.shape}"
+            )
+        rows = int(np.prod(array.shape[:-1])) if array.ndim > 1 else 1
+        self.runtime.machine.clock.charge("broadcast", count=max(1, rows))
+        self._fields[field] = array.astype(self._fields[field].dtype, copy=True)
+
+    def read(self, field: str) -> np.ndarray:
+        return self._fields[field].copy()
+
+    def read_raw(self, field: str) -> np.ndarray:
+        """The live storage of ``field`` (runtime internals only)."""
+        try:
+            return self._fields[field]
+        except KeyError:
+            raise UCRuntimeError(f"domain {self.name!r} has no field {field!r}") from None
+
+    def __repr__(self) -> str:
+        return f"Domain({self.name!r}, shape={self.shape}, fields={sorted(self._fields)})"
+
+
+class _Activation:
+    def __init__(self, domain: Domain, mask: np.ndarray, *, combine: bool) -> None:
+        self.domain = domain
+        self.mask = mask
+        self.combine = combine
+
+    def __enter__(self) -> Domain:
+        d = self.domain
+        mask = self.mask
+        if mask.shape != d.shape:
+            mask = np.broadcast_to(mask, d.shape)
+        if self.combine and d._context_stack:
+            mask = mask & d._context_stack[-1]
+        d._context_stack.append(np.asarray(mask, dtype=bool))
+        d.runtime.machine.clock.charge("context", vp_ratio=d.vpset.vp_ratio)
+        return d
+
+    def __exit__(self, *exc: object) -> None:
+        self.domain._context_stack.pop()
+        self.domain.runtime.machine.clock.charge(
+            "context", vp_ratio=self.domain.vpset.vp_ratio
+        )

@@ -1,0 +1,161 @@
+"""The C* runtime object: machine handle, cost charging and host loops.
+
+C* has no UC-style store management: the programmer declares exactly the
+domains they need (the paper's appendix needs an extra 3-D ``XMED``
+domain for the O(N³) shortest-path program precisely because of this),
+and the front end drives sequential loops paying a per-iteration
+latency — both effects the benchmarks reproduce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional
+
+import numpy as np
+
+from ..machine import Machine
+from ..mapping.locality import RefClass
+from .domain import Domain
+from .pvar import Pvar
+
+
+class CStarRuntime:
+    """Create domains and drive C* programs on a simulated machine."""
+
+    def __init__(self, machine: Optional[Machine] = None) -> None:
+        self.machine = machine if machine is not None else Machine()
+        self.domains: Dict[str, Domain] = {}
+
+    def domain(self, name: str, shape, fields: Dict[str, type]) -> Domain:
+        """Declare ``domain NAME { fields } name[shape...];``"""
+        d = Domain(self, name, shape, fields)
+        self.domains[name] = d
+        return d
+
+    # -- cost hooks used by Domain/Pvar -------------------------------------------
+
+    def charge_alu(self, domain: Domain) -> None:
+        self.machine.clock.charge("alu", vp_ratio=domain.vpset.vp_ratio)
+
+    def charge_news(self, domain: Domain, hops: int) -> None:
+        self.machine.clock.charge(
+            "news", count=max(1, hops), vp_ratio=domain.vpset.vp_ratio
+        )
+
+    def charge_ref(self, domain: Domain, rc: RefClass) -> None:
+        clock = self.machine.clock
+        ratio = domain.vpset.vp_ratio
+        if rc.kind == "news" and clock.costs.news * max(1, rc.news_distance) > clock.costs.router_get:
+            rc = RefClass("router", detail=f"long shift ({rc.news_distance} hops)")
+        if rc.kind == "local":
+            clock.charge("alu", vp_ratio=ratio)
+        elif rc.kind == "news":
+            clock.charge("news", count=max(1, rc.news_distance), vp_ratio=ratio)
+        elif rc.kind == "spread":
+            clock.charge_scan(rc.spread_extent, vp_ratio=ratio, steps_per_level=2)
+        elif rc.kind == "broadcast":
+            clock.charge("host_cm_latency")
+            clock.charge("broadcast", vp_ratio=ratio)
+        else:
+            clock.charge("router_get", vp_ratio=ratio)
+
+    # -- host-side control -----------------------------------------------------------
+
+    def host_loop(self, iterable: Iterable) -> Iterator:
+        """A front-end ``for`` loop: one host<->CM turnaround per iteration."""
+        for item in iterable:
+            self.machine.clock.charge("host_cm_latency")
+            yield item
+
+    def reduce_to_host(self, pvar: Pvar, op: str = "add"):
+        """Global reduction of a pvar to the front end (one scan tree)."""
+        domain = pvar.domain
+        self.machine.clock.charge_scan(domain.size, vp_ratio=domain.vpset.vp_ratio)
+        self.machine.clock.charge("host_cm_latency")
+        vals = pvar.data[domain.context]
+        if vals.size == 0:
+            return 0
+        table = {
+            "add": np.sum,
+            "min": np.min,
+            "max": np.max,
+            "logor": lambda v: bool(np.any(v)),
+            "logand": lambda v: bool(np.all(v)),
+        }
+        return table[op](vals)
+
+    # -- inter-domain communication ----------------------------------------------
+
+    def get_from(self, dest: Domain, src: Domain, field: str, *subs) -> Pvar:
+        """Gather ``src.field`` into ``dest``'s shape: ``subs`` are
+        dest-shaped subscripts (pvars/scalars) addressing ``src``.
+
+        This is C*'s general inter-domain read (``path[i][k].len`` read
+        from the 3-D XMED domain in the paper's figure 10)."""
+        from ..mapping.layout import Layout
+        from ..mapping.locality import classify_reference
+
+        sub_arrays = [s.data if isinstance(s, Pvar) else s for s in subs]
+        data = src.read_raw(field)
+        if len(sub_arrays) != data.ndim:
+            raise ValueError(
+                f"domain {src.name!r} needs {data.ndim} subscripts"
+            )
+        rc = classify_reference(
+            sub_arrays,
+            dest.shape,
+            dest.axis_names,
+            Layout(src.name, data.shape),
+            positions=dest.positions(),
+        )
+        self.charge_ref(dest, rc)
+        idx = tuple(
+            np.broadcast_to(np.asarray(s), dest.shape) for s in sub_arrays
+        )
+        return Pvar(dest, data[idx])
+
+    def send_to(
+        self,
+        value: Pvar,
+        dest: Domain,
+        field: str,
+        *subs,
+        combine: str = "min",
+    ) -> None:
+        """Combining send: ``dest.field[subs] <combine>= value`` for every
+        active source instance (C*'s ``<?=`` across domains)."""
+        src_domain = value.domain
+        sub_arrays = [
+            np.broadcast_to(
+                np.asarray(s.data if isinstance(s, Pvar) else s), src_domain.shape
+            )
+            for s in subs
+        ]
+        target = dest.read_raw(field)
+        if len(sub_arrays) != target.ndim:
+            raise ValueError(f"domain {dest.name!r} needs {target.ndim} subscripts")
+        ratio = max(src_domain.vpset.vp_ratio, dest.vpset.vp_ratio)
+        self.machine.clock.charge("router_send", vp_ratio=ratio)
+        mask = src_domain.context
+        flat_idx = np.ravel_multi_index(
+            tuple(sa[mask] for sa in sub_arrays), target.shape
+        )
+        vals = value.data[mask].astype(target.dtype)
+        flat = target.reshape(-1)
+        ops = {
+            "min": np.minimum.at,
+            "max": np.maximum.at,
+            "add": np.add.at,
+            "overwrite": lambda t, i, v: t.__setitem__(i, v),
+        }
+        ops[combine](flat, flat_idx, vals)
+
+    def global_or(self, pvar: Pvar) -> bool:
+        """The wired global-OR line (cheap any-active test)."""
+        domain = pvar.domain
+        self.machine.clock.charge("global_or", vp_ratio=domain.vpset.vp_ratio)
+        return bool(np.any(pvar.data.astype(bool) & domain.context))
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.machine.clock.time_us

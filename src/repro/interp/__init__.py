@@ -1,0 +1,18 @@
+"""The UC interpreter: executes checked UC programs on the CM simulator.
+
+Execution is *vectorised*: a ``par (I, J)`` statement materialises an
+``(|I|, |J|)`` grid context, expressions evaluate to numpy arrays over the
+grid, and every operation charges the simulated machine clock according
+to its Paris cost class — ALU for local work, NEWS for constant-offset
+neighbour references, spreads for axis broadcasts, the general router for
+data-dependent accesses, and front-end latency for every sequential-loop
+turnaround.  Results are therefore exact UC semantics with CM-2-shaped
+elapsed times.
+
+Public entry point: :class:`repro.interp.program.UCProgram`.
+"""
+
+from .program import UCProgram, RunResult
+from .interpreter import Interpreter
+
+__all__ = ["UCProgram", "RunResult", "Interpreter"]

@@ -1,0 +1,53 @@
+"""Interpreter environments: lexically scoped name bindings.
+
+Bindings are the value classes of :mod:`repro.interp.values` plus
+:class:`~repro.lang.scope.IndexSetValue` for index sets and
+:class:`~repro.lang.ast.FuncDef` for functions.  Index-element rebinding
+(grid extension) shadows outer bindings exactly as §3.4 specifies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..lang.errors import UCRuntimeError
+
+
+class Env:
+    """A chain of dictionaries with block scoping."""
+
+    def __init__(self, parent: Optional["Env"] = None) -> None:
+        self.parent = parent
+        self.bindings: Dict[str, Any] = {}
+
+    def child(self) -> "Env":
+        return Env(self)
+
+    def declare(self, name: str, value: Any) -> None:
+        self.bindings[name] = value
+
+    def lookup(self, name: str) -> Any:
+        env: Optional[Env] = self
+        while env is not None:
+            if name in env.bindings:
+                return env.bindings[name]
+            env = env.parent
+        raise UCRuntimeError(f"undefined identifier {name!r} at run time")
+
+    def try_lookup(self, name: str) -> Optional[Any]:
+        env: Optional[Env] = self
+        while env is not None:
+            if name in env.bindings:
+                return env.bindings[name]
+            env = env.parent
+        return None
+
+    def set_existing(self, name: str, value: Any) -> None:
+        """Rebind the nearest existing binding (assignment semantics)."""
+        env: Optional[Env] = self
+        while env is not None:
+            if name in env.bindings:
+                env.bindings[name] = value
+                return
+            env = env.parent
+        raise UCRuntimeError(f"assignment to undefined identifier {name!r}")

@@ -1,0 +1,248 @@
+"""The interpreter object: program state + execution driver.
+
+One :class:`Interpreter` owns the machine, the global environment (arrays
+as machine fields with their layouts, scalars, functions, index sets) and
+the RNG, and runs the program's ``main`` block.  A fresh interpreter is
+built per run so benchmark sweeps are independent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..lang import ast
+from ..lang.errors import UCRuntimeError, UCSemanticError
+from ..lang.scope import IndexSetValue
+from ..lang.semantics import ProgramInfo, _ConstEvaluator
+from ..machine import Machine
+from ..machine.vpset import VPSet
+from ..mapping.layout import Layout, LayoutTable
+from .env import Env
+from .eval_expr import ExecContext, eval_expr
+from .statements import ReturnSignal, exec_stmt
+from .values import ArrayVar, GridContext, ScalarVar, coerce_scalar, numpy_ctype
+from . import functions as _functions
+
+
+class Interpreter:
+    """Executes one checked UC program on one machine."""
+
+    def __init__(
+        self,
+        info: ProgramInfo,
+        machine: Machine,
+        layouts: LayoutTable,
+        *,
+        seed: int = 20250704,
+        solve_strategy: str = "auto",
+        processor_opt: bool = True,
+        cse: bool = True,
+    ) -> None:
+        if solve_strategy not in ("auto", "scheduled", "guarded"):
+            raise ValueError(f"unknown solve strategy {solve_strategy!r}")
+        self.info = info
+        self.machine = machine
+        self.layouts = layouts
+        self.processor_opt = processor_opt
+        # §4's common sub-expression detection: while a cache is armed
+        # (one par-statement execution), pure parallel subexpressions are
+        # evaluated and charged once
+        self.cse_enabled = cse
+        self.cse_cache: Optional[dict] = None
+        self.cse_keys: Dict[int, str] = {}
+        self.rng = np.random.default_rng(seed)
+        self._seed = seed
+        self.solve_strategy = solve_strategy
+        self.stdout: List[str] = []
+        self.global_env = Env()
+        self._vpsets: Dict[Tuple[int, ...], VPSet] = {}
+        self._setup_globals()
+
+    # -- global state -----------------------------------------------------------
+
+    def _setup_globals(self) -> None:
+        env = self.global_env
+        for name, isv in self.info.index_sets.items():
+            env.declare(name, isv)
+        for name, (ctype, dims) in self.info.arrays.items():
+            env.declare(name, self.allocate_array(name, ctype, dims))
+        for name, ctype in self.info.scalars.items():
+            var = ScalarVar(name, ctype)
+            if name in self.info.constants:
+                var.value = coerce_scalar(ctype, self.info.constants[name])
+            env.declare(name, var)
+        for name, func in self.info.functions.items():
+            env.declare(name, func)
+        # compile-time constants (defines) that are not program variables
+        for name, value in self.info.constants.items():
+            if env.try_lookup(name) is None:
+                env.declare(name, int(value))
+        # run any non-constant top-level initialisers
+        host = ExecContext(GridContext(), None, env)
+        for decl in self.info.program.decls:
+            if (
+                isinstance(decl, ast.VarDecl)
+                and not decl.dims
+                and decl.init is not None
+                and decl.name not in self.info.constants
+            ):
+                var = env.lookup(decl.name)
+                var.value = coerce_scalar(var.ctype, eval_expr(self, decl.init, host))
+
+    def allocate_array(self, name: str, ctype: str, dims: Tuple[int, ...]) -> ArrayVar:
+        """Allocate a program array as a field on a (cached) VP set."""
+        vps = self.grid_vpset(dims)
+        field = self.machine.field(vps, numpy_ctype(ctype), name)
+        layout = self.layouts.get(name) if name in self.layouts else Layout(name, dims)
+        return ArrayVar(name, ctype, field, layout)
+
+    def grid_vpset(self, shape: Tuple[int, ...]) -> VPSet:
+        """VP set for a grid geometry, cached per shape."""
+        if not shape:
+            shape = (1,)
+        if shape not in self._vpsets:
+            self._vpsets[shape] = self.machine.vpset(shape, name=f"grid{shape}")
+        return self._vpsets[shape]
+
+    def reseed(self, seed: int) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    # -- common-subexpression cache (§4) -----------------------------------------
+
+    def cse_arm(self) -> "_CseRegion":
+        """Arm the cache for one statement execution (context manager)."""
+        return _CseRegion(self)
+
+    def cse_invalidate(self) -> None:
+        """Drop cached values (after any write to program state)."""
+        if self.cse_cache is not None:
+            self.cse_cache.clear()
+
+    def cse_suspend(self) -> "_CseSuspend":
+        """Run a nested region (function call, nested construct) uncached."""
+        return _CseSuspend(self)
+
+    # -- name resolution ------------------------------------------------------------
+
+    def resolve_index_set(self, name: str, ctx: ExecContext) -> IndexSetValue:
+        binding = ctx.env.try_lookup(name)
+        if isinstance(binding, IndexSetValue):
+            return binding
+        isv = self.info.index_sets.get(name)
+        if isv is None:
+            raise UCRuntimeError(f"unknown index set {name!r}")
+        return isv
+
+    def declare_index_set(self, decl: ast.IndexSetDecl, env: Env) -> None:
+        """Runtime declaration of a block-local index set."""
+        consts = _ConstEvaluator(self.info.constants)
+        spec = decl.spec
+        if spec.kind == "range":
+            lo, hi = consts.eval(spec.lo), consts.eval(spec.hi)
+            values = tuple(range(lo, hi + 1))
+        elif spec.kind == "listing":
+            values = tuple(consts.eval(i) for i in spec.items)
+        else:
+            base = env.try_lookup(spec.alias) or self.info.index_sets.get(spec.alias)
+            if not isinstance(base, IndexSetValue):
+                raise UCRuntimeError(
+                    f"index set {decl.set_name!r} aliases unknown set {spec.alias!r}",
+                    decl.line,
+                    decl.col,
+                )
+            values = base.values
+        env.declare(decl.set_name, IndexSetValue(decl.set_name, decl.elem_name, values))
+
+    # -- calls (delegated) -------------------------------------------------------------
+
+    def call_function(self, node: ast.Call, ctx: ExecContext):
+        return _functions.call_function(self, node, ctx)
+
+    # -- running ------------------------------------------------------------------------
+
+    def load_inputs(self, inputs: Dict[str, Union[int, float, np.ndarray]]) -> None:
+        """Pre-load arrays/scalars before running (front-end I/O costs)."""
+        for name, value in inputs.items():
+            binding = self.global_env.try_lookup(name)
+            if isinstance(binding, ArrayVar):
+                binding.field.load(np.asarray(value))
+            elif isinstance(binding, ScalarVar):
+                binding.value = coerce_scalar(binding.ctype, value)  # type: ignore[arg-type]
+            else:
+                raise UCRuntimeError(f"no program variable named {name!r} to load")
+
+    def run_main(self, *, profile: bool = False) -> None:
+        if self.info.program.main is None:
+            raise UCRuntimeError("program has no main block")
+        ctx = ExecContext(GridContext(), None, Env(self.global_env))
+        try:
+            if profile:
+                self._run_profiled(ctx)
+            else:
+                exec_stmt(self, self.info.program.main, ctx)
+        except ReturnSignal:
+            pass
+
+    def _run_profiled(self, ctx: "ExecContext") -> None:
+        """Execute main, attributing time to each top-level statement.
+
+        Regions are keyed ``"line <n>: <kind>"``; the clock accumulates
+        the simulated time spent under each, giving the per-statement
+        hotspot report the CLI's ``--profile`` prints.
+        """
+        main = self.info.program.main
+        assert main is not None
+        for stmt in main.stmts:
+            label = f"line {stmt.line}: {type(stmt).__name__}"
+            if isinstance(stmt, ast.UCStmt):
+                label = f"line {stmt.line}: {'*' if stmt.star else ''}{stmt.kind}"
+            with self.machine.clock.region(label):
+                exec_stmt(self, stmt, ctx)
+
+    def read_array(self, name: str) -> np.ndarray:
+        binding = self.global_env.try_lookup(name)
+        if isinstance(binding, ArrayVar):
+            return binding.data.copy()
+        raise UCRuntimeError(f"no array named {name!r}")
+
+    def read_scalar(self, name: str) -> Union[int, float]:
+        binding = self.global_env.try_lookup(name)
+        if isinstance(binding, ScalarVar):
+            return binding.value
+        raise UCRuntimeError(f"no scalar named {name!r}")
+
+
+class _CseRegion:
+    """Arms the CSE cache unless one is already armed (no nesting)."""
+
+    def __init__(self, ip: Interpreter) -> None:
+        self._ip = ip
+        self._armed_here = False
+
+    def __enter__(self) -> None:
+        if self._ip.cse_enabled and self._ip.cse_cache is None:
+            self._ip.cse_cache = {}
+            self._armed_here = True
+
+    def __exit__(self, *exc: object) -> None:
+        if self._armed_here:
+            self._ip.cse_cache = None
+
+
+class _CseSuspend:
+    """Disables the cache for a nested region and drops stale entries."""
+
+    def __init__(self, ip: Interpreter) -> None:
+        self._ip = ip
+        self._saved: Optional[dict] = None
+
+    def __enter__(self) -> None:
+        self._saved = self._ip.cse_cache
+        self._ip.cse_cache = None
+
+    def __exit__(self, *exc: object) -> None:
+        self._ip.cse_cache = self._saved
+        # the nested region may have written anything: drop stale values
+        self._ip.cse_invalidate()

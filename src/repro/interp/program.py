@@ -1,0 +1,168 @@
+"""The public entry point: :class:`UCProgram`.
+
+Ties the whole pipeline together: parse → semantic analysis → mapping
+construction → interpretation on a simulated Connection Machine.
+
+Example
+-------
+>>> from repro import UCProgram
+>>> prog = UCProgram('''
+...     int N = 8;
+...     index_set I:i = {0..N-1};
+...     int a[8];
+...     main { par (I) a[i] = i * i; }
+... ''')
+>>> result = prog.run()
+>>> list(result["a"])
+[0, 1, 4, 9, 16, 25, 36, 49]
+>>> result.elapsed_us > 0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from ..lang import analyze, parse_program
+from ..lang.semantics import ProgramInfo
+from ..machine import Machine, MachineConfig
+from ..mapping.maps import build_layouts
+from ..mapping.layout import LayoutTable
+from .interpreter import Interpreter
+
+
+class RunResult:
+    """Outcome of one program run: variables + simulated timing.
+
+    Behaves as a mapping from variable name to its final value (arrays
+    come back as numpy arrays, scalars as int/float).
+    """
+
+    def __init__(self, interp: Interpreter) -> None:
+        self._values: Dict[str, Union[int, float, np.ndarray]] = {}
+        for name in interp.info.arrays:
+            self._values[name] = interp.read_array(name)
+        for name in interp.info.scalars:
+            self._values[name] = interp.read_scalar(name)
+        self.elapsed_us: float = interp.machine.clock.time_us
+        self.elapsed_ms: float = interp.machine.clock.time_ms
+        self.stdout: str = "".join(interp.stdout)
+        #: per-top-level-statement simulated time (populated by profile=True)
+        self.profile: Dict[str, float] = dict(interp.machine.clock.regions)
+        self.counts: Dict[str, int] = {
+            rec.kind: rec.count for rec in interp.machine.clock.ledger()
+        }
+        self.times: Dict[str, float] = {
+            rec.kind: rec.time_us for rec in interp.machine.clock.ledger()
+        }
+
+    def __getitem__(self, name: str) -> Union[int, float, np.ndarray]:
+        return self._values[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def keys(self):
+        return self._values.keys()
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult(vars={sorted(self._values)}, "
+            f"elapsed={self.elapsed_us:.1f}us)"
+        )
+
+
+class UCProgram:
+    """A parsed, checked, mapped UC program ready to run.
+
+    Parameters
+    ----------
+    source:
+        UC source text.
+    defines:
+        Compile-time integer constants (stands in for ``#define``).
+    machine_config:
+        Simulated machine description (default: 16K-PE CM-2).
+    apply_maps:
+        Honour the program's ``map`` sections (set False to measure the
+        compiler's default mappings — the mapping-ablation benchmarks use
+        this toggle).
+    solve_strategy:
+        ``"auto"`` (static schedule when possible), ``"scheduled"`` or
+        ``"guarded"``.
+    processor_opt:
+        Enable the §4 processor optimization (partitioned reductions run
+        as one combining router send on the operand grid).  On by default,
+        as in the paper's compiler; turn off for the ablation benchmark.
+    cse:
+        Enable §4's common sub-expression detection: within one parallel
+        statement, pure subexpressions shared between a predicate and its
+        body (or repeated inside one expression) are evaluated and charged
+        once.  On by default, as in the paper's compiler.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        *,
+        defines: Optional[Dict[str, int]] = None,
+        machine_config: Optional[MachineConfig] = None,
+        apply_maps: bool = True,
+        solve_strategy: str = "auto",
+        processor_opt: bool = True,
+        cse: bool = True,
+        _ast=None,
+    ) -> None:
+        self.source = source
+        self.defines = dict(defines or {})
+        self.machine_config = machine_config
+        self.apply_maps = apply_maps
+        self.solve_strategy = solve_strategy
+        self.processor_opt = processor_opt
+        self.cse = cse
+        self.ast = _ast if _ast is not None else parse_program(source)
+        self.info: ProgramInfo = analyze(self.ast, self.defines)
+        self.layouts: LayoutTable = build_layouts(self.info, apply_maps=apply_maps)
+        self.last_interpreter: Optional[Interpreter] = None
+
+    @classmethod
+    def from_ast(cls, program_ast, **kwargs) -> "UCProgram":
+        """Build from an already-constructed AST (used by the embedded DSL)."""
+        return cls("<built ast>", _ast=program_ast, **kwargs)
+
+    def run(
+        self,
+        inputs: Optional[Dict[str, Union[int, float, np.ndarray]]] = None,
+        *,
+        seed: int = 20250704,
+        machine: Optional[Machine] = None,
+        profile: bool = False,
+    ) -> RunResult:
+        """Execute ``main`` on a fresh machine; returns the final state.
+
+        With ``profile=True`` the result's ``.profile`` maps each
+        top-level statement of ``main`` to its simulated time.
+        """
+        m = machine if machine is not None else Machine(self.machine_config, seed=seed)
+        interp = Interpreter(
+            self.info,
+            m,
+            self.layouts,
+            seed=seed,
+            solve_strategy=self.solve_strategy,
+            processor_opt=self.processor_opt,
+            cse=self.cse,
+        )
+        if inputs:
+            interp.load_inputs(inputs)
+        # time the algorithm, not allocation / front-end input I/O — the
+        # paper's measurements start with the data already on the machine
+        m.clock.reset()
+        interp.run_main(profile=profile)
+        self.last_interpreter = interp
+        return RunResult(interp)

@@ -1,0 +1,183 @@
+"""Runtime values: grid contexts, variables and bindings.
+
+A :class:`GridContext` is the cartesian product of the index sets bound
+by the enclosing parallel constructs — the shape every parallel
+expression evaluates over.  Extending a grid (nested ``par``, reductions)
+*appends* axes, so a parent mask broadcasts by adding trailing axes and a
+reduction collapses exactly the appended ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..lang.errors import UCRuntimeError
+from ..lang.scope import IndexSetValue
+from ..machine.field import Field
+from ..mapping.layout import Layout
+
+
+@dataclass(frozen=True)
+class GridAxis:
+    """One axis of a grid context: an index-set binding."""
+
+    elem: str
+    set_name: str
+    values: Tuple[int, ...]
+
+    @property
+    def extent(self) -> int:
+        return len(self.values)
+
+
+class GridContext:
+    """An ordered list of grid axes (empty = host/scalar context)."""
+
+    def __init__(self, axes: Sequence[GridAxis] = ()) -> None:
+        self.axes: Tuple[GridAxis, ...] = tuple(axes)
+        self.shape: Tuple[int, ...] = tuple(a.extent for a in self.axes)
+        self._positions: Optional[List[np.ndarray]] = None
+        self._values: Dict[int, np.ndarray] = {}
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return len(self.axes)
+
+    @property
+    def is_host(self) -> bool:
+        return not self.axes
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.axes else 1
+
+    @property
+    def axis_elems(self) -> Tuple[str, ...]:
+        return tuple(a.elem for a in self.axes)
+
+    def extend(self, sets: Sequence[IndexSetValue]) -> "GridContext":
+        """A new context with one appended axis per index set."""
+        new = [GridAxis(s.elem_name, s.name, tuple(s.values)) for s in sets]
+        return GridContext(self.axes + tuple(new))
+
+    # -- per-axis arrays --------------------------------------------------------
+
+    def positions(self) -> List[np.ndarray]:
+        """Position coordinates per axis (``np.indices``), cached."""
+        if self._positions is None:
+            self._positions = list(np.indices(self.shape, dtype=np.int64)) if self.axes else []
+        return self._positions
+
+    def axis_values(self, axis: int) -> np.ndarray:
+        """Element *values* along ``axis``, broadcast to the grid shape."""
+        if axis not in self._values:
+            vals = np.asarray(self.axes[axis].values, dtype=np.int64)
+            view = [1] * self.rank
+            view[axis] = len(vals)
+            self._values[axis] = np.broadcast_to(vals.reshape(view), self.shape)
+        return self._values[axis]
+
+    def broadcast_from(self, value: Union[int, float, np.ndarray], parent_rank: int):
+        """Broadcast a parent-context value (rank ``parent_rank``) here."""
+        if not isinstance(value, np.ndarray):
+            return value
+        extra = self.rank - parent_rank
+        if extra <= 0:
+            return value
+        return np.broadcast_to(value.reshape(value.shape + (1,) * extra), self.shape)
+
+    def full_mask(self) -> np.ndarray:
+        return np.ones(self.shape, dtype=bool)
+
+    def __repr__(self) -> str:
+        desc = ", ".join(f"{a.set_name}:{a.elem}[{a.extent}]" for a in self.axes)
+        return f"GridContext({desc})"
+
+
+# ---------------------------------------------------------------------------
+# variable bindings
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScalarVar:
+    """A front-end scalar variable."""
+
+    name: str
+    ctype: str
+    value: Union[int, float] = 0
+
+
+@dataclass
+class ArrayVar:
+    """A program array: a machine field plus its layout."""
+
+    name: str
+    ctype: str
+    field: Field
+    layout: Layout
+
+    @property
+    def data(self) -> np.ndarray:
+        return self.field.data
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.field.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.field.dtype
+
+
+@dataclass
+class ParallelLocal:
+    """A scalar declared inside a parallel body: one value per grid point."""
+
+    name: str
+    ctype: str
+    grid_rank: int
+    data: np.ndarray
+
+
+@dataclass
+class ElementBinding:
+    """An index element: bound to a grid axis (par) or a scalar (seq)."""
+
+    elem: str
+    set_name: str
+    kind: str  # 'axis' | 'scalar'
+    axis: int = -1
+    value: int = 0
+
+
+@dataclass
+class SliceParam:
+    """An array slice passed to a function (the only pointer use UC allows)."""
+
+    array: ArrayVar
+    prefix: Tuple[int, ...]  # fixed leading subscripts
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.array.shape[len(self.prefix) :]
+
+    def view(self) -> np.ndarray:
+        return self.array.data[self.prefix]
+
+
+def numpy_ctype(ctype: str) -> np.dtype:
+    if ctype == "float":
+        return np.dtype(np.float64)
+    return np.dtype(np.int64)
+
+
+def coerce_scalar(ctype: str, value) -> Union[int, float]:
+    if ctype == "float":
+        return float(value)
+    return int(value)

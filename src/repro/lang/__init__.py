@@ -1,0 +1,31 @@
+"""UC language front end: lexer, AST, parser and semantic analysis.
+
+The accepted language is the UC of the paper (§3): ANSI-C expressions and
+statements (minus ``goto`` and general pointers), plus
+
+* ``index_set`` declarations (``index-set`` is accepted too),
+* the reduction expressions ``$+ $* $&& $|| $^ $> $< $,``,
+* the constructs ``par`` / ``seq`` / ``solve`` / ``oneof`` with ``st``
+  blocks, ``others`` clauses and the iterating ``*`` prefix,
+* the ``map`` section with ``permute`` / ``fold`` / ``copy`` mappings.
+"""
+
+from .errors import UCError, UCSyntaxError, UCSemanticError
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse_program, parse_expression, parse_statement
+from .semantics import analyze
+from . import ast
+
+__all__ = [
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_program",
+    "parse_expression",
+    "parse_statement",
+    "analyze",
+    "ast",
+    "UCError",
+    "UCSyntaxError",
+    "UCSemanticError",
+]

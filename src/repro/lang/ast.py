@@ -1,0 +1,331 @@
+"""AST node definitions for UC.
+
+All nodes are plain dataclasses carrying their source position.  The tree
+mirrors the paper's grammar (§3): C expressions/statements plus index-set
+declarations, reductions, the four UC constructs and the map section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, compare=False)
+    col: int = field(default=0, compare=False)
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class InfLit(Expr):
+    """The predefined constant INF (paper §3.2)."""
+
+
+@dataclass
+class Name(Expr):
+    ident: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # '-', '+', '!', '~'
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""  # C binary operator spelling: '+', '<=', '&&', '%', ...
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Expr = None  # type: ignore[assignment]
+    els: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Call(Expr):
+    func: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    """``base[sub0][sub1]...`` with all subscripts collected."""
+
+    base: str = ""
+    subs: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ScExpr(Node):
+    """One ``st (pred) exp`` arm of a reduction (pred None = no predicate)."""
+
+    pred: Optional[Expr] = None
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Reduction(Expr):
+    """``$op(idxs ; exp)`` / ``$op(idxs st (p) e ... others e)`` (§3.2)."""
+
+    op: str = ""  # canonical: add, mul, logand, logor, logxor, max, min, arbitrary
+    index_sets: List[str] = field(default_factory=list)
+    arms: List[ScExpr] = field(default_factory=list)
+    others: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    """``target op= value``; ``op`` is '' for plain assignment."""
+
+    target: Expr = None  # type: ignore[assignment]  (Name or Index)
+    op: str = ""  # '', '+', '-', '*', '/', '%', '&', '|', '^', '<<', '>>'
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class IncDec(Expr):
+    """``target++`` / ``target--`` (pre/post makes no difference as a stmt)."""
+
+    target: Expr = None  # type: ignore[assignment]
+    op: str = "++"
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class EmptyStmt(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Stmt = None  # type: ignore[assignment]
+    els: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt = None  # type: ignore[assignment]
+    cond: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Expr] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DeclGroup(Stmt):
+    """Several declarators from one declaration (``int a, b;``).
+
+    Unlike :class:`Block`, a DeclGroup introduces no scope — its
+    declarations land in the surrounding scope, as C requires.
+    """
+
+    decls: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    """``int a[N][N], s;`` — one declarator (the parser splits lists)."""
+
+    ctype: str = "int"  # 'int' | 'float'
+    name: str = ""
+    dims: List[Expr] = field(default_factory=list)  # empty = scalar
+    init: Optional[Expr] = None
+
+
+@dataclass
+class IndexSetSpec(Node):
+    """RHS of an index-set definition."""
+
+    kind: str = "range"  # 'range' | 'listing' | 'alias'
+    lo: Optional[Expr] = None
+    hi: Optional[Expr] = None
+    items: List[Expr] = field(default_factory=list)
+    alias: str = ""
+
+
+@dataclass
+class IndexSetDecl(Stmt):
+    """``index_set I:i = {0..N-1};`` — one set (lists are split)."""
+
+    set_name: str = ""
+    elem_name: str = ""
+    spec: IndexSetSpec = None  # type: ignore[assignment]
+
+
+# ---------------------------------------------------------------------------
+# UC constructs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScBlock(Node):
+    """One ``st (pred) stmt`` arm (pred None = the unconditional body)."""
+
+    pred: Optional[Expr] = None
+    stmt: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class UCStmt(Stmt):
+    """``[*] par|seq|solve|oneof (idxs) st-blocks [others stmt]`` (§3.3)."""
+
+    kind: str = "par"  # 'par' | 'seq' | 'solve' | 'oneof'
+    star: bool = False
+    index_sets: List[str] = field(default_factory=list)
+    blocks: List[ScBlock] = field(default_factory=list)
+    others: Optional[Stmt] = None
+
+
+# ---------------------------------------------------------------------------
+# map section (§4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MapDecl(Node):
+    """``permute (I) b[i+1] :- a[i];`` and the fold / copy forms."""
+
+    kind: str = "permute"  # 'permute' | 'fold' | 'copy'
+    index_sets: List[str] = field(default_factory=list)
+    target: Index = None  # type: ignore[assignment]  # the array being remapped
+    source: Optional[Index] = None  # relative-to reference (None for fold/copy forms without one)
+    extent: Optional[Expr] = None  # copy: replication count
+
+
+@dataclass
+class MapSection(Node):
+    index_sets: List[str] = field(default_factory=list)
+    decls: List[MapDecl] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    ctype: str = "int"
+    name: str = ""
+    dims: int = 0  # number of array dimensions (passed as slice reference)
+
+
+@dataclass
+class FuncDef(Node):
+    ret_type: str = "void"  # 'void' | 'int' | 'float'
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class Program(Node):
+    decls: List[Stmt] = field(default_factory=list)  # VarDecl | IndexSetDecl
+    maps: List[MapSection] = field(default_factory=list)
+    funcs: List[FuncDef] = field(default_factory=list)
+    main: Optional[Block] = None
+
+
+# ---------------------------------------------------------------------------
+# traversal helper
+# ---------------------------------------------------------------------------
+
+
+def children(node: Node) -> List[Node]:
+    """All direct child nodes of ``node`` (for generic walks)."""
+    out: List[Node] = []
+    for f in vars(node).values():
+        if isinstance(f, Node):
+            out.append(f)
+        elif isinstance(f, list):
+            out.extend(x for x in f if isinstance(x, Node))
+    return out
+
+
+def walk(node: Node):
+    """Pre-order generator over ``node`` and all descendants."""
+    yield node
+    for child in children(node):
+        yield from walk(child)

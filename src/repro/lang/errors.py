@@ -1,0 +1,43 @@
+"""Front-end error types, all carrying source positions."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class UCError(Exception):
+    """Base class for all UC language errors."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.col = col
+        if line:
+            super().__init__(f"{message} (line {line}, column {col})")
+        else:
+            super().__init__(message)
+
+
+class UCSyntaxError(UCError):
+    """Lexical or grammatical error in UC source."""
+
+
+class UCSemanticError(UCError):
+    """Program is grammatical but violates a UC static rule.
+
+    Examples: ``goto`` used, non-constant index-set bound, unknown index
+    set, a ``solve`` body that is not a proper set of assignments, a map
+    declaration naming an unknown array.
+    """
+
+
+class UCRuntimeError(UCError):
+    """Error raised while executing a UC program.
+
+    The single-assignment violation of ``par`` (paper §3.4) is the most
+    prominent member, via the :class:`UCMultipleAssignmentError` subclass.
+    """
+
+
+class UCMultipleAssignmentError(UCRuntimeError):
+    """A ``par`` statement assigned conflicting values to one variable."""

@@ -1,0 +1,592 @@
+"""Recursive-descent parser for UC.
+
+Produces the :mod:`repro.lang.ast` tree.  Grammar follows the paper (§3):
+C statements and expressions (full C precedence, no ``goto``/pointers)
+extended with index-set declarations, reductions, the ``par`` / ``seq`` /
+``solve`` / ``oneof`` constructs (with ``st`` arms, ``others`` clauses and
+the ``*`` iterate prefix) and ``map`` sections.
+
+Dangling ``st``/``others`` arms bind to the innermost construct, exactly
+like C's dangling ``else`` (paper §3.4); braces force a different binding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from . import ast
+from .errors import UCSyntaxError
+from .lexer import tokenize
+from .tokens import Token
+
+#: binary operator precedence, loosest first (C levels)
+_BIN_LEVELS: List[List[str]] = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+_ASSIGN_OPS = {
+    "=": "",
+    "+=": "+",
+    "-=": "-",
+    "*=": "*",
+    "/=": "/",
+    "%=": "%",
+    "&=": "&",
+    "|=": "|",
+    "^=": "^",
+    "<<=": "<<",
+    ">>=": ">>",
+}
+
+_TYPE_WORDS = ("int", "float")
+_UC_KINDS = ("par", "seq", "solve", "oneof")
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, source: str, filename: str = "<uc>") -> None:
+        self.toks = tokenize(source, filename)
+        self.i = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.toks[self.i]
+
+    def _peek(self, ahead: int = 1) -> Token:
+        j = min(self.i + ahead, len(self.toks) - 1)
+        return self.toks[j]
+
+    def _next(self) -> Token:
+        t = self.toks[self.i]
+        if t.kind != "eof":
+            self.i += 1
+        return t
+
+    def _error(self, msg: str, tok: Optional[Token] = None) -> UCSyntaxError:
+        t = tok or self.tok
+        return UCSyntaxError(msg, t.line, t.col)
+
+    def _expect_punct(self, text: str) -> Token:
+        if not self.tok.is_punct(text):
+            raise self._error(f"expected {text!r}, found {self.tok.value!r}")
+        return self._next()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self.tok.is_keyword(word):
+            raise self._error(f"expected {word!r}, found {self.tok.value!r}")
+        return self._next()
+
+    def _expect_id(self) -> str:
+        if self.tok.kind != "id":
+            raise self._error(f"expected identifier, found {self.tok.value!r}")
+        return str(self._next().value)
+
+    def _accept_punct(self, text: str) -> bool:
+        if self.tok.is_punct(text):
+            self._next()
+            return True
+        return False
+
+    # -- program level ----------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        prog = ast.Program(line=1, col=1)
+        while self.tok.kind != "eof":
+            t = self.tok
+            if t.is_keyword("index_set"):
+                prog.decls.extend(self._index_set_decl())
+            elif t.is_keyword("map"):
+                prog.maps.append(self._map_section())
+            elif t.is_keyword("main"):
+                prog.main = self._main_block()
+            elif t.is_keyword("void"):
+                fd = self._func_def()
+                if fd.name == "main":
+                    prog.main = fd.body
+                else:
+                    prog.funcs.append(fd)
+            elif t.is_keyword(*_TYPE_WORDS):
+                if self._looks_like_funcdef():
+                    fd = self._func_def()
+                    if fd.name == "main":
+                        prog.main = fd.body
+                    else:
+                        prog.funcs.append(fd)
+                else:
+                    prog.decls.extend(self._var_decl())
+            else:
+                raise self._error(
+                    f"unexpected token {t.value!r} at top level "
+                    "(expected declaration, function, map section or main)"
+                )
+        return prog
+
+    def _looks_like_funcdef(self) -> bool:
+        # 'type ID ('  or  'type main ('
+        t1 = self._peek(1)
+        t2 = self._peek(2)
+        return (t1.kind == "id" or t1.is_keyword("main")) and t2.is_punct("(")
+
+    def _main_block(self) -> ast.Block:
+        self._expect_keyword("main")
+        if self._accept_punct("("):
+            self._expect_punct(")")
+        return self._block()
+
+    def _func_def(self) -> ast.FuncDef:
+        start = self.tok
+        if self.tok.is_keyword("void"):
+            ret = "void"
+            self._next()
+        else:
+            ret = str(self._next().value)  # int | float
+        if self.tok.is_keyword("main"):
+            name = "main"
+            self._next()
+        else:
+            name = self._expect_id()
+        self._expect_punct("(")
+        params: List[ast.Param] = []
+        if not self.tok.is_punct(")"):
+            while True:
+                if self.tok.is_keyword("void") and self._peek(1).is_punct(")"):
+                    self._next()
+                    break
+                if not self.tok.is_keyword(*_TYPE_WORDS):
+                    raise self._error("expected parameter type")
+                ptype = str(self._next().value)
+                pname = self._expect_id()
+                dims = 0
+                while self.tok.is_punct("["):
+                    self._next()
+                    if not self.tok.is_punct("]"):
+                        self._cond_expr()  # extent allowed but ignored for params
+                    self._expect_punct("]")
+                    dims += 1
+                params.append(
+                    ast.Param(line=start.line, col=start.col, ctype=ptype, name=pname, dims=dims)
+                )
+                if not self._accept_punct(","):
+                    break
+        self._expect_punct(")")
+        body = self._block()
+        return ast.FuncDef(
+            line=start.line, col=start.col, ret_type=ret, name=name, params=params, body=body
+        )
+
+    # -- declarations -----------------------------------------------------------
+
+    def _index_set_decl(self) -> List[ast.IndexSetDecl]:
+        kw = self._expect_keyword("index_set")
+        out: List[ast.IndexSetDecl] = []
+        while True:
+            set_name = self._expect_id()
+            self._expect_punct(":")
+            elem_name = self._expect_id()
+            self._expect_punct("=")
+            spec = self._index_set_spec()
+            out.append(
+                ast.IndexSetDecl(
+                    line=kw.line, col=kw.col, set_name=set_name, elem_name=elem_name, spec=spec
+                )
+            )
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+        return out
+
+    def _index_set_spec(self) -> ast.IndexSetSpec:
+        t = self.tok
+        if t.kind == "id":
+            return ast.IndexSetSpec(line=t.line, col=t.col, kind="alias", alias=self._expect_id())
+        self._expect_punct("{")
+        first = self._cond_expr()
+        if self.tok.is_punct(".."):
+            self._next()
+            hi = self._cond_expr()
+            self._expect_punct("}")
+            return ast.IndexSetSpec(line=t.line, col=t.col, kind="range", lo=first, hi=hi)
+        items = [first]
+        while self._accept_punct(","):
+            items.append(self._cond_expr())
+        self._expect_punct("}")
+        return ast.IndexSetSpec(line=t.line, col=t.col, kind="listing", items=items)
+
+    def _var_decl(self) -> List[ast.VarDecl]:
+        t = self.tok
+        ctype = str(self._next().value)
+        out: List[ast.VarDecl] = []
+        while True:
+            name = self._expect_id()
+            dims: List[ast.Expr] = []
+            while self.tok.is_punct("["):
+                self._next()
+                dims.append(self._cond_expr())
+                self._expect_punct("]")
+            init: Optional[ast.Expr] = None
+            if self._accept_punct("="):
+                init = self._assign_expr()
+            out.append(
+                ast.VarDecl(line=t.line, col=t.col, ctype=ctype, name=name, dims=dims, init=init)
+            )
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+        return out
+
+    # -- map sections -------------------------------------------------------------
+
+    def _map_section(self) -> ast.MapSection:
+        kw = self._expect_keyword("map")
+        idxs = self._index_set_list()
+        self._expect_punct("{")
+        section = ast.MapSection(line=kw.line, col=kw.col, index_sets=idxs)
+        while not self.tok.is_punct("}"):
+            section.decls.append(self._map_decl())
+        self._expect_punct("}")
+        return section
+
+    def _map_decl(self) -> ast.MapDecl:
+        t = self.tok
+        if not t.is_keyword("permute", "fold", "copy"):
+            raise self._error("expected 'permute', 'fold' or 'copy' in map section")
+        kind = str(self._next().value)
+        idxs = self._index_set_list()
+        target = self._array_ref()
+        # the ':-' mapping operator lexes as ':' followed by '-'
+        self._expect_punct(":")
+        self._expect_punct("-")
+        source = self._array_ref()
+        self._expect_punct(";")
+        return ast.MapDecl(
+            line=t.line, col=t.col, kind=kind, index_sets=idxs, target=target, source=source
+        )
+
+    def _array_ref(self) -> ast.Index:
+        t = self.tok
+        base = self._expect_id()
+        subs: List[ast.Expr] = []
+        while self.tok.is_punct("["):
+            self._next()
+            subs.append(self._cond_expr())
+            self._expect_punct("]")
+        return ast.Index(line=t.line, col=t.col, base=base, subs=subs)
+
+    def _index_set_list(self) -> List[str]:
+        self._expect_punct("(")
+        names = [self._expect_id()]
+        while self._accept_punct(","):
+            names.append(self._expect_id())
+        self._expect_punct(")")
+        return names
+
+    # -- statements -----------------------------------------------------------------
+
+    def parse_statement(self) -> ast.Stmt:
+        t = self.tok
+
+        if t.is_punct("*") and self._peek(1).is_keyword(*_UC_KINDS):
+            self._next()
+            return self._uc_stmt(star=True)
+        if t.is_keyword(*_UC_KINDS):
+            return self._uc_stmt(star=False)
+        if t.is_punct("{"):
+            return self._block()
+        if t.is_punct(";"):
+            self._next()
+            return ast.EmptyStmt(line=t.line, col=t.col)
+        if t.is_keyword("if"):
+            return self._if_stmt()
+        if t.is_keyword("while"):
+            return self._while_stmt()
+        if t.is_keyword("do"):
+            return self._do_while()
+        if t.is_keyword("for"):
+            return self._for_stmt()
+        if t.is_keyword("return"):
+            self._next()
+            value = None if self.tok.is_punct(";") else self._assign_expr()
+            self._expect_punct(";")
+            return ast.Return(line=t.line, col=t.col, value=value)
+        if t.is_keyword("break"):
+            self._next()
+            self._expect_punct(";")
+            return ast.Break(line=t.line, col=t.col)
+        if t.is_keyword("continue"):
+            self._next()
+            self._expect_punct(";")
+            return ast.Continue(line=t.line, col=t.col)
+        if t.is_keyword("goto"):
+            # parse far enough to give semantics a node to reject
+            raise self._error("goto is not part of UC (paper §3)")
+        if t.is_keyword("index_set"):
+            decls = self._index_set_decl()
+            if len(decls) == 1:
+                return decls[0]
+            return ast.DeclGroup(line=t.line, col=t.col, decls=list(decls))
+        if t.is_keyword(*_TYPE_WORDS):
+            decls = self._var_decl()
+            if len(decls) == 1:
+                return decls[0]
+            return ast.DeclGroup(line=t.line, col=t.col, decls=list(decls))
+
+        expr = self._assign_expr()
+        self._expect_punct(";")
+        return ast.ExprStmt(line=t.line, col=t.col, expr=expr)
+
+    def _block(self) -> ast.Block:
+        t = self._expect_punct("{")
+        stmts: List[ast.Stmt] = []
+        while not self.tok.is_punct("}"):
+            if self.tok.kind == "eof":
+                raise self._error("unterminated block (missing '}')", t)
+            stmts.append(self.parse_statement())
+        self._expect_punct("}")
+        return ast.Block(line=t.line, col=t.col, stmts=stmts)
+
+    def _if_stmt(self) -> ast.If:
+        t = self._expect_keyword("if")
+        self._expect_punct("(")
+        cond = self._assign_expr()
+        self._expect_punct(")")
+        then = self.parse_statement()
+        els = None
+        if self.tok.is_keyword("else"):
+            self._next()
+            els = self.parse_statement()
+        return ast.If(line=t.line, col=t.col, cond=cond, then=then, els=els)
+
+    def _while_stmt(self) -> ast.While:
+        t = self._expect_keyword("while")
+        self._expect_punct("(")
+        cond = self._assign_expr()
+        self._expect_punct(")")
+        body = self.parse_statement()
+        return ast.While(line=t.line, col=t.col, cond=cond, body=body)
+
+    def _do_while(self) -> ast.DoWhile:
+        t = self._expect_keyword("do")
+        body = self.parse_statement()
+        self._expect_keyword("while")
+        self._expect_punct("(")
+        cond = self._assign_expr()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.DoWhile(line=t.line, col=t.col, body=body, cond=cond)
+
+    def _for_stmt(self) -> ast.For:
+        t = self._expect_keyword("for")
+        self._expect_punct("(")
+        init = None if self.tok.is_punct(";") else self._assign_expr()
+        self._expect_punct(";")
+        cond = None if self.tok.is_punct(";") else self._assign_expr()
+        self._expect_punct(";")
+        step = None if self.tok.is_punct(")") else self._assign_expr()
+        self._expect_punct(")")
+        body = self.parse_statement()
+        return ast.For(line=t.line, col=t.col, init=init, cond=cond, step=step, body=body)
+
+    # -- UC constructs ------------------------------------------------------------------
+
+    def _uc_stmt(self, star: bool) -> ast.UCStmt:
+        t = self.tok
+        kind = str(self._next().value)
+        idxs = self._index_set_list()
+        node = ast.UCStmt(line=t.line, col=t.col, kind=kind, star=star, index_sets=idxs)
+        if self.tok.is_keyword("st"):
+            while self.tok.is_keyword("st"):
+                self._next()
+                self._expect_punct("(")
+                pred = self._assign_expr()
+                self._expect_punct(")")
+                stmt = self.parse_statement()
+                node.blocks.append(ast.ScBlock(line=t.line, col=t.col, pred=pred, stmt=stmt))
+            if self.tok.is_keyword("others"):
+                self._next()
+                node.others = self.parse_statement()
+        else:
+            body = self.parse_statement()
+            node.blocks.append(ast.ScBlock(line=t.line, col=t.col, pred=None, stmt=body))
+        return node
+
+    # -- expressions ---------------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self._assign_expr()
+
+    def _assign_expr(self) -> ast.Expr:
+        left = self._cond_expr()
+        t = self.tok
+        if t.kind == "punct" and t.value in _ASSIGN_OPS:
+            if not isinstance(left, (ast.Name, ast.Index)):
+                raise self._error("assignment target must be a variable or array element", t)
+            self._next()
+            value = self._assign_expr()  # right-associative
+            return ast.Assign(
+                line=t.line, col=t.col, target=left, op=_ASSIGN_OPS[str(t.value)], value=value
+            )
+        return left
+
+    def _cond_expr(self) -> ast.Expr:
+        cond = self._binary_expr(0)
+        if self.tok.is_punct("?"):
+            t = self._next()
+            then = self._assign_expr()
+            self._expect_punct(":")
+            els = self._cond_expr()
+            return ast.Ternary(line=t.line, col=t.col, cond=cond, then=then, els=els)
+        return cond
+
+    def _binary_expr(self, level: int) -> ast.Expr:
+        if level >= len(_BIN_LEVELS):
+            return self._unary_expr()
+        left = self._binary_expr(level + 1)
+        ops = _BIN_LEVELS[level]
+        while self.tok.kind == "punct" and self.tok.value in ops:
+            t = self._next()
+            right = self._binary_expr(level + 1)
+            left = ast.Binary(line=t.line, col=t.col, op=str(t.value), left=left, right=right)
+        return left
+
+    def _unary_expr(self) -> ast.Expr:
+        t = self.tok
+        if t.is_punct("-", "+", "!", "~"):
+            self._next()
+            operand = self._unary_expr()
+            if t.value == "+":
+                return operand
+            return ast.Unary(line=t.line, col=t.col, op=str(t.value), operand=operand)
+        if t.is_punct("++", "--"):
+            self._next()
+            target = self._unary_expr()
+            if not isinstance(target, (ast.Name, ast.Index)):
+                raise self._error("++/-- target must be a variable or array element", t)
+            return ast.IncDec(line=t.line, col=t.col, target=target, op=str(t.value))
+        return self._postfix_expr()
+
+    def _postfix_expr(self) -> ast.Expr:
+        expr = self._primary_expr()
+        while True:
+            t = self.tok
+            if t.is_punct("[") and isinstance(expr, (ast.Name, ast.Index)):
+                self._next()
+                sub = self._assign_expr()
+                self._expect_punct("]")
+                if isinstance(expr, ast.Name):
+                    expr = ast.Index(line=expr.line, col=expr.col, base=expr.ident, subs=[sub])
+                else:
+                    expr.subs.append(sub)
+            elif t.is_punct("++", "--") and isinstance(expr, (ast.Name, ast.Index)):
+                self._next()
+                expr = ast.IncDec(line=t.line, col=t.col, target=expr, op=str(t.value))
+            else:
+                return expr
+
+    def _primary_expr(self) -> ast.Expr:
+        t = self.tok
+        if t.kind == "int" or t.kind == "char":
+            self._next()
+            return ast.IntLit(line=t.line, col=t.col, value=int(t.value))
+        if t.kind == "float":
+            self._next()
+            return ast.FloatLit(line=t.line, col=t.col, value=float(t.value))
+        if t.kind == "string":
+            self._next()
+            return ast.StringLit(line=t.line, col=t.col, value=str(t.value))
+        if t.kind == "redop":
+            return self._reduction()
+        if t.is_keyword("INF"):
+            self._next()
+            return ast.InfLit(line=t.line, col=t.col)
+        if t.kind == "id":
+            name = self._expect_id()
+            if self.tok.is_punct("("):
+                self._next()
+                args: List[ast.Expr] = []
+                if not self.tok.is_punct(")"):
+                    args.append(self._assign_expr())
+                    while self._accept_punct(","):
+                        args.append(self._assign_expr())
+                self._expect_punct(")")
+                return ast.Call(line=t.line, col=t.col, func=name, args=args)
+            return ast.Name(line=t.line, col=t.col, ident=name)
+        if t.is_punct("("):
+            self._next()
+            expr = self._assign_expr()
+            self._expect_punct(")")
+            return expr
+        raise self._error(f"expected expression, found {t.value!r}")
+
+    def _reduction(self) -> ast.Reduction:
+        t = self._next()  # the redop token
+        op = str(t.value)
+        self._expect_punct("(")
+        idxs = [self._expect_id()]
+        while self._accept_punct(","):
+            idxs.append(self._expect_id())
+        node = ast.Reduction(line=t.line, col=t.col, op=op, index_sets=idxs)
+        if self._accept_punct(";"):
+            if self.tok.is_keyword("st"):
+                # paper grammar allows '[;] exp_list'
+                self._reduction_arms(node)
+            else:
+                node.arms.append(ast.ScExpr(line=t.line, col=t.col, pred=None, expr=self._cond_expr()))
+        elif self.tok.is_keyword("st"):
+            self._reduction_arms(node)
+        else:
+            raise self._error("reduction needs '; expr' or 'st (pred) expr' arms")
+        self._expect_punct(")")
+        return node
+
+    def _reduction_arms(self, node: ast.Reduction) -> None:
+        while self.tok.is_keyword("st"):
+            self._next()
+            self._expect_punct("(")
+            pred = self._assign_expr()
+            self._expect_punct(")")
+            expr = self._cond_expr()
+            node.arms.append(ast.ScExpr(line=node.line, col=node.col, pred=pred, expr=expr))
+        if self.tok.is_keyword("others"):
+            self._next()
+            node.others = self._cond_expr()
+
+
+# ---------------------------------------------------------------------------
+# convenience entry points
+# ---------------------------------------------------------------------------
+
+
+def parse_program(source: str, filename: str = "<uc>") -> ast.Program:
+    """Parse a complete UC program."""
+    p = Parser(source, filename)
+    return p.parse_program()
+
+
+def parse_statement(source: str) -> ast.Stmt:
+    """Parse a single UC statement (used heavily by tests)."""
+    p = Parser(source)
+    stmt = p.parse_statement()
+    if p.tok.kind != "eof":
+        raise p._error("trailing input after statement")
+    return stmt
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a single UC expression."""
+    p = Parser(source)
+    expr = p.parse_expression()
+    if p.tok.kind != "eof":
+        raise p._error("trailing input after expression")
+    return expr

@@ -1,0 +1,104 @@
+"""Token definitions for the UC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+#: reserved words of UC (C subset + UC extensions)
+KEYWORDS = frozenset(
+    {
+        "index_set",
+        "int",
+        "float",
+        "void",
+        "par",
+        "seq",
+        "solve",
+        "oneof",
+        "st",
+        "others",
+        "map",
+        "permute",
+        "fold",
+        "copy",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "main",
+        "INF",
+        # recognised so semantic analysis can reject it per the paper
+        "goto",
+    }
+)
+
+#: reduction operator spellings after '$' -> canonical op name
+REDUCTION_OPS = {
+    "+": "add",
+    "*": "mul",
+    "&&": "logand",
+    "||": "logor",
+    "^": "logxor",
+    ">": "max",
+    "<": "min",
+    ",": "arbitrary",
+}
+
+#: multi-character punctuation, longest first (order matters for the lexer)
+MULTI_PUNCT = [
+    "<<=",
+    ">>=",
+    "...",
+    "..",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<",
+    ">>",
+    "->",
+]
+
+SINGLE_PUNCT = "+-*/%<>=!&|^~?:;,.(){}[]"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of: ``"id"``, ``"keyword"``, ``"int"``, ``"float"``,
+    ``"string"``, ``"char"``, ``"redop"``, ``"punct"``, ``"eof"``.
+    ``value`` holds the identifier text, keyword, literal value, canonical
+    reduction op name, or punctuation string.
+    """
+
+    kind: str
+    value: Union[str, int, float]
+    line: int
+    col: int
+
+    def is_punct(self, *texts: str) -> bool:
+        return self.kind == "punct" and self.value in texts
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind == "keyword" and self.value in words
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}:{self.value!r}@{self.line}:{self.col}"

@@ -1,0 +1,54 @@
+"""A cost-accurate Connection Machine (CM-2) simulator.
+
+This subpackage is the hardware substrate the paper's measurements ran on:
+a SIMD machine of ``n_pes`` physical processors over which n-dimensional
+*virtual processor sets* are time-sliced, with three communication tiers
+(local memory, NEWS grid, general router), log-depth collectives
+(reduce/scan/spread), a global-OR line, and a front-end workstation whose
+interactions carry fixed latency.  Every operation charges a simulated
+clock, so programs report CM-2-shaped elapsed times.
+"""
+
+from .config import CostTable, MachineConfig, default_config, small_config
+from .cost import Clock, ClockSnapshot, CostRecord
+from .errors import (
+    ContextError,
+    FieldError,
+    GeometryError,
+    MachineError,
+    RouterError,
+    ScanError,
+    VPSetMismatchError,
+)
+from .field import Field
+from .machine import Machine
+from .scan import INF, identity_of
+from .vpset import VPSet
+
+from . import news, paris, router, scan
+
+__all__ = [
+    "Machine",
+    "MachineConfig",
+    "CostTable",
+    "Clock",
+    "ClockSnapshot",
+    "CostRecord",
+    "VPSet",
+    "Field",
+    "INF",
+    "identity_of",
+    "default_config",
+    "small_config",
+    "news",
+    "paris",
+    "router",
+    "scan",
+    "MachineError",
+    "GeometryError",
+    "VPSetMismatchError",
+    "ContextError",
+    "FieldError",
+    "RouterError",
+    "ScanError",
+]

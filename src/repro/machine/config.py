@@ -1,0 +1,153 @@
+"""Machine configuration: physical size and the cost table.
+
+The cost table is the heart of the reproduction.  The paper's measured
+curves (figures 6-8) are shaped by the *relative* costs of the CM-2's
+operation classes, not by absolute microseconds:
+
+* local ALU operations are cheap and scale with the VP ratio,
+* NEWS-grid neighbour communication is a small constant factor above ALU,
+* general router traffic is an order of magnitude above NEWS,
+* global reductions/scans take time logarithmic in the number of
+  processors,
+* every front-end (host) interaction pays a fixed latency, which is why
+  iterating a loop from the host has a per-iteration floor.
+
+The default numbers below are loosely calibrated to published CM-2 Paris
+timings (unit: microseconds for a 16K machine at VP ratio 1) and, more
+importantly, keep those ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from .errors import GeometryError
+
+
+@dataclass(frozen=True)
+class CostTable:
+    """Per-operation-class base costs, in simulated microseconds.
+
+    Each cost is the charge for one Paris instruction executed at VP
+    ratio 1; instruction charges scale linearly with the VP ratio
+    (virtual processors are time-sliced over physical ones) except host
+    operations, which happen on the front end.
+
+    The CM-2 is a host-driven SIMD machine: every Paris instruction is
+    dispatched by the front-end workstation through its bus and runtime
+    library, which in practice dominated short instructions.  That fixed
+    per-instruction ``dispatch`` overhead is charged once per issued
+    instruction (not scaled by VP ratio) and is what keeps small parallel
+    programs from being absurdly fast — exactly the effect visible in the
+    paper's near-flat-but-nonzero UC curve of figure 8.
+
+    Calibration targets (16K CM-2 with a Sun-4 front end, early-1990
+    compilers): figure 8's sequential-C-to-UC ratio of roughly 10× at
+    120 rows, and the mapping technical report's "up to a factor of 10"
+    for router-bound references turned local.
+    """
+
+    #: one elementwise ALU op (add, compare, select...) across a VP set
+    alu: float = 20.0
+    #: loading / saving / combining an activity context flag
+    context: float = 10.0
+    #: one distance-1 NEWS grid shift
+    news: float = 100.0
+    #: one general-router get (remote fetch by computed address)
+    router_get: float = 2500.0
+    #: one general-router send (remote store, with combining)
+    router_send: float = 2000.0
+    #: broadcast of one scalar from the front end to all processors
+    broadcast: float = 150.0
+    #: one step of a log-depth reduction / scan tree
+    scan_step: float = 50.0
+    #: global-OR wired-or line sampled by the front end
+    global_or: float = 100.0
+    #: one scalar operation on the front-end workstation
+    host: float = 0.35
+    #: fixed latency of any host <-> CM interaction (loop turnaround)
+    host_cm_latency: float = 1000.0
+    #: per-field allocation overhead (store management)
+    alloc: float = 50.0
+    #: front-end dispatch overhead charged once per issued instruction
+    dispatch: float = 150.0
+
+    def scaled(self, factor: float) -> "CostTable":
+        """Return a copy with every CM-side cost multiplied by ``factor``.
+
+        Used to model slower/faster machine generations; host costs are
+        left untouched (the front end is a separate computer).
+        """
+        return CostTable(
+            alu=self.alu * factor,
+            context=self.context * factor,
+            news=self.news * factor,
+            router_get=self.router_get * factor,
+            router_send=self.router_send * factor,
+            broadcast=self.broadcast * factor,
+            scan_step=self.scan_step * factor,
+            global_or=self.global_or * factor,
+            host=self.host,
+            host_cm_latency=self.host_cm_latency,
+            alloc=self.alloc * factor,
+            dispatch=self.dispatch * factor,
+        )
+
+
+#: cost classes a charge may be filed under (used by counters and tests)
+COST_KINDS = (
+    "alu",
+    "context",
+    "news",
+    "router_get",
+    "router_send",
+    "broadcast",
+    "scan_step",
+    "global_or",
+    "host",
+    "host_cm_latency",
+    "alloc",
+    "dispatch",
+)
+
+#: kinds executed by the front end: no VP-ratio scaling, no dispatch charge
+HOST_KINDS = frozenset({"host", "host_cm_latency"})
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static description of a simulated Connection Machine.
+
+    Parameters
+    ----------
+    n_pes:
+        Number of physical processing elements.  The paper's machine was a
+        16K CM-2, which is the default.
+    costs:
+        The :class:`CostTable` in effect.
+    name:
+        Human-readable label used in reports.
+    """
+
+    n_pes: int = 16384
+    costs: CostTable = field(default_factory=CostTable)
+    name: str = "CM-2/16K (simulated)"
+
+    def __post_init__(self) -> None:
+        if self.n_pes <= 0:
+            raise GeometryError(f"n_pes must be positive, got {self.n_pes}")
+
+    def with_costs(self, **overrides: float) -> "MachineConfig":
+        """Return a config whose cost table has ``overrides`` applied."""
+        return replace(self, costs=replace(self.costs, **overrides))
+
+
+def default_config() -> MachineConfig:
+    """The configuration used throughout the paper's experiments."""
+    return MachineConfig()
+
+
+def small_config(n_pes: int = 1024) -> MachineConfig:
+    """A small machine, handy for tests that exercise VP ratios > 1."""
+    return MachineConfig(n_pes=n_pes, name=f"CM (simulated, {n_pes} PEs)")

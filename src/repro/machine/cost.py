@@ -1,0 +1,184 @@
+"""Elapsed-time accounting for the simulated machine.
+
+Every Paris-level operation charges the machine :class:`Clock`.  The clock
+keeps both the running total (simulated microseconds) and per-class
+counters so tests can assert *which* kind of traffic a program generated —
+the mapping experiments hinge on "this program issued zero router ops".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .config import COST_KINDS, HOST_KINDS, CostTable
+
+
+@dataclass
+class CostRecord:
+    """One aggregated line of the cost ledger."""
+
+    kind: str
+    count: int = 0
+    time_us: float = 0.0
+
+
+class Clock:
+    """Accumulates simulated elapsed time and per-class op counters.
+
+    The clock also supports *regions*: named nested intervals used by the
+    benchmark harness to attribute time to program phases
+    (initialisation vs. iteration, UC overhead vs. Paris work).
+    """
+
+    def __init__(self, costs: CostTable) -> None:
+        self.costs = costs
+        self._time_us: float = 0.0
+        self._records: Dict[str, CostRecord] = {
+            kind: CostRecord(kind) for kind in COST_KINDS
+        }
+        self._region_stack: List[Tuple[str, float]] = []
+        self.regions: Dict[str, float] = {}
+
+    # -- charging ----------------------------------------------------------
+
+    def charge(self, kind: str, *, count: int = 1, vp_ratio: int = 1) -> float:
+        """Charge ``count`` operations of class ``kind``.
+
+        CM-side charges scale with the VP ratio (virtual processors are
+        time-sliced over the physical ones) and each ``charge`` call of a
+        CM-side kind additionally pays one front-end ``dispatch`` (a
+        Paris instruction is issued once, however many micro-steps it
+        sequences).  Returns the time charged, dispatch included.
+        """
+        if kind not in self._records:
+            raise KeyError(f"unknown cost kind: {kind!r}")
+        base = getattr(self.costs, kind)
+        if kind in HOST_KINDS:
+            dt = base * count
+        else:
+            dt = base * count * max(1, vp_ratio)
+        self._time_us += dt
+        rec = self._records[kind]
+        rec.count += count
+        rec.time_us += dt
+        if kind not in HOST_KINDS and kind != "dispatch":
+            drec = self._records["dispatch"]
+            ddt = self.costs.dispatch
+            self._time_us += ddt
+            drec.count += 1
+            drec.time_us += ddt
+            dt += ddt
+        return dt
+
+    def charge_scan(self, n_vps: int, *, vp_ratio: int = 1, steps_per_level: int = 1) -> float:
+        """Charge one log-depth scan/reduction over ``n_vps`` processors."""
+        levels = max(1, math.ceil(math.log2(max(2, n_vps))))
+        return self.charge(
+            "scan_step", count=levels * steps_per_level, vp_ratio=vp_ratio
+        )
+
+    def advance(self, dt: float) -> None:
+        """Advance the clock by a raw amount (used by the seqc model)."""
+        if dt < 0:
+            raise ValueError("cannot move the clock backwards")
+        self._time_us += dt
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def time_us(self) -> float:
+        """Total simulated elapsed time in microseconds."""
+        return self._time_us
+
+    @property
+    def time_ms(self) -> float:
+        return self._time_us / 1000.0
+
+    @property
+    def time_s(self) -> float:
+        return self._time_us / 1_000_000.0
+
+    def count(self, kind: str) -> int:
+        """Number of operations charged under ``kind`` so far."""
+        return self._records[kind].count
+
+    def time_in(self, kind: str) -> float:
+        """Simulated time attributed to ``kind`` so far."""
+        return self._records[kind].time_us
+
+    def ledger(self) -> List[CostRecord]:
+        """All cost records with non-zero counts, most expensive first."""
+        recs = [r for r in self._records.values() if r.count]
+        return sorted(recs, key=lambda r: -r.time_us)
+
+    # -- regions -----------------------------------------------------------
+
+    def begin_region(self, name: str) -> None:
+        self._region_stack.append((name, self._time_us))
+
+    def end_region(self) -> Tuple[str, float]:
+        if not self._region_stack:
+            raise RuntimeError("end_region with no open region")
+        name, start = self._region_stack.pop()
+        elapsed = self._time_us - start
+        self.regions[name] = self.regions.get(name, 0.0) + elapsed
+        return name, elapsed
+
+    def region(self, name: str) -> "_RegionCtx":
+        """Context manager: ``with clock.region("iterate"): ...``"""
+        return _RegionCtx(self, name)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> "ClockSnapshot":
+        """Capture current totals; subtract two snapshots to get a delta."""
+        return ClockSnapshot(
+            time_us=self._time_us,
+            counts={k: r.count for k, r in self._records.items()},
+            times={k: r.time_us for k, r in self._records.items()},
+        )
+
+    def reset(self) -> None:
+        """Zero the clock and all counters (new experiment run)."""
+        self._time_us = 0.0
+        for rec in self._records.values():
+            rec.count = 0
+            rec.time_us = 0.0
+        self._region_stack.clear()
+        self.regions.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(t={self._time_us:.1f}us)"
+
+
+@dataclass(frozen=True)
+class ClockSnapshot:
+    """Immutable capture of clock totals; supports delta via subtraction."""
+
+    time_us: float
+    counts: Dict[str, int]
+    times: Dict[str, float]
+
+    def __sub__(self, earlier: "ClockSnapshot") -> "ClockSnapshot":
+        return ClockSnapshot(
+            time_us=self.time_us - earlier.time_us,
+            counts={
+                k: self.counts[k] - earlier.counts.get(k, 0) for k in self.counts
+            },
+            times={k: self.times[k] - earlier.times.get(k, 0.0) for k in self.times},
+        )
+
+
+class _RegionCtx:
+    def __init__(self, clock: Clock, name: str) -> None:
+        self._clock = clock
+        self._name = name
+
+    def __enter__(self) -> Clock:
+        self._clock.begin_region(self._name)
+        return self._clock
+
+    def __exit__(self, *exc: object) -> None:
+        self._clock.end_region()

@@ -1,0 +1,37 @@
+"""Machine-level exceptions for the Connection Machine simulator.
+
+The simulator is deliberately strict: shape mismatches, cross-VP-set
+operations and out-of-range router addresses raise immediately instead of
+silently broadcasting, because on the real CM-2 these were hard Paris
+errors (or worse, silent corruption).
+"""
+
+from __future__ import annotations
+
+
+class MachineError(Exception):
+    """Base class for all simulator errors."""
+
+
+class GeometryError(MachineError):
+    """A VP-set geometry is invalid (empty shape, non-positive extent...)."""
+
+
+class VPSetMismatchError(MachineError):
+    """An operation mixed fields that live on different VP sets."""
+
+
+class ContextError(MachineError):
+    """Context stack misuse (pop on empty stack, wrong-shape mask...)."""
+
+
+class FieldError(MachineError):
+    """Illegal field operation (dtype mismatch, wrong shape...)."""
+
+
+class RouterError(MachineError):
+    """Router address out of range or malformed send/get."""
+
+
+class ScanError(MachineError):
+    """Invalid scan/reduce request (unknown op, bad axis...)."""

@@ -1,0 +1,86 @@
+"""The simulated Connection Machine: top-level object tying it together.
+
+A :class:`Machine` owns a configuration, a cost :class:`Clock`, a seeded
+RNG (for the router's arbitrary-combining and UC's ``oneof``), and the VP
+sets / fields allocated on it.  All the Paris-layer modules (``paris``,
+``news``, ``router``, ``scan``) operate on the fields of one machine and
+charge its clock.
+
+Example
+-------
+>>> from repro.machine import Machine
+>>> cm = Machine()
+>>> vps = cm.vpset((32, 32), name="grid")
+>>> a = cm.field(vps, name="a")
+>>> from repro.machine import paris
+>>> paris.move(a, vps.coordinates(0))
+>>> cm.clock.time_us > 0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .config import MachineConfig, default_config
+from .cost import Clock
+from .field import Field
+from .vpset import VPSet
+
+
+class Machine:
+    """A simulated CM-2: physical configuration + clock + allocations."""
+
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        *,
+        seed: int = 0x5CA1AB1E,
+    ) -> None:
+        self.config = config or default_config()
+        self.clock = Clock(self.config.costs)
+        self.rng = np.random.default_rng(seed)
+        self._seed = seed
+        self.vpsets: List[VPSet] = []
+        self.fields: List[Field] = []
+
+    # -- allocation ---------------------------------------------------------
+
+    def vpset(self, shape: Sequence[int], name: str = "") -> VPSet:
+        """Allocate a VP set with the given geometry."""
+        vps = VPSet(self, shape, name)
+        self.vpsets.append(vps)
+        return vps
+
+    def field(self, vpset: VPSet, dtype: object = np.int64, name: str = "") -> Field:
+        """Allocate a field on ``vpset``."""
+        if vpset.machine is not self:
+            raise ValueError("VP set belongs to another machine")
+        f = Field(vpset, dtype, name)
+        self.fields.append(f)
+        return f
+
+    # -- run control ---------------------------------------------------------
+
+    def cold_boot(self) -> None:
+        """Reset the clock, the RNG and drop all allocations."""
+        self.clock.reset()
+        self.rng = np.random.default_rng(self._seed)
+        self.vpsets.clear()
+        self.fields.clear()
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.clock.time_us
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.clock.time_ms
+
+    def __repr__(self) -> str:
+        return (
+            f"Machine({self.config.name!r}, n_pes={self.config.n_pes}, "
+            f"t={self.clock.time_us:.1f}us)"
+        )

@@ -1,0 +1,115 @@
+"""The general router: arbitrary fetch/store by computed address.
+
+Any VP may read (``get``) or write (``send``) the memory of any other VP,
+at roughly an order of magnitude the cost of a NEWS hop.  Sends support
+*combining*: when several VPs target the same destination, the router
+hardware merges the messages with a commutative-associative operation —
+this is what makes histogram/rank computations fast on the CM and it is
+what the UC reduction compiles to when operands scatter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from .errors import RouterError, VPSetMismatchError
+from .field import Field
+
+#: combining operations the router supports (Paris send-with-*)
+COMBINERS: Dict[str, Callable[[np.ndarray, np.ndarray, np.ndarray], None]] = {
+    "overwrite": lambda tgt, idx, val: tgt.__setitem__(idx, val),
+    "add": lambda tgt, idx, val: np.add.at(tgt, idx, val),
+    "min": lambda tgt, idx, val: np.minimum.at(tgt, idx, val),
+    "max": lambda tgt, idx, val: np.maximum.at(tgt, idx, val),
+    "logand": lambda tgt, idx, val: np.logical_and.at(tgt, idx, val),
+    "logor": lambda tgt, idx, val: np.logical_or.at(tgt, idx, val),
+    "logxor": lambda tgt, idx, val: np.logical_xor.at(tgt, idx, val),
+    "mul": lambda tgt, idx, val: np.multiply.at(tgt, idx, val),
+}
+
+
+def _check_addresses(addr: np.ndarray, n_vps: int) -> None:
+    if addr.size and (addr.min() < 0 or addr.max() >= n_vps):
+        raise RouterError(
+            f"router address out of range [0, {n_vps}): "
+            f"min={addr.min()}, max={addr.max()}"
+        )
+
+
+def get(dest: Field, source: Field, address: np.ndarray) -> None:
+    """``dest[vp] := source.data.flat[address[vp]]`` for active VPs.
+
+    ``address`` holds, per destination VP, the linear self-address of the
+    source VP to read.  Source and destination may live on different VP
+    sets (the router spans the whole machine).  One ``router_get`` charge,
+    scaled by the larger VP ratio involved.
+    """
+    vps = dest.vpset
+    address = np.asarray(address, dtype=np.int64)
+    if address.shape != vps.shape:
+        raise RouterError(
+            f"address shape {address.shape} != destination shape {vps.shape}"
+        )
+    mask = vps.context
+    active_addr = address[mask]
+    _check_addresses(active_addr, source.vpset.n_vps)
+    ratio = max(vps.vp_ratio, source.vpset.vp_ratio)
+    vps.machine.clock.charge("router_get", vp_ratio=ratio)
+    dest.data[mask] = source.data.reshape(-1)[active_addr].astype(dest.dtype)
+
+
+def send(
+    dest: Field,
+    source: Field,
+    address: np.ndarray,
+    *,
+    combiner: str = "overwrite",
+    rng: Optional[np.random.Generator] = None,
+) -> None:
+    """``dest.flat[address[vp]] OP= source[vp]`` for active source VPs.
+
+    ``combiner`` names how colliding messages merge (see :data:`COMBINERS`);
+    ``"arbitrary"`` delivers exactly one of the colliding messages, chosen
+    by ``rng`` (or the machine RNG) — the semantics of UC's ``$,``.
+    """
+    vps = source.vpset
+    address = np.asarray(address, dtype=np.int64)
+    if address.shape != vps.shape:
+        raise RouterError(
+            f"address shape {address.shape} != source shape {vps.shape}"
+        )
+    mask = vps.context
+    addr = address[mask]
+    vals = source.data[mask]
+    _check_addresses(addr, dest.vpset.n_vps)
+    ratio = max(vps.vp_ratio, dest.vpset.vp_ratio)
+    vps.machine.clock.charge("router_send", vp_ratio=ratio)
+
+    flat = dest.data.reshape(-1)
+    if combiner == "arbitrary":
+        generator = rng if rng is not None else vps.machine.rng
+        order = generator.permutation(len(addr))
+        flat[addr[order]] = vals[order].astype(dest.dtype)
+        return
+    try:
+        op = COMBINERS[combiner]
+    except KeyError:
+        raise RouterError(f"unknown combiner {combiner!r}") from None
+    op(flat, addr, vals.astype(dest.dtype))
+
+
+def permute(dest: Field, source: Field, address: np.ndarray) -> None:
+    """Send where addresses are a permutation (layout remap).
+
+    Identical to :func:`send` with overwrite but validates that no two
+    active VPs collide, which is what a mapping remap guarantees.
+    """
+    vps = source.vpset
+    address = np.asarray(address, dtype=np.int64)
+    mask = vps.context
+    addr = address[mask]
+    if len(np.unique(addr)) != len(addr):
+        raise RouterError("permute called with colliding addresses")
+    send(dest, source, address, combiner="overwrite")

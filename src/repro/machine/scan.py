@@ -1,0 +1,199 @@
+"""Scan, reduce, spread and enumerate: the CM's log-depth collectives.
+
+These are the primitives behind UC reductions and prefix computations.
+A reduction over *n* active processors completes in ⌈log₂ n⌉ tree steps;
+scans (parallel prefix) and spreads (broadcast along an axis) have the
+same depth.  Identity values follow the paper's table in §3.2 — an empty
+operand set yields the identity of the operator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from .errors import ScanError
+from .field import Field, ScalarLike
+
+#: a practical stand-in for the paper's INF constant
+INF = float(2**53)
+
+#: reduction operator table: name -> (numpy ufunc-ish reducer, identity)
+_REDUCERS: Dict[str, Tuple[Callable[[np.ndarray], ScalarLike], ScalarLike]] = {
+    "add": (lambda v: v.sum(), 0),
+    "mul": (lambda v: v.prod(), 1),
+    "max": (lambda v: v.max(), -INF),
+    "min": (lambda v: v.min(), INF),
+    "logand": (lambda v: bool(np.logical_and.reduce(v)), True),
+    "logor": (lambda v: bool(np.logical_or.reduce(v)), False),
+    "logxor": (lambda v: bool(np.logical_xor.reduce(v)), False),
+}
+
+#: scan (prefix) accumulators: name -> numpy ufunc
+_SCANNERS: Dict[str, np.ufunc] = {
+    "add": np.add,
+    "mul": np.multiply,
+    "max": np.maximum,
+    "min": np.minimum,
+    "logand": np.logical_and,
+    "logor": np.logical_or,
+    "logxor": np.logical_xor,
+}
+
+
+def identity_of(op: str) -> ScalarLike:
+    """The identity value returned for an empty reduction (paper §3.2)."""
+    if op == "arbitrary":
+        return INF
+    try:
+        return _REDUCERS[op][1]
+    except KeyError:
+        raise ScanError(f"unknown reduction op {op!r}") from None
+
+
+def reduce(
+    field: Field,
+    op: str,
+    *,
+    rng: Optional[np.random.Generator] = None,
+) -> ScalarLike:
+    """Reduce the active values of ``field`` with ``op`` to one scalar.
+
+    Returns the operator identity if no VP is active.  ``"arbitrary"``
+    returns one active value chosen by ``rng`` (default: machine RNG).
+    Charged as one log-depth tree plus the host read of the result.
+    """
+    vps = field.vpset
+    mask = vps.context
+    vals = field.data[mask]
+    vps.machine.clock.charge_scan(vps.n_vps, vp_ratio=vps.vp_ratio)
+    vps.machine.clock.charge("host_cm_latency")
+    if vals.size == 0:
+        return identity_of(op)
+    if op == "arbitrary":
+        generator = rng if rng is not None else vps.machine.rng
+        return vals[int(generator.integers(0, vals.size))].item()
+    try:
+        reducer, _ = _REDUCERS[op]
+    except KeyError:
+        raise ScanError(f"unknown reduction op {op!r}") from None
+    out = reducer(vals)
+    return out.item() if isinstance(out, np.generic) else out
+
+
+def scan(
+    dest: Field,
+    source: Field,
+    op: str,
+    *,
+    axis: int = -1,
+    inclusive: bool = True,
+    segment_mask: Optional[np.ndarray] = None,
+) -> None:
+    """Parallel prefix of ``source`` along ``axis`` into ``dest``.
+
+    Inactive positions pass their accumulated value through unchanged (the
+    Paris scan semantics with the context as the scan mask).  With
+    ``segment_mask`` set, positions where it is True start a new segment.
+    """
+    dest.same_vpset(source)
+    vps = source.vpset
+    if op not in _SCANNERS:
+        raise ScanError(f"unknown scan op {op!r}")
+    ufunc = _SCANNERS[op]
+    ax = axis % vps.rank
+    vps.machine.clock.charge_scan(vps.shape[ax], vp_ratio=vps.vp_ratio)
+
+    mask = vps.context
+    ident = identity_of(op)
+    vals = np.where(mask, source.data, np.asarray(ident, dtype=source.data.dtype))
+
+    if segment_mask is None:
+        acc = ufunc.accumulate(vals, axis=ax)
+        if not inclusive:
+            acc = _exclusive_shift(acc, vals, ident, ax)
+    else:
+        acc = _segmented_accumulate(vals, np.asarray(segment_mask, bool), ufunc, ident, ax)
+        if not inclusive:
+            acc = _exclusive_shift(acc, vals, ident, ax)
+    dest.data[mask] = acc[mask].astype(dest.dtype)
+
+
+def _exclusive_shift(acc: np.ndarray, vals: np.ndarray, ident: ScalarLike, ax: int) -> np.ndarray:
+    out = np.empty_like(acc)
+    lead = [slice(None)] * acc.ndim
+    rest_src = [slice(None)] * acc.ndim
+    rest_dst = [slice(None)] * acc.ndim
+    lead[ax] = slice(0, 1)
+    rest_src[ax] = slice(None, -1)
+    rest_dst[ax] = slice(1, None)
+    out[tuple(lead)] = np.asarray(ident, dtype=acc.dtype)
+    out[tuple(rest_dst)] = acc[tuple(rest_src)]
+    return out
+
+
+def _segmented_accumulate(
+    vals: np.ndarray, segs: np.ndarray, ufunc: np.ufunc, ident: ScalarLike, ax: int
+) -> np.ndarray:
+    if segs.shape != vals.shape:
+        raise ScanError("segment mask shape mismatch")
+    moved = np.moveaxis(vals, ax, -1)
+    msegs = np.moveaxis(segs, ax, -1)
+    out = np.empty_like(moved)
+    flat_v = moved.reshape(-1, moved.shape[-1])
+    flat_s = msegs.reshape(-1, moved.shape[-1])
+    flat_o = out.reshape(-1, moved.shape[-1])
+    for row in range(flat_v.shape[0]):
+        acc = np.asarray(ident, dtype=vals.dtype)
+        for col in range(flat_v.shape[1]):
+            if flat_s[row, col]:
+                acc = np.asarray(ident, dtype=vals.dtype)
+            acc = ufunc(acc, flat_v[row, col])
+            flat_o[row, col] = acc
+    return np.moveaxis(out, -1, ax)
+
+
+def spread(dest: Field, source: Field, op: str, *, axis: int) -> None:
+    """Reduce ``source`` along ``axis`` with ``op`` and broadcast the result
+    back along that axis (Paris ``spread-with-op``).
+
+    This is the primitive behind UC reductions evaluated *per element of
+    the remaining axes* — e.g. the matrix-multiply dot products.
+    """
+    dest.same_vpset(source)
+    vps = source.vpset
+    if op not in _SCANNERS:
+        raise ScanError(f"unknown spread op {op!r}")
+    ufunc = _SCANNERS[op]
+    ax = axis % vps.rank
+    vps.machine.clock.charge_scan(vps.shape[ax], vp_ratio=vps.vp_ratio, steps_per_level=2)
+
+    mask = vps.context
+    ident = identity_of(op)
+    vals = np.where(mask, source.data, np.asarray(ident, dtype=source.data.dtype))
+    red = ufunc.reduce(vals, axis=ax, keepdims=True)
+    out = np.broadcast_to(red, vps.shape)
+    dest.data[mask] = out[mask].astype(dest.dtype)
+
+
+def enumerate_active(field: Field) -> None:
+    """Write into ``field`` the rank (0-based) of each active VP among the
+    active VPs, in row-major order (Paris ``enumerate``).
+
+    Used for packing and for processor allocation in the compiler.
+    """
+    vps = field.vpset
+    mask = vps.context
+    vps.machine.clock.charge_scan(vps.n_vps, vp_ratio=vps.vp_ratio)
+    flat_mask = mask.reshape(-1)
+    ranks = np.cumsum(flat_mask) - 1
+    field.data.reshape(-1)[flat_mask] = ranks[flat_mask].astype(field.dtype)
+
+
+def global_count(vpset) -> int:
+    """Number of active VPs, as the front end would obtain it (one reduce)."""
+    vpset.machine.clock.charge_scan(vpset.n_vps, vp_ratio=vpset.vp_ratio)
+    vpset.machine.clock.charge("host_cm_latency")
+    return vpset.active_count()

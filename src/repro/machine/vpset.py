@@ -1,0 +1,143 @@
+"""Virtual-processor sets: geometries, VP ratios and activity contexts.
+
+On the CM-2 a program declares *VP sets* — n-dimensional grids of virtual
+processors.  When a VP set is larger than the physical machine, each
+physical PE time-slices ``vp_ratio`` virtual processors, which multiplies
+the cost of every instruction issued to the set.  Each VP set carries an
+*activity context*: a stack of boolean masks selecting which virtual
+processors execute the current instruction (the hardware "context flag").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import ContextError, GeometryError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+
+class VPSet:
+    """An n-dimensional grid of virtual processors on a machine.
+
+    Create through :meth:`repro.machine.Machine.vpset`, not directly, so
+    the machine can charge allocation cost and track the set.
+    """
+
+    def __init__(self, machine: "Machine", shape: Sequence[int], name: str = "") -> None:
+        shape = tuple(int(s) for s in shape)
+        if not shape:
+            raise GeometryError("VP set needs at least one dimension")
+        if any(s <= 0 for s in shape):
+            raise GeometryError(f"VP set extents must be positive: {shape}")
+        self.machine = machine
+        self.shape: Tuple[int, ...] = shape
+        self.name = name or f"vpset{shape}"
+        self.n_vps: int = int(np.prod(shape))
+        self.vp_ratio: int = max(1, math.ceil(self.n_vps / machine.config.n_pes))
+        self._context_stack: List[np.ndarray] = []
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def axis_extent(self, axis: int) -> int:
+        return self.shape[axis]
+
+    def self_addresses(self) -> np.ndarray:
+        """The ``self-address`` of every VP: its row-major linear index."""
+        return np.arange(self.n_vps, dtype=np.int64).reshape(self.shape)
+
+    def coordinates(self, axis: int) -> np.ndarray:
+        """Per-VP coordinate along ``axis`` (Paris ``my-news-coordinate``)."""
+        if not 0 <= axis < self.rank:
+            raise GeometryError(f"axis {axis} out of range for rank {self.rank}")
+        idx = np.indices(self.shape, dtype=np.int64)
+        return idx[axis]
+
+    # -- activity context ---------------------------------------------------
+
+    @property
+    def context(self) -> np.ndarray:
+        """The current activity mask (everywhere-true if stack is empty)."""
+        if self._context_stack:
+            return self._context_stack[-1]
+        return np.ones(self.shape, dtype=bool)
+
+    @property
+    def context_depth(self) -> int:
+        return len(self._context_stack)
+
+    def push_context(self, mask: np.ndarray, *, combine: bool = True) -> None:
+        """Push an activity mask.
+
+        With ``combine`` (the default, matching nested ``where`` semantics
+        on the CM) the new context is ANDed with the enclosing one.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.shape:
+            raise ContextError(
+                f"context mask shape {mask.shape} != VP set shape {self.shape}"
+            )
+        if combine and self._context_stack:
+            mask = mask & self._context_stack[-1]
+        self._context_stack.append(mask)
+        self.machine.clock.charge("context", vp_ratio=self.vp_ratio)
+
+    def pop_context(self) -> np.ndarray:
+        if not self._context_stack:
+            raise ContextError("pop_context on empty context stack")
+        self.machine.clock.charge("context", vp_ratio=self.vp_ratio)
+        return self._context_stack.pop()
+
+    def active_count(self) -> int:
+        """How many VPs are active under the current context."""
+        return int(np.count_nonzero(self.context))
+
+    def everywhere(self) -> "_EverywhereCtx":
+        """Context manager suspending all masking (Paris ``everywhere``)."""
+        return _EverywhereCtx(self)
+
+    def where(self, mask: np.ndarray) -> "_WhereCtx":
+        """Context manager: ``with vps.where(mask): ...`` (nested AND)."""
+        return _WhereCtx(self, mask)
+
+    def __repr__(self) -> str:
+        return (
+            f"VPSet({self.name!r}, shape={self.shape}, "
+            f"vp_ratio={self.vp_ratio}, active={self.active_count()})"
+        )
+
+
+class _WhereCtx:
+    def __init__(self, vps: VPSet, mask: np.ndarray) -> None:
+        self._vps = vps
+        self._mask = mask
+
+    def __enter__(self) -> VPSet:
+        self._vps.push_context(self._mask)
+        return self._vps
+
+    def __exit__(self, *exc: object) -> None:
+        self._vps.pop_context()
+
+
+class _EverywhereCtx:
+    def __init__(self, vps: VPSet) -> None:
+        self._vps = vps
+        self._saved: Optional[List[np.ndarray]] = None
+
+    def __enter__(self) -> VPSet:
+        self._saved = self._vps._context_stack
+        self._vps._context_stack = []
+        return self._vps
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._saved is not None
+        self._vps._context_stack = self._saved

@@ -1,0 +1,38 @@
+"""Data mappings (paper §4): default layouts plus permute / fold / copy.
+
+A *layout* describes where each element of a program array physically
+lives relative to the canonical grid placement the compiler would choose
+by default (conforming arrays co-located element-wise).  The three mapping
+classes re-layout arrays **without changing program meaning**:
+
+* ``permute`` — shift/reorder one array relative to another so references
+  like ``a[i] = b[i+1]`` become local;
+* ``fold`` — fold an array onto itself (wrap or mirror) so ``a[i]`` and
+  ``a[i+N/2]`` (or ``a[N-1-i]``) share a processor;
+* ``copy`` — replicate an array along an extra index-set axis so row
+  broadcasts become local reads.
+
+The :mod:`locality` module classifies every array reference appearing in
+a parallel context into LOCAL / NEWS / SPREAD / BROADCAST / ROUTER, which
+is what the interpreter charges the machine clock for.
+"""
+
+from .layout import AxisFold, Layout, LayoutTable
+from .locality import RefClass, classify_reference, classify_write
+from .maps import apply_map_decl, build_layouts
+from .default import default_layouts
+from .transform import rewrite_program, rewrite_subscripts
+
+__all__ = [
+    "Layout",
+    "AxisFold",
+    "LayoutTable",
+    "RefClass",
+    "classify_reference",
+    "classify_write",
+    "apply_map_decl",
+    "build_layouts",
+    "default_layouts",
+    "rewrite_program",
+    "rewrite_subscripts",
+]

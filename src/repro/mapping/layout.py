@@ -1,0 +1,142 @@
+"""Layout descriptors: where array elements physically live.
+
+The *canonical* placement of an array of shape ``(n0, ..., nk)`` puts
+logical element ``(x0, ..., xk)`` on grid position ``(x0, ..., xk)`` of
+its VP set, with conforming arrays co-located (the compiler default,
+paper §4).  A :class:`Layout` describes a deviation from canonical:
+
+* per-axis integer ``offsets`` — element ``x`` lives at position
+  ``x + offset`` (the result of a ``permute`` with a shifted target);
+* an ``axis_perm`` — physical axis order differs from logical (the result
+  of a transposing ``permute``);
+* an :class:`AxisFold` — one axis is folded (wrap or mirror) onto its
+  lower half, halving the processors used;
+* ``copy_elem`` / ``copy_extent`` — the array is replicated along an
+  extra axis aligned with an index-set element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from ..lang.errors import UCSemanticError
+
+
+@dataclass(frozen=True)
+class AxisFold:
+    """Fold of one logical axis.
+
+    ``kind`` is ``"wrap"`` (element ``x >= pivot`` lives at ``x - pivot``)
+    or ``"mirror"`` (element ``x`` with ``x > param/2`` lives at
+    ``param - x``; ``param`` is typically ``n-1``).
+    """
+
+    axis: int
+    kind: str  # 'wrap' | 'mirror'
+    param: int
+
+    def physical(self, x: int) -> int:
+        if self.kind == "wrap":
+            return x - self.param if x >= self.param else x
+        # mirror around param/2
+        return self.param - x if 2 * x > self.param else x
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Physical placement of one array relative to canonical."""
+
+    array: str
+    shape: Tuple[int, ...]
+    offsets: Tuple[int, ...] = ()
+    axis_perm: Optional[Tuple[int, ...]] = None
+    fold: Optional[AxisFold] = None
+    copy_elem: Optional[str] = None
+    copy_extent: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.offsets:
+            object.__setattr__(self, "offsets", (0,) * len(self.shape))
+        if len(self.offsets) != len(self.shape):
+            raise UCSemanticError(
+                f"layout for {self.array!r}: {len(self.offsets)} offsets for "
+                f"rank {len(self.shape)}"
+            )
+        if self.axis_perm is not None and sorted(self.axis_perm) != list(
+            range(len(self.shape))
+        ):
+            raise UCSemanticError(
+                f"layout for {self.array!r}: bad axis permutation {self.axis_perm}"
+            )
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def is_canonical(self) -> bool:
+        return (
+            all(o == 0 for o in self.offsets)
+            and (self.axis_perm is None or tuple(self.axis_perm) == tuple(range(self.rank)))
+            and self.fold is None
+            and self.copy_elem is None
+        )
+
+    def physical_position(self, logical: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Grid position of logical element ``logical`` (ignores copies —
+        a copied element lives at this position in *every* replica layer).
+        """
+        if len(logical) != self.rank:
+            raise UCSemanticError(
+                f"layout for {self.array!r}: position rank mismatch"
+            )
+        pos = [x + o for x, o in zip(logical, self.offsets)]
+        if self.fold is not None:
+            pos[self.fold.axis] = self.fold.physical(logical[self.fold.axis]) + self.offsets[
+                self.fold.axis
+            ]
+        if self.axis_perm is not None:
+            pos = [pos[a] for a in self.axis_perm]
+        return tuple(pos)
+
+    def with_offsets(self, offsets: Tuple[int, ...]) -> "Layout":
+        return replace(self, offsets=offsets)
+
+    def with_fold(self, fold: AxisFold) -> "Layout":
+        return replace(self, fold=fold)
+
+    def with_axis_perm(self, perm: Tuple[int, ...]) -> "Layout":
+        return replace(self, axis_perm=perm)
+
+    def with_copy(self, elem: str, extent: int) -> "Layout":
+        return replace(self, copy_elem=elem, copy_extent=extent)
+
+
+class LayoutTable:
+    """All array layouts of one program run."""
+
+    def __init__(self) -> None:
+        self._layouts: Dict[str, Layout] = {}
+
+    def add(self, layout: Layout) -> None:
+        self._layouts[layout.array] = layout
+
+    def get(self, array: str) -> Layout:
+        try:
+            return self._layouts[array]
+        except KeyError:
+            raise UCSemanticError(f"no layout for array {array!r}") from None
+
+    def __contains__(self, array: str) -> bool:
+        return array in self._layouts
+
+    def __iter__(self):
+        return iter(self._layouts.values())
+
+    def arrays(self):
+        return list(self._layouts)
+
+    def non_canonical(self):
+        """Arrays whose layout deviates from the compiler default."""
+        return [l for l in self._layouts.values() if not l.is_canonical]

@@ -1,0 +1,243 @@
+"""Reference classification: what does an array access cost?
+
+Given the *values* each subscript takes across a parallel grid, classify
+the reference into the CM-2's communication tiers:
+
+* ``local``     — every VP reads/writes its own memory (ALU cost only);
+* ``news``      — a constant-offset neighbour fetch (cheap grid shifts);
+* ``spread``    — the value is constant along some grid axes: a log-depth
+  spread/copy-scan supplies it (e.g. ``d[i][k]`` inside an ``(i,j,k)``
+  grid, or row reads ``b[k][i]`` with a scalar ``k``);
+* ``broadcast`` — one element for everybody (front-end broadcast);
+* ``router``    — data-dependent or permuting access (general router).
+
+Classification is *numeric*: the interpreter hands in the realised
+subscript arrays, and we compare them against the grid coordinates.  This
+makes the classifier exact for any expression the program can write —
+including dynamic shifts like ``a[i - power2(j)]`` whose distance is only
+known at run time — at the price of a small amount of arithmetic per
+executed statement (vectorised, so it stays cheap).
+
+The active :class:`~repro.mapping.layout.Layout` adjusts the verdict:
+permute offsets cancel shifts, folds legitimise mirror/wrap accesses, and
+copies absorb spreads along their replication element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .layout import Layout
+
+Subscript = Union[int, float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class RefClass:
+    """Verdict for one array reference."""
+
+    kind: str  # 'local' | 'news' | 'spread' | 'broadcast' | 'router'
+    news_distance: int = 0
+    spread_extent: int = 1  # product of extents the value must be spread over
+    detail: str = ""
+
+    @property
+    def is_remote(self) -> bool:
+        return self.kind != "local"
+
+
+@dataclass
+class _AxisVerdict:
+    kind: str  # 'uniform' | 'identity' | 'mirror' | 'data'
+    grid_axis: int = -1
+    shift: int = 0
+    mirror_param: int = 0
+
+
+def _constant_of(arr: np.ndarray) -> Optional[int]:
+    """The single value of ``arr`` if it is constant, else None."""
+    if arr.size == 0:
+        return 0
+    flat = arr.reshape(-1)
+    first = flat[0]
+    if np.all(flat == first):
+        return int(first)
+    return None
+
+
+def _axis_verdict(
+    sub: Subscript,
+    positions: Sequence[np.ndarray],
+    used: List[bool],
+) -> _AxisVerdict:
+    """Classify one subscript against the grid position coordinates."""
+    if not isinstance(sub, np.ndarray):
+        return _AxisVerdict("uniform", shift=int(sub))
+    const = _constant_of(sub)
+    if const is not None:
+        return _AxisVerdict("uniform", shift=const)
+    for g, pos in enumerate(positions):
+        if used[g]:
+            continue
+        diff = _constant_of(sub - pos)
+        if diff is not None:
+            return _AxisVerdict("identity", grid_axis=g, shift=diff)
+        summ = _constant_of(sub + pos)
+        if summ is not None:
+            return _AxisVerdict("mirror", grid_axis=g, mirror_param=summ)
+    return _AxisVerdict("data")
+
+
+def classify_reference(
+    subs: Sequence[Subscript],
+    grid_shape: Tuple[int, ...],
+    axis_elems: Sequence[str],
+    layout: Layout,
+    *,
+    positions: Optional[Sequence[np.ndarray]] = None,
+) -> RefClass:
+    """Classify an array read.
+
+    Parameters
+    ----------
+    subs:
+        Realised subscript values, one per array axis — scalars or arrays
+        shaped like the grid.
+    grid_shape / axis_elems:
+        The parallel grid's shape and the element identifier bound to each
+        grid axis.
+    layout:
+        The referenced array's layout.
+    positions:
+        Pre-computed ``np.indices(grid_shape)`` (optional, cached by the
+        interpreter).
+    """
+    if not grid_shape:
+        # host (scalar) context: the front end reads one element
+        return RefClass("broadcast", detail="host read")
+    if positions is None:
+        positions = list(np.indices(grid_shape))
+
+    used = [False] * len(grid_shape)
+    verdicts: List[_AxisVerdict] = []
+    for sub in subs:
+        v = _axis_verdict(sub, positions, used)
+        if v.kind == "data":
+            return RefClass("router", detail="data-dependent subscript")
+        if v.grid_axis >= 0:
+            used[v.grid_axis] = True
+        verdicts.append(v)
+
+    if all(v.kind == "uniform" for v in verdicts):
+        return RefClass("broadcast", detail="single element for all VPs")
+
+    perm = layout.axis_perm or tuple(range(layout.rank))
+    fold = layout.fold
+
+    news_distance = 0
+    needs_router = False
+    detail_bits: List[str] = []
+    matched: List[Tuple[int, int]] = []  # (layout slot, grid axis)
+
+    for a, v in enumerate(verdicts):
+        if v.kind == "uniform":
+            # slice read: handled below together with unused axes (spread)
+            continue
+        if v.kind == "mirror":
+            if (
+                fold is not None
+                and fold.axis == a
+                and fold.kind == "mirror"
+                and fold.param == v.mirror_param
+            ):
+                detail_bits.append(f"axis {a}: mirror absorbed by fold")
+                matched.append((perm.index(a), v.grid_axis))
+                continue
+            needs_router = True
+            detail_bits.append(f"axis {a}: mirrored access")
+            continue
+        # identity with shift
+        eff = v.shift + layout.offsets[a]
+        if (
+            fold is not None
+            and fold.axis == a
+            and fold.kind == "wrap"
+            and v.shift == fold.param
+        ):
+            eff = layout.offsets[a]
+            detail_bits.append(f"axis {a}: wrap absorbed by fold")
+        matched.append((perm.index(a), v.grid_axis))
+        news_distance += abs(int(eff))
+
+    # the matched grid axes must respect the layout's physical axis order:
+    # walking the array's physical slots in order, the grid axes they bind
+    # to must increase — otherwise the access permutes data (router).
+    by_slot = sorted(matched)
+    grid_axes_in_slot_order = [g for _s, g in by_slot]
+    if grid_axes_in_slot_order != sorted(grid_axes_in_slot_order):
+        needs_router = True
+        detail_bits.append(
+            f"axis order {grid_axes_in_slot_order} permutes the grid alignment"
+        )
+
+    # grid axes not consumed by any subscript: the value is constant along
+    # them and must be spread (unless a copy layout already replicated it)
+    spread_extent = 1
+    for g, elem in enumerate(axis_elems):
+        if used[g] or grid_shape[g] == 1:
+            continue
+        if layout.copy_elem is not None and elem == layout.copy_elem:
+            detail_bits.append(f"grid axis {g} ({elem}): absorbed by copy")
+            continue
+        spread_extent *= grid_shape[g]
+
+    # uniform subscripts on some axes while others match: a slice is
+    # fetched — model as a spread over the matched geometry
+    has_uniform_axis = any(
+        v.kind == "uniform" for v in verdicts
+    ) and layout.rank > 0 and len(verdicts) > 1
+    if has_uniform_axis and spread_extent == 1:
+        if not (layout.copy_elem is not None):
+            spread_extent = max(
+                2, min(grid_shape)
+            )  # slice must travel across at least one axis
+            detail_bits.append("slice read via spread")
+
+    if needs_router:
+        return RefClass("router", detail="; ".join(detail_bits))
+    if spread_extent > 1:
+        return RefClass(
+            "spread",
+            news_distance=news_distance,
+            spread_extent=spread_extent,
+            detail="; ".join(detail_bits) or "value constant along unused grid axes",
+        )
+    if news_distance > 0:
+        return RefClass("news", news_distance=news_distance, detail="; ".join(detail_bits))
+    return RefClass("local", detail="; ".join(detail_bits))
+
+
+def classify_write(
+    subs: Sequence[Subscript],
+    grid_shape: Tuple[int, ...],
+    axis_elems: Sequence[str],
+    layout: Layout,
+    *,
+    positions: Optional[Sequence[np.ndarray]] = None,
+) -> RefClass:
+    """Classify an array write.
+
+    Same analysis as reads; the interpreter charges ``router_send`` for
+    anything that is not local/news (scatters combine in the router), and
+    collision checking (the single-assignment rule) happens separately.
+    """
+    rc = classify_reference(
+        subs, grid_shape, axis_elems, layout, positions=positions
+    )
+    if rc.kind in ("broadcast", "spread"):
+        # a non-injective write pattern goes through the router
+        return RefClass("router", detail=f"write: {rc.detail}")
+    return rc

@@ -1,0 +1,229 @@
+"""Turning parsed ``map`` sections into concrete layouts.
+
+A map declaration relates two array references over index-set elements,
+e.g. ``permute (I) b[i+1] :- a[i];`` — "place element ``i+1`` of ``b``
+where element ``i`` of ``a`` lives".  With ``a`` canonical this gives
+``b`` a per-axis offset; transposed element orders give an axis
+permutation; ``fold`` and ``copy`` populate the corresponding layout
+fields.  Map declarations never change program results (the paper's
+central claim, property-tested in ``tests/properties``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..lang import ast
+from ..lang.errors import UCSemanticError
+from ..lang.semantics import ProgramInfo, _ConstEvaluator
+from .layout import AxisFold, Layout, LayoutTable
+from .default import default_layouts
+
+
+@dataclass(frozen=True)
+class AffineSub:
+    """A subscript of the form ``scale*elem + offset`` (or pure constant)."""
+
+    elem: Optional[str]
+    scale: int
+    offset: int
+
+
+def affine_subscript(
+    expr: ast.Expr, elements: Dict[str, str], constants: Dict[str, int]
+) -> AffineSub:
+    """Canonicalise a map-section subscript to ``scale*elem + offset``.
+
+    ``elements`` maps element identifiers in scope to their index sets.
+    Raises if the subscript is not affine in at most one element.
+    """
+    consts = _ConstEvaluator(constants)
+
+    def go(e: ast.Expr) -> AffineSub:
+        if isinstance(e, ast.Name) and e.ident in elements:
+            return AffineSub(e.ident, 1, 0)
+        if isinstance(e, ast.Unary) and e.op == "-":
+            s = go(e.operand)
+            return AffineSub(s.elem, -s.scale, -s.offset)
+        if isinstance(e, ast.Binary) and e.op in ("+", "-"):
+            l, r = go(e.left), go(e.right)
+            if e.op == "-":
+                r = AffineSub(r.elem, -r.scale, -r.offset)
+            if l.elem is not None and r.elem is not None:
+                raise UCSemanticError(
+                    "map subscript uses two index elements", e.line, e.col
+                )
+            elem = l.elem or r.elem
+            scale = l.scale if l.elem else r.scale
+            if elem is None:
+                scale = 0
+            return AffineSub(elem, scale, l.offset + r.offset)
+        # anything else must be a compile-time constant
+        return AffineSub(None, 0, consts.eval(e))
+
+    sub = go(expr)
+    if sub.elem is not None and sub.scale not in (1, -1):
+        raise UCSemanticError(
+            "map subscripts must have unit element coefficient", expr.line, expr.col
+        )
+    return sub
+
+
+def _decl_elements(decl: ast.MapDecl, info: ProgramInfo) -> Dict[str, str]:
+    elems: Dict[str, str] = {}
+    for set_name in decl.index_sets:
+        isv = info.index_sets[set_name]
+        elems[isv.elem_name] = set_name
+    return elems
+
+
+def apply_map_decl(decl: ast.MapDecl, table: LayoutTable, info: ProgramInfo) -> None:
+    """Apply one ``permute`` / ``fold`` / ``copy`` declaration to ``table``."""
+    if decl.kind == "permute":
+        _apply_permute(decl, table, info)
+    elif decl.kind == "fold":
+        _apply_fold(decl, table, info)
+    elif decl.kind == "copy":
+        _apply_copy(decl, table, info)
+    else:  # pragma: no cover - parser restricts kinds
+        raise UCSemanticError(f"unknown map kind {decl.kind!r}", decl.line, decl.col)
+
+
+def _apply_permute(decl: ast.MapDecl, table: LayoutTable, info: ProgramInfo) -> None:
+    """``permute (I) target[f(i)] :- source[g(i)];``
+
+    For every element value, the referenced target element must land on
+    the physical position of the referenced source element.  Supported
+    shapes: per-axis shifts (unit positive coefficient) and axis
+    permutations; mirror coefficients belong to ``fold``.
+    """
+    assert decl.source is not None
+    elems = _decl_elements(decl, info)
+    tgt_subs = [affine_subscript(s, elems, info.constants) for s in decl.target.subs]
+    src_subs = [affine_subscript(s, elems, info.constants) for s in decl.source.subs]
+    target = table.get(decl.target.base)
+    source = table.get(decl.source.base)
+
+    if not source.is_canonical:
+        raise UCSemanticError(
+            f"permute source {decl.source.base!r} must have the default layout "
+            "(chain permutes from canonical anchors)",
+            decl.line,
+            decl.col,
+        )
+
+    # match target axes to source axes by shared element identifiers
+    offsets: List[int] = list(target.offsets)
+    perm: List[int] = list(range(target.rank))
+    for t_axis, t_sub in enumerate(tgt_subs):
+        if t_sub.elem is None:
+            continue  # constant-pinned axis keeps its default placement
+        if t_sub.scale != 1:
+            raise UCSemanticError(
+                "permute with mirrored subscripts: use a fold mapping",
+                decl.line,
+                decl.col,
+            )
+        matches = [a for a, s in enumerate(src_subs) if s.elem == t_sub.elem]
+        if not matches:
+            raise UCSemanticError(
+                f"permute: element {t_sub.elem!r} of target does not appear "
+                "in the source reference",
+                decl.line,
+                decl.col,
+            )
+        s_axis = matches[0]
+        s_sub = src_subs[s_axis]
+        # target element (e + t_off) lives where source element (e + s_off)
+        # lives; source is canonical, so physical(target x) = x - t_off + s_off
+        offsets[t_axis] = s_sub.offset - t_sub.offset
+        perm[t_axis] = s_axis
+
+    new = target.with_offsets(tuple(offsets))
+    if perm != list(range(target.rank)):
+        if sorted(perm) != list(range(target.rank)):
+            raise UCSemanticError(
+                "permute axis correspondence is not a permutation", decl.line, decl.col
+            )
+        new = new.with_axis_perm(tuple(perm))
+    table.add(new)
+
+
+def _apply_fold(decl: ast.MapDecl, table: LayoutTable, info: ProgramInfo) -> None:
+    """``fold (I) a[expr(i)] :- a[i];`` — co-locate the two references.
+
+    ``a[i + p] :- a[i]`` gives a *wrap* fold with pivot ``p``;
+    ``a[c - i] :- a[i]`` gives a *mirror* fold around ``c/2``.
+    """
+    assert decl.source is not None
+    elems = _decl_elements(decl, info)
+    tgt_subs = [affine_subscript(s, elems, info.constants) for s in decl.target.subs]
+    src_subs = [affine_subscript(s, elems, info.constants) for s in decl.source.subs]
+    layout = table.get(decl.target.base)
+
+    fold_axis = None
+    fold_spec: Optional[AxisFold] = None
+    for axis, (t, s) in enumerate(zip(tgt_subs, src_subs)):
+        if t == s:
+            continue
+        if fold_axis is not None:
+            raise UCSemanticError("fold mapping may fold only one axis", decl.line, decl.col)
+        if s.elem is None or s.scale != 1 or s.offset != 0:
+            raise UCSemanticError(
+                "fold source subscript must be a bare element", decl.line, decl.col
+            )
+        if t.elem != s.elem:
+            raise UCSemanticError(
+                "fold target must use the same element as its source", decl.line, decl.col
+            )
+        fold_axis = axis
+        if t.scale == 1:
+            if t.offset <= 0:
+                raise UCSemanticError(
+                    "wrap fold needs a positive pivot offset", decl.line, decl.col
+                )
+            fold_spec = AxisFold(axis=axis, kind="wrap", param=t.offset)
+        else:  # scale == -1: mirror around t.offset
+            fold_spec = AxisFold(axis=axis, kind="mirror", param=t.offset)
+    if fold_spec is None:
+        raise UCSemanticError(
+            "fold mapping target equals its source (nothing folded)", decl.line, decl.col
+        )
+    table.add(layout.with_fold(fold_spec))
+
+
+def _apply_copy(decl: ast.MapDecl, table: LayoutTable, info: ProgramInfo) -> None:
+    """``copy (I, K) a[i][k] :- a[i];`` — replicate ``a`` along ``k``.
+
+    The extra subscript of the target (relative to the source) names the
+    replication element; its index set's size is the replication extent.
+    """
+    assert decl.source is not None
+    elems = _decl_elements(decl, info)
+    tgt_subs = [affine_subscript(s, elems, info.constants) for s in decl.target.subs]
+    src_subs = [affine_subscript(s, elems, info.constants) for s in decl.source.subs]
+    src_elems = {s.elem for s in src_subs if s.elem is not None}
+    extra = [s for s in tgt_subs if s.elem is not None and s.elem not in src_elems]
+    if len(extra) != 1:
+        raise UCSemanticError(
+            "copy mapping needs exactly one replication element in the target",
+            decl.line,
+            decl.col,
+        )
+    elem = extra[0].elem
+    assert elem is not None
+    set_name = elems[elem]
+    extent = len(info.index_sets[set_name])
+    layout = table.get(decl.target.base)
+    table.add(layout.with_copy(elem, extent))
+
+
+def build_layouts(info: ProgramInfo, *, apply_maps: bool = True) -> LayoutTable:
+    """Default layouts for all arrays, then apply the program's map sections."""
+    table = default_layouts(info.arrays)
+    if apply_maps:
+        for section in info.program.maps:
+            for decl in section.decls:
+                apply_map_decl(decl, table, info)
+    return table

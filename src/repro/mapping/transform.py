@@ -1,0 +1,106 @@
+"""Source-to-source subscript rewriting under a mapping (paper §4).
+
+"Given the map section for a program, the UC optimizer executes a
+source-to-source transformation on the program so that index expressions
+are updated to reflect the modified data allocation" — e.g. with
+``permute (I) b[i+1] :- a[i]``, every subscript of ``b`` has 1 subtracted:
+``a[i] = a[i] + b[i+1]`` becomes ``a[i] = a[i] + b[i+1-1]`` and simplifies
+to ``a[i] = a[i] + b[i]``, which executes locally.
+
+The rewriter adds each non-canonical layout offset to the corresponding
+subscript and then constant-folds; it is used by the C* backend (whose
+target has no mapping concept) and directly tested against the paper's
+worked example.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from ..lang import ast
+from .layout import Layout, LayoutTable
+
+
+def simplify(expr: ast.Expr) -> ast.Expr:
+    """Constant-fold additive expressions: ``(i+1)-1`` → ``i`` etc."""
+    if isinstance(expr, ast.Binary) and expr.op in ("+", "-"):
+        left = simplify(expr.left)
+        right = simplify(expr.right)
+        if isinstance(left, ast.IntLit) and isinstance(right, ast.IntLit):
+            value = left.value + right.value if expr.op == "+" else left.value - right.value
+            return ast.IntLit(line=expr.line, col=expr.col, value=value)
+        if isinstance(right, ast.IntLit) and right.value == 0:
+            return left
+        if isinstance(left, ast.IntLit) and left.value == 0 and expr.op == "+":
+            return right
+        # (x + c1) + c2  ->  x + (c1 + c2)
+        if (
+            isinstance(right, ast.IntLit)
+            and isinstance(left, ast.Binary)
+            and left.op in ("+", "-")
+            and isinstance(left.right, ast.IntLit)
+        ):
+            c1 = left.right.value if left.op == "+" else -left.right.value
+            c2 = right.value if expr.op == "+" else -right.value
+            total = c1 + c2
+            if total == 0:
+                return left.left
+            op = "+" if total > 0 else "-"
+            return ast.Binary(
+                line=expr.line,
+                col=expr.col,
+                op=op,
+                left=left.left,
+                right=ast.IntLit(value=abs(total)),
+            )
+        return ast.Binary(line=expr.line, col=expr.col, op=expr.op, left=left, right=right)
+    return expr
+
+
+def _shift_subscript(sub: ast.Expr, offset: int) -> ast.Expr:
+    """``sub`` adjusted by ``offset`` and simplified.
+
+    The layout records physical = logical + offset, so the generated code
+    (which indexes physical storage) uses ``sub + offset``.
+    """
+    if offset == 0:
+        return simplify(sub)
+    op = "+" if offset > 0 else "-"
+    combined = ast.Binary(
+        line=sub.line, col=sub.col, op=op, left=sub, right=ast.IntLit(value=abs(offset))
+    )
+    return simplify(combined)
+
+
+def rewrite_subscripts(node: ast.Node, layouts: LayoutTable) -> ast.Node:
+    """Rewrite every array reference in (a deep copy of) ``node``.
+
+    Only permute offsets are rewritten — folds and copies change the
+    physical *shape*, which the code generator handles when it emits the
+    storage declaration, not the subscripts.
+    """
+    node = copy.deepcopy(node)
+    _rewrite_in_place(node, layouts)
+    return node
+
+
+def _rewrite_in_place(node: ast.Node, layouts: LayoutTable) -> None:
+    if isinstance(node, ast.Index) and node.base in layouts:
+        layout = layouts.get(node.base)
+        if any(layout.offsets):
+            node.subs = [
+                _shift_subscript(sub, layout.offsets[a]) if a < len(layout.offsets) else sub
+                for a, sub in enumerate(node.subs)
+            ]
+    for child in ast.children(node):
+        _rewrite_in_place(child, layouts)
+
+
+def rewrite_program(program: ast.Program, layouts: LayoutTable) -> ast.Program:
+    """A deep-copied program with all mapped subscripts rewritten and the
+    map sections dropped (they are compiled away)."""
+    out = rewrite_subscripts(program, layouts)
+    assert isinstance(out, ast.Program)
+    out.maps = []
+    return out

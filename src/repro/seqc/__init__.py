@@ -1,0 +1,16 @@
+"""Sequential C on a Sun-4 front end: the figure-8 baseline.
+
+The paper runs the grid shortest-path-with-obstacle program three ways:
+sequential C on the Sun-4 workstation (``cc``), optimized sequential C
+(``cc -O``), and data-parallel UC on the 16K CM.  We model the Sun-4 as
+a scalar processor with a fixed per-operation cost (optimization buys a
+constant factor), executing the same Jacobi-sweep algorithm cell by cell.
+Elapsed time therefore grows as ``sweeps × cells × ops_per_cell`` while
+the CM version's per-sweep cost is flat until the VP ratio exceeds one —
+which is precisely the crossover figure 8 shows.
+"""
+
+from .model import SunModel
+from .grid import sequential_obstacle_path
+
+__all__ = ["SunModel", "sequential_obstacle_path"]

@@ -1,0 +1,61 @@
+"""Sequential grid shortest path on the Sun-4 model (figure 8 baseline).
+
+Executes the same Jacobi relaxation the UC program performs, but charges
+scalar costs: every cell visit pays for four neighbour loads, three min
+operations, the increment, the change test and the store, plus loop
+overhead — about 14 operations.  Elapsed time is therefore
+``sweeps × R² × 14 × op_cost``, the steeply growing curve of figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.grid_path import BIG, jacobi_step, obstacle_mask
+from .model import SunModel
+
+#: scalar operations charged per cell per sweep (see module docstring)
+OPS_PER_CELL = 14
+#: per-sweep loop management overhead (sweep counter, change flag reset)
+OPS_PER_SWEEP = 6
+
+
+@dataclass
+class SequentialGridResult:
+    distances: np.ndarray
+    sweeps: int
+    elapsed_us: float
+    ops: int
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.elapsed_us / 1e6
+
+
+def sequential_obstacle_path(
+    r: int,
+    *,
+    optimized: bool = False,
+    walls: Optional[np.ndarray] = None,
+    model: Optional[SunModel] = None,
+    max_sweeps: Optional[int] = None,
+) -> SequentialGridResult:
+    """Run the obstacle relaxation serially; returns distances + timing."""
+    m = model if model is not None else SunModel(optimized=optimized)
+    w = walls if walls is not None else obstacle_mask(r)
+    d = np.zeros((r, r), dtype=np.int64)
+    d[w] = BIG
+    d[0, 0] = 0
+    limit = max_sweeps if max_sweeps is not None else 8 * r + 16
+    sweeps = 0
+    for _ in range(limit):
+        new = jacobi_step(d, w, (0, 0))
+        sweeps += 1
+        m.charge_ops(r * r * OPS_PER_CELL + OPS_PER_SWEEP)
+        if np.array_equal(new, d):
+            return SequentialGridResult(new, sweeps, m.elapsed_us, m.ops)
+        d = new
+    raise RuntimeError(f"sequential relaxation did not converge in {limit} sweeps")

@@ -1,0 +1,55 @@
+"""Scalar cost model for the Sun-4 front end.
+
+Calibration: a Sun-4/110 delivered roughly 7 MIPS peak; a compiled C
+inner loop with memory traffic sustains a few million useful operations
+per second, i.e. ~0.3 µs per operation unoptimized.  ``cc -O`` bought
+roughly a 2–3× improvement on such kernels (the paper's figure 8 shows
+the optimized curve at a bit under half the unoptimized one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SunModel:
+    """Elapsed-time accumulator for sequential scalar execution."""
+
+    #: microseconds per scalar operation (load/op/store amortised)
+    op_cost_us: float = 0.75
+    #: speedup factor applied when compiled with -O
+    optimize_factor: float = 2.4
+    optimized: bool = False
+
+    def __post_init__(self) -> None:
+        self._time_us = 0.0
+        self._ops = 0
+
+    @property
+    def effective_op_cost(self) -> float:
+        if self.optimized:
+            return self.op_cost_us / self.optimize_factor
+        return self.op_cost_us
+
+    def charge_ops(self, count: int) -> None:
+        if count < 0:
+            raise ValueError("negative op count")
+        self._ops += count
+        self._time_us += count * self.effective_op_cost
+
+    @property
+    def ops(self) -> int:
+        return self._ops
+
+    @property
+    def elapsed_us(self) -> float:
+        return self._time_us
+
+    @property
+    def elapsed_s(self) -> float:
+        return self._time_us / 1e6
+
+    def reset(self) -> None:
+        self._time_us = 0.0
+        self._ops = 0

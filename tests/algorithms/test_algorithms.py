@@ -1,0 +1,139 @@
+"""Reference-algorithm tests (the oracles must themselves be right)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BIG,
+    floyd_warshall,
+    grid_reference_distances,
+    is_sorted,
+    jacobi_step,
+    min_plus_power,
+    obstacle_mask,
+    odd_even_transposition_steps,
+    prefix_sums,
+    random_distance_matrix,
+    random_obstacle_mask,
+    ranks,
+    wavefront_matrix,
+)
+from repro.algorithms.grid_path import relax_to_fixpoint
+from repro.algorithms.shortest_path import min_plus_product
+
+
+class TestShortestPath:
+    def test_random_matrix_shape(self):
+        d = random_distance_matrix(6, seed=0)
+        assert d.shape == (6, 6)
+        assert (np.diag(d) == 0).all()
+        off = d[~np.eye(6, dtype=bool)]
+        assert off.min() >= 1 and off.max() <= 6
+
+    def test_floyd_warshall_tiny_case(self):
+        d = np.array([[0, 1, 10], [1, 0, 1], [10, 1, 0]])
+        out = floyd_warshall(d)
+        assert out[0, 2] == 2 and out[2, 0] == 2
+
+    def test_floyd_warshall_does_not_modify_input(self):
+        d = random_distance_matrix(5, seed=1)
+        before = d.copy()
+        floyd_warshall(d)
+        assert np.array_equal(d, before)
+
+    def test_min_plus_power_equals_floyd_warshall(self):
+        for seed in range(4):
+            d = random_distance_matrix(9, seed=seed)
+            assert np.array_equal(min_plus_power(d), floyd_warshall(d))
+
+    def test_min_plus_product_identity_like(self):
+        d = random_distance_matrix(5, seed=2)
+        one = np.full((5, 5), 10**6)
+        np.fill_diagonal(one, 0)
+        assert np.array_equal(min_plus_product(d, one), d)
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError):
+            floyd_warshall(np.zeros((2, 3)))
+
+
+class TestGridPath:
+    def test_obstacle_mask_is_antidiagonal_band(self):
+        m = obstacle_mask(16)
+        i, j = np.nonzero(m)
+        assert (i + j == 15).all()
+        assert np.abs(i - 8).max() <= 4
+
+    def test_random_obstacles_keep_goal_clear(self):
+        m = random_obstacle_mask(10, density=0.5, seed=1)
+        assert not m[0, 0]
+
+    def test_bfs_distances_simple(self):
+        d = grid_reference_distances(4, np.zeros((4, 4), dtype=bool))
+        assert d[0, 0] == 0
+        assert d[3, 3] == 6
+        assert d[0, 3] == 3
+
+    def test_bfs_walls_are_big(self):
+        walls = np.zeros((4, 4), dtype=bool)
+        walls[1, 1] = True
+        d = grid_reference_distances(4, walls)
+        assert d[1, 1] == BIG
+
+    def test_goal_inside_wall_rejected(self):
+        walls = np.zeros((4, 4), dtype=bool)
+        walls[0, 0] = True
+        with pytest.raises(ValueError):
+            grid_reference_distances(4, walls)
+
+    def test_jacobi_converges_to_bfs(self):
+        walls = obstacle_mask(12)
+        d0 = np.zeros((12, 12), dtype=np.int64)
+        final, sweeps = relax_to_fixpoint(d0, walls)
+        ref = grid_reference_distances(12, walls)
+        free = ~walls
+        assert np.array_equal(final[free], ref[free])
+        assert sweeps > 1
+
+    def test_jacobi_step_is_idempotent_at_fixpoint(self):
+        walls = obstacle_mask(10)
+        ref = grid_reference_distances(10, walls)
+        stepped = jacobi_step(ref, walls)
+        assert np.array_equal(stepped, ref)
+
+
+class TestSorting:
+    def test_ranks_distinct(self):
+        a = np.array([30, 10, 20])
+        assert ranks(a).tolist() == [2, 0, 1]
+
+    def test_is_sorted(self):
+        assert is_sorted(np.array([1, 2, 2, 3]))
+        assert not is_sorted(np.array([2, 1]))
+
+    def test_odd_even_sorts(self):
+        rng = np.random.default_rng(3)
+        for n in (1, 2, 7, 16):
+            a = rng.integers(0, 100, n)
+            out, phases = odd_even_transposition_steps(a)
+            assert out.tolist() == sorted(a.tolist())
+            assert phases >= 1
+
+    def test_odd_even_sorted_input_two_phases(self):
+        out, phases = odd_even_transposition_steps(np.arange(8))
+        assert phases == 2  # one even + one odd phase discovering no swaps
+
+
+class TestPrefixAndWavefront:
+    def test_prefix_sums(self):
+        assert prefix_sums(np.array([1, 2, 3])).tolist() == [1, 3, 6]
+
+    def test_wavefront_borders_and_recurrence(self):
+        a = wavefront_matrix(5)
+        assert (a[0, :] == 1).all() and (a[:, 0] == 1).all()
+        assert a[1, 1] == 3
+        assert a[2, 2] == a[1, 2] + a[1, 1] + a[2, 1]
+
+    def test_wavefront_known_value(self):
+        # Delannoy-number diagonal: D(3,3) = 63
+        assert wavefront_matrix(4)[3, 3] == 63

@@ -1,0 +1,119 @@
+"""Benchmark-harness utility tests (Sweep, tables, ASCII plots, workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import Series, Sweep, run_sweep
+from repro.bench.report import ascii_plot, format_series_table, format_table
+from repro.bench import workloads
+
+
+class TestSeries:
+    def test_points_sorted(self):
+        s = Series("t")
+        s.add(3, 30.0)
+        s.add(1, 10.0)
+        s.add(2, 20.0)
+        assert s.xs() == [1, 2, 3]
+        assert s.ys() == [10.0, 20.0, 30.0]
+        assert s.at(2) == 20.0
+
+
+class TestSweep:
+    def _sweep(self):
+        sw = Sweep("demo", "N")
+        for x, (a, b) in {1: (1.0, 2.0), 2: (3.0, 2.5), 4: (9.0, 3.0)}.items():
+            sw.record("A", x, a)
+            sw.record("B", x, b)
+        return sw
+
+    def test_xs_union(self):
+        sw = self._sweep()
+        sw.record("C", 8, 1.0)
+        assert sw.xs() == [1, 2, 4, 8]
+
+    def test_crossover(self):
+        sw = self._sweep()
+        assert sw.crossover("A", "B") == 2  # A exceeds B from x=2 on
+
+    def test_crossover_never(self):
+        sw = self._sweep()
+        assert sw.crossover("B", "A") is None or sw.crossover("B", "A") == 1
+
+    def test_ratio(self):
+        sw = self._sweep()
+        assert sw.ratio("A", "B", 4) == pytest.approx(3.0)
+
+    def test_run_sweep(self):
+        sw = run_sweep("t", "n", [1, 2, 3], {"sq": lambda n: float(n * n)})
+        assert sw.series["sq"].ys() == [1.0, 4.0, 9.0]
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.001]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "bb" in lines[1]
+        assert len(set(len(l) for l in lines[1:])) <= 2  # columns aligned
+
+    def test_format_series_table_contains_all_points(self):
+        sw = Sweep("demo", "N")
+        sw.record("A", 1, 0.5)
+        sw.record("A", 2, 1.5)
+        out = format_series_table(sw)
+        assert "0.5" in out and "1.5" in out and "N" in out
+
+    def test_ascii_plot_contains_markers_and_legend(self):
+        sw = Sweep("demo", "rows")
+        for x in (1, 2, 3, 4):
+            sw.record("up", x, float(x))
+            sw.record("flat", x, 1.0)
+        out = ascii_plot(sw)
+        assert "* up" in out and "o flat" in out
+        assert "rows" in out
+
+    def test_ascii_plot_empty(self):
+        assert "(empty" in ascii_plot(Sweep("none", "x"))
+
+
+class TestWorkloads:
+    def test_with_map_toggles(self):
+        src = "head\nMAYBE_MAP\ntail"
+        assert "map" in workloads.with_map(src, "map (I) {}", True)
+        assert "MAYBE_MAP" not in workloads.with_map(src, "map (I) {}", False)
+
+    def test_log2_ceil(self):
+        assert workloads.log2_ceil(1) == 1
+        assert workloads.log2_ceil(8) == 3
+        assert workloads.log2_ceil(9) == 4
+
+    def test_run_apsp_helpers_agree(self):
+        from repro.algorithms import floyd_warshall, random_distance_matrix
+
+        d = random_distance_matrix(6, seed=4)
+        ref = floyd_warshall(d)
+        assert np.array_equal(workloads.run_apsp_n2(6, d)["d"], ref)
+        assert np.array_equal(workloads.run_apsp_n3(6, d)["d"], ref)
+
+    def test_run_obstacle_matches_reference(self):
+        from repro.algorithms.grid_path import (
+            grid_reference_distances,
+            obstacle_mask,
+        )
+
+        r = workloads.run_obstacle(12)
+        free = ~obstacle_mask(12)
+        assert np.array_equal(
+            np.asarray(r["a"])[free], grid_reference_distances(12)[free]
+        )
+
+    def test_selfinit_apsp_source_runs(self):
+        from repro.interp.program import UCProgram
+
+        run = UCProgram(workloads.APSP_N2_UC_SELFINIT, defines={"N": 6}).run()
+        d = np.asarray(run["d"])
+        assert (np.diag(d) == 0).all()
+        # triangle inequality holds after relaxation
+        for k in range(6):
+            assert (d <= d[:, k:k+1] + d[k:k+1, :]).all()

@@ -1,0 +1,91 @@
+"""Communication-analysis (static classifier) tests."""
+
+import pytest
+
+from repro.compiler.comm_opt import analyze_communication
+from repro.interp.program import UCProgram
+
+
+def report_for(src, defines=None, apply_maps=True):
+    prog = UCProgram(src, defines=defines, apply_maps=apply_maps)
+    return analyze_communication(prog.info, prog.layouts)
+
+
+class TestClassification:
+    def test_local_reference(self):
+        rep = report_for(
+            "index_set I:i = {0..7};\nint a[8], b[8];\nmain { par (I) a[i] = b[i]; }"
+        )
+        assert all(r.kind == "local" for r in rep.references)
+        assert rep.suggestions == []
+
+    def test_shift_reported_as_news(self):
+        rep = report_for(
+            "index_set I:i = {0..6};\nint a[8], b[8];\n"
+            "main { par (I) a[i] = b[i + 1]; }"
+        )
+        kinds = {r.text: r.kind for r in rep.references}
+        assert kinds["b[i + 1]"] == "news"
+        assert any("permute" in s for s in rep.suggestions)
+
+    def test_transpose_reported_as_router(self):
+        rep = report_for(
+            "index_set I:i = {0..3}, J:j = I;\nint a[4][4], b[4][4];\n"
+            "main { par (I, J) a[i][j] = b[j][i]; }"
+        )
+        kinds = {r.text: r.kind for r in rep.references}
+        assert kinds["b[j][i]"] == "router"
+
+    def test_data_dependence_reported_as_router(self):
+        rep = report_for(
+            "index_set I:i = {0..7};\nint a[8], p[8];\n"
+            "main { par (I) a[i] = a[p[i]]; }"
+        )
+        assert any(
+            r.kind == "router" and "data-dependent" in r.note for r in rep.references
+        )
+
+    def test_spread_for_unused_axis(self):
+        rep = report_for(
+            "index_set I:i = {0..3}, K:k = I;\nint v[4], m[4][4];\n"
+            "main { par (I, K) m[i][k] = v[i]; }"
+        )
+        kinds = {r.text: r.kind for r in rep.references}
+        assert kinds["v[i]"] == "spread"
+        assert any("copy" in s for s in rep.suggestions)
+
+    def test_map_section_changes_verdict(self):
+        src = (
+            "index_set I:i = {0..6};\nint a[8], b[8];\n"
+            "map (I) { permute (I) b[i+1] :- a[i]; }\n"
+            "main { par (I) a[i] = b[i + 1]; }"
+        )
+        mapped = report_for(src)
+        unmapped = report_for(src, apply_maps=False)
+        m_kinds = {r.text: r.kind for r in mapped.references}
+        u_kinds = {r.text: r.kind for r in unmapped.references}
+        assert m_kinds["b[i + 1]"] == "local"
+        assert u_kinds["b[i + 1]"] == "news"
+
+    def test_reduction_operand_classified(self):
+        rep = report_for(
+            "index_set I:i = {0..3}, J:j = I, K:k = I;\nint d[4][4], c[4][4];\n"
+            "main { par (I, J) c[i][j] = $<(K; d[i][k] + d[k][j]); }"
+        )
+        spreads = [r for r in rep.references if r.kind in ("spread", "router")]
+        assert len(spreads) >= 1
+
+    def test_counts_helpers(self):
+        rep = report_for(
+            "index_set I:i = {0..6};\nint a[8], b[8];\n"
+            "main { par (I) a[i] = b[i + 1]; }"
+        )
+        assert rep.count("news") == 1
+        assert rep.remote_count == 1
+
+    def test_suggestions_deduplicated(self):
+        rep = report_for(
+            "index_set I:i = {0..5};\nint a[8], b[8];\n"
+            "main { par (I) { a[i] = b[i + 2]; a[i] = b[i + 2]; } }"
+        )
+        assert len(rep.suggestions) == len(set(rep.suggestions))

@@ -1,0 +1,73 @@
+"""C* target-structure rendering tests."""
+
+from repro.compiler.cstar_ast import CStarDomain, CStarField, CStarProgram
+
+
+class TestDomainRender:
+    def test_1d_domain(self):
+        d = CStarDomain(
+            "PATH", "path", (32,), [CStarField("i"), CStarField("len")]
+        )
+        out = d.render()
+        assert "domain PATH {" in out
+        assert "int i, len;" in out
+        assert "} path[32];" in out
+
+    def test_float_fields_grouped(self):
+        d = CStarDomain(
+            "D", "d", (4,), [CStarField("i"), CStarField("x", "float")]
+        )
+        out = d.render()
+        assert "int i;" in out
+        assert "float x;" in out
+
+    def test_2d_init_address_arithmetic(self):
+        """The paper's figure-9 init: i = offset/N; j = offset%N."""
+        d = CStarDomain(
+            "PATH", "path", (8, 8), [CStarField("i"), CStarField("j")]
+        )
+        out = d.render_init()
+        assert "void PATH::init()" in out
+        assert "(this - &path[0][0])" in out
+        assert "j = offset % 8;" in out
+        assert "i = (offset / 8) % 8;" in out
+
+    def test_3d_init(self):
+        """Figure 10's XMED init with three coordinates."""
+        d = CStarDomain(
+            "XMED",
+            "xmed",
+            (4, 4, 4),
+            [CStarField("i"), CStarField("j"), CStarField("k")],
+        )
+        out = d.render_init()
+        assert "i = (offset / 16) % 4;" in out
+        assert "j = (offset / 4) % 4;" in out
+        assert "k = offset % 4;" in out
+
+
+class TestProgramRender:
+    def test_full_program_structure(self):
+        prog = CStarProgram()
+        prog.domains.append(
+            CStarDomain("G", "g", (4,), [CStarField("i"), CStarField("v")])
+        )
+        prog.host_decls.append("int total;")
+        prog.main_lines.append("total = 0;")
+        prog.notes.append("a note")
+        out = prog.render()
+        assert out.index("/* a note */") < out.index("domain G")
+        assert "[domain G].{ init(); }" in out
+        assert "void main() {" in out
+        assert out.rstrip().endswith("}")
+
+    def test_domain_for_shape_lookup(self):
+        prog = CStarProgram()
+        d = CStarDomain("G", "g", (4, 4), [CStarField("v")])
+        prog.domains.append(d)
+        assert prog.domain_for_shape((4, 4)) is d
+        try:
+            prog.domain_for_shape((5,))
+            assert False
+        except KeyError:
+            pass

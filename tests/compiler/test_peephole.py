@@ -1,0 +1,95 @@
+"""Peephole constant-folding tests."""
+
+import pytest
+
+from repro.compiler.cstar_gen import expr_to_text
+from repro.compiler.peephole import fold_expr, fold_program
+from repro.lang import ast, parse_expression, parse_program
+
+
+def folded(src):
+    return expr_to_text(fold_expr(parse_expression(src)))
+
+
+class TestConstantFolding:
+    @pytest.mark.parametrize(
+        "before,after",
+        [
+            ("1 + 2", "3"),
+            ("2 * 3 + 4", "10"),
+            ("7 / 2", "3"),
+            ("-7 / 2", "-3"),
+            ("-7 % 2", "-1"),
+            ("1 << 4", "16"),
+            ("5 & 3", "1"),
+            ("3 < 4", "1"),
+            ("3 == 4", "0"),
+            ("1 && 0", "0"),
+            ("0 || 2", "1"),
+            ("!3", "0"),
+            ("-(4)", "-4"),
+            ("~0", "-1"),
+            ("1.5 + 2.5", "4.0"),
+        ],
+    )
+    def test_folds(self, before, after):
+        assert folded(before) == after
+
+    def test_division_by_zero_left_unfolded(self):
+        assert folded("1 / 0") == "1 / 0"
+        assert folded("1 % 0") == "1 % 0"
+
+    def test_ternary_constant_condition(self):
+        assert folded("1 ? a : b") == "a"
+        assert folded("0 ? a : b") == "b"
+
+    def test_ternary_dynamic_condition_kept(self):
+        assert folded("x ? 1 + 1 : 3") == "x ? 2 : 3"
+
+
+class TestAlgebraicIdentities:
+    @pytest.mark.parametrize(
+        "before,after",
+        [
+            ("x + 0", "x"),
+            ("0 + x", "x"),
+            ("x - 0", "x"),
+            ("x * 1", "x"),
+            ("1 * x", "x"),
+            ("x * 0", "0"),
+            ("0 * x", "0"),
+        ],
+    )
+    def test_identities(self, before, after):
+        assert folded(before) == after
+
+    def test_nested_subexpressions_fold(self):
+        assert folded("a[i + 1 - 1] + (2 * 3)") == "a[i] + 6"
+
+    def test_call_arguments_fold(self):
+        assert folded("power2(1 + 2)") == "power2(3)"
+
+    def test_reduction_arms_fold(self):
+        out = fold_expr(parse_expression("$+(I st (1 == 1) a[i] + 0)"))
+        assert expr_to_text(out.arms[0].pred) == "1"
+        assert expr_to_text(out.arms[0].expr) == "a[i]"
+
+
+class TestProgramFolding:
+    def test_fold_program_copies(self):
+        p = parse_program("int x;\nmain { x = 1 + 2; }")
+        out = fold_program(p)
+        assert p is not out
+        orig_stmt = p.main.stmts[0].expr
+        new_stmt = out.main.stmts[0].expr
+        assert expr_to_text(orig_stmt.value) == "1 + 2"
+        assert expr_to_text(new_stmt.value) == "3"
+
+    def test_folding_preserves_semantics(self):
+        from tests.conftest import run_uc
+
+        src = (
+            "index_set I:i = {0..3};\nint a[4];\n"
+            "main { par (I) a[i] = (2 * 3) + i * 1 + 0; }"
+        )
+        assert run_uc(src)["a"].tolist() == [6, 7, 8, 9]

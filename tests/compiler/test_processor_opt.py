@@ -1,0 +1,93 @@
+"""Processor-optimization analysis tests (paper §4)."""
+
+import pytest
+
+from repro.compiler.processor_opt import (
+    analyze_program,
+    analyze_reduction,
+    match_partition,
+)
+from repro.lang import analyze, parse_expression, parse_program
+
+DIGIT_SRC = """
+int N = 40;
+index_set I:i = {0..N-1}, J:j = {0..9};
+int samples[40];
+int count[10];
+main {
+    par (J)
+        count[j] = $+(I st (samples[i] == j) 1);
+}
+"""
+
+
+class TestMatchPartition:
+    def _red(self, text):
+        return parse_expression(text)
+
+    def test_paper_example_matches(self):
+        red = self._red("$+(I st (samples[i] == j) 1)")
+        assert match_partition(red, ["j"], ["i"])
+
+    def test_reversed_equality_matches(self):
+        red = self._red("$+(I st (j == samples[i]) 1)")
+        assert match_partition(red, ["j"], ["i"])
+
+    def test_conjunction_matches(self):
+        red = self._red("$+(I st (samples[i] == j && i > 3) 1)")
+        assert match_partition(red, ["j"], ["i"])
+
+    def test_inequality_does_not_match(self):
+        red = self._red("$+(I st (samples[i] < j) 1)")
+        assert not match_partition(red, ["j"], ["i"])
+
+    def test_par_element_on_both_sides_does_not_match(self):
+        red = self._red("$+(I st (samples[i] + j == j) 1)")
+        assert not match_partition(red, ["j"], ["i"])
+
+    def test_no_predicate_does_not_match(self):
+        red = self._red("$+(I; samples[i])")
+        assert not match_partition(red, ["j"], ["i"])
+
+    def test_equality_between_reduction_elems_only(self):
+        red = self._red("$+(I st (samples[i] == i) 1)")
+        assert not match_partition(red, ["j"], ["i"])
+
+
+class TestAnalyzeProgram:
+    def test_digit_count_plan(self):
+        info = analyze(parse_program(DIGIT_SRC))
+        plans = analyze_program(info)
+        assert len(plans) == 1
+        plan = plans[0]
+        assert plan.partitioned
+        assert plan.naive_vps == 10 * 40
+        assert plan.optimized_vps == 40
+        assert plan.saving == pytest.approx(10.0)
+
+    def test_unpartitioned_reduction_keeps_naive_vps(self):
+        src = DIGIT_SRC.replace("samples[i] == j", "samples[i] <= j")
+        info = analyze(parse_program(src))
+        plan = analyze_program(info)[0]
+        assert not plan.partitioned
+        assert plan.optimized_vps == plan.naive_vps
+
+    def test_reduction_outside_par_not_planned(self):
+        src = (
+            "index_set I:i = {0..9};\nint a[10], s;\n"
+            "main { s = $+(I; a[i]); }"
+        )
+        info = analyze(parse_program(src))
+        assert analyze_program(info) == []
+
+    def test_matmul_reduction_planned_unpartitioned(self):
+        src = (
+            "index_set I:i = {0..3}, J:j = I, K:k = I;\n"
+            "int a[4][4], b[4][4], c[4][4];\n"
+            "main { par (I, J) c[i][j] = $+(K; a[i][k] * b[k][j]); }"
+        )
+        info = analyze(parse_program(src))
+        plans = analyze_program(info)
+        assert len(plans) == 1
+        assert not plans[0].partitioned
+        assert plans[0].naive_vps == 4 * 4 * 4

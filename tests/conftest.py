@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine, MachineConfig, small_config
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A default 16K-PE simulated CM-2."""
+    return Machine(seed=1234)
+
+
+@pytest.fixture
+def small_machine() -> Machine:
+    """A 1K-PE machine: VP ratios exceed 1 at modest sizes."""
+    return Machine(small_config(1024), seed=1234)
+
+
+def run_uc(source: str, inputs=None, seed: int = 20250704, **kwargs):
+    """Parse + run a UC program, returning its RunResult."""
+    from repro.interp.program import UCProgram
+
+    return UCProgram(source, **kwargs).run(inputs or {}, seed=seed)

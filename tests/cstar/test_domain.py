@@ -1,0 +1,91 @@
+"""Domain (activation, where, field access) tests."""
+
+import numpy as np
+import pytest
+
+from repro.cstar import CStarRuntime
+from repro.lang.errors import UCRuntimeError
+from repro.machine import Machine
+
+
+@pytest.fixture
+def rt():
+    return CStarRuntime(Machine(seed=7))
+
+
+class TestFields:
+    def test_declared_fields_zeroed(self, rt):
+        d = rt.domain("D", (3, 3), {"a": int, "f": float})
+        assert d.read("a").tolist() == [[0] * 3] * 3
+        assert d.read("f").dtype == np.float64
+
+    def test_unknown_field(self, rt):
+        d = rt.domain("D", (2,), {"a": int})
+        with pytest.raises(UCRuntimeError):
+            d["nope"]
+        with pytest.raises(UCRuntimeError):
+            d["nope"] = 1
+
+    def test_assignment_scalar(self, rt):
+        d = rt.domain("D", (4,), {"a": int})
+        with d.activate():
+            d["a"] = 5
+        assert d.read("a").tolist() == [5, 5, 5, 5]
+
+    def test_float_truncation_into_int_field(self, rt):
+        d = rt.domain("D", (2,), {"a": int})
+        with d.activate():
+            d["a"] = 1.9
+        assert d.read("a").tolist() == [1, 1]
+
+    def test_coord(self, rt):
+        d = rt.domain("D", (2, 3), {"a": int})
+        assert d.coord(1).to_array().tolist() == [[0, 1, 2], [0, 1, 2]]
+
+    def test_load_shape_check(self, rt):
+        d = rt.domain("D", (2, 3), {"a": int})
+        with pytest.raises(UCRuntimeError):
+            d.load("a", np.zeros((3, 2)))
+
+
+class TestContexts:
+    def test_where_masks_assignment(self, rt):
+        d = rt.domain("D", (6,), {"a": int})
+        with d.activate():
+            with d.where(d.coord(0) % 2 == 0):
+                d["a"] = 7
+        assert d.read("a").tolist() == [7, 0, 7, 0, 7, 0]
+
+    def test_nested_where_ands(self, rt):
+        d = rt.domain("D", (8,), {"a": int})
+        c = d.coord(0)
+        with d.activate():
+            with d.where(c >= 2):
+                with d.where(c <= 5):
+                    d["a"] = 1
+        assert d.read("a").tolist() == [0, 0, 1, 1, 1, 1, 0, 0]
+
+    def test_activate_resets_to_everywhere(self, rt):
+        d = rt.domain("D", (4,), {"a": int})
+        with d.where(d.coord(0) == 0):
+            with d.activate():
+                assert d.active_count() == 4
+            assert d.active_count() == 1
+
+    def test_min_max_assign(self, rt):
+        d = rt.domain("D", (4,), {"a": int})
+        d.load("a", np.array([5, 1, 7, 3]))
+        with d.activate():
+            d.min_assign("a", 4)
+        assert d.read("a").tolist() == [4, 1, 4, 3]
+        with d.activate():
+            d.max_assign("a", 2)
+        assert d.read("a").tolist() == [4, 2, 4, 3]
+
+    def test_min_assign_respects_where(self, rt):
+        d = rt.domain("D", (4,), {"a": int})
+        d.load("a", np.array([5, 5, 5, 5]))
+        with d.activate():
+            with d.where(d.coord(0) < 2):
+                d.min_assign("a", 1)
+        assert d.read("a").tolist() == [1, 1, 5, 5]

@@ -1,0 +1,96 @@
+"""Pvar operator tests."""
+
+import numpy as np
+import pytest
+
+from repro.cstar import CStarRuntime
+from repro.lang.errors import UCRuntimeError
+from repro.machine import Machine
+
+
+@pytest.fixture
+def rt():
+    return CStarRuntime(Machine(seed=7))
+
+
+@pytest.fixture
+def dom(rt):
+    d = rt.domain("D", (4,), {"x": int, "y": int})
+    d.load("x", np.array([1, 2, 3, 4]))
+    d.load("y", np.array([10, 20, 30, 40]))
+    return d
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self, dom):
+        assert (dom["x"] + dom["y"]).to_array().tolist() == [11, 22, 33, 44]
+        assert (dom["y"] - dom["x"]).to_array().tolist() == [9, 18, 27, 36]
+        assert (dom["x"] * 2).to_array().tolist() == [2, 4, 6, 8]
+
+    def test_reflected_ops(self, dom):
+        assert (100 - dom["x"]).to_array().tolist() == [99, 98, 97, 96]
+        assert (3 + dom["x"]).to_array().tolist() == [4, 5, 6, 7]
+
+    def test_mod_floordiv_neg_abs(self, dom):
+        assert (dom["y"] % 3).to_array().tolist() == [1, 2, 0, 1]
+        assert (dom["y"] // 3).to_array().tolist() == [3, 6, 10, 13]
+        assert (-dom["x"]).to_array().tolist() == [-1, -2, -3, -4]
+        assert abs(-dom["x"]).to_array().tolist() == [1, 2, 3, 4]
+
+    def test_minimum_maximum(self, dom):
+        assert dom["x"].minimum(2).to_array().tolist() == [1, 2, 2, 2]
+        assert dom["x"].maximum(2).to_array().tolist() == [2, 2, 3, 4]
+
+    def test_comparisons(self, dom):
+        assert (dom["x"] > 2).to_array().tolist() == [False, False, True, True]
+        assert (dom["x"] == 3).to_array().tolist() == [False, False, True, False]
+        assert (dom["x"] <= 2).to_array().tolist() == [True, True, False, False]
+
+    def test_boolean_combination(self, dom):
+        both = (dom["x"] > 1) & (dom["x"] < 4)
+        assert both.to_array().tolist() == [False, True, True, False]
+        either = (dom["x"] == 1) | (dom["x"] == 4)
+        assert either.to_array().tolist() == [True, False, False, True]
+        assert (~(dom["x"] > 2)).to_array().tolist() == [True, True, False, False]
+
+    def test_cross_domain_rejected(self, rt, dom):
+        other = rt.domain("E", (4,), {"z": int})
+        with pytest.raises(UCRuntimeError):
+            dom["x"] + other["z"]
+
+    def test_ops_charge_alu(self, rt, dom):
+        before = rt.machine.clock.count("alu")
+        _ = dom["x"] + dom["y"]
+        assert rt.machine.clock.count("alu") == before + 1
+
+
+class TestAt:
+    def test_gather_by_pvar(self, rt, dom):
+        rev = 3 - dom.coord(0)
+        got = dom["x"].at(rev)
+        assert got.to_array().tolist() == [4, 3, 2, 1]
+
+    def test_gather_scalar_subscript(self, rt):
+        d = rt.domain("M", (2, 3), {"v": int})
+        d.load("v", np.arange(6).reshape(2, 3))
+        row = d["v"].at(1, d.coord(1))
+        assert row.to_array()[0].tolist() == [3, 4, 5]
+
+    def test_wrong_subscript_count(self, dom):
+        with pytest.raises(UCRuntimeError):
+            dom["x"].at(1, 2)
+
+    def test_out_of_range(self, dom):
+        with pytest.raises(UCRuntimeError):
+            dom["x"].at(7)
+
+    def test_remote_at_charges_router(self, rt, dom):
+        before = rt.machine.clock.count("router_get")
+        dom["x"].at(3 - dom.coord(0))  # mirrored: router class
+        assert rt.machine.clock.count("router_get") == before + 1
+
+    def test_local_at_charges_alu_only(self, rt, dom):
+        s0 = rt.machine.clock.snapshot()
+        dom["x"].at(dom.coord(0))
+        d = rt.machine.clock.snapshot() - s0
+        assert d.counts["router_get"] == 0

@@ -1,0 +1,114 @@
+"""C* runtime (reductions, global-or, inter-domain comms) tests."""
+
+import numpy as np
+import pytest
+
+from repro.cstar import CStarRuntime
+from repro.machine import Machine
+
+
+@pytest.fixture
+def rt():
+    return CStarRuntime(Machine(seed=7))
+
+
+class TestHostReductions:
+    def test_reduce_ops(self, rt):
+        d = rt.domain("D", (5,), {"a": int})
+        d.load("a", np.array([3, 1, 4, 1, 5]))
+        with d.activate():
+            assert rt.reduce_to_host(d["a"], "add") == 14
+            assert rt.reduce_to_host(d["a"], "min") == 1
+            assert rt.reduce_to_host(d["a"], "max") == 5
+            assert rt.reduce_to_host(d["a"] > 0, "logand") is True
+            assert rt.reduce_to_host(d["a"] > 4, "logor") is True
+
+    def test_reduce_respects_context(self, rt):
+        d = rt.domain("D", (5,), {"a": int})
+        d.load("a", np.array([3, 1, 4, 1, 5]))
+        with d.activate():
+            with d.where(d.coord(0) < 2):
+                assert rt.reduce_to_host(d["a"], "add") == 4
+
+    def test_empty_reduce(self, rt):
+        d = rt.domain("D", (5,), {"a": int})
+        with d.activate():
+            with d.where(d.coord(0) > 99):
+                assert rt.reduce_to_host(d["a"], "add") == 0
+
+    def test_global_or(self, rt):
+        d = rt.domain("D", (4,), {"flag": int})
+        with d.activate():
+            assert not rt.global_or(d["flag"])
+            d["flag"] = 1
+            assert rt.global_or(d["flag"])
+
+    def test_host_loop_charges_latency(self, rt):
+        before = rt.machine.clock.count("host_cm_latency")
+        for _ in rt.host_loop(range(5)):
+            pass
+        assert rt.machine.clock.count("host_cm_latency") == before + 5
+
+
+class TestInterDomain:
+    def test_get_from_gathers_across_domains(self, rt):
+        src = rt.domain("S", (3, 3), {"v": int})
+        src.load("v", np.arange(9).reshape(3, 3))
+        dst = rt.domain("T", (3, 3, 3), {"w": int})
+        with dst.activate() as x:
+            got = rt.get_from(dst, src, "v", x.coord(0), x.coord(2))
+        assert got.to_array()[1, 0, 2] == src.read("v")[1, 2]
+
+    def test_send_to_with_min_combining(self, rt):
+        src = rt.domain("S", (2, 2, 2), {"v": int})
+        vals = np.array([[[5, 9], [2, 7]], [[8, 1], [6, 3]]])
+        src.load("v", vals)
+        dst = rt.domain("T", (2, 2), {"best": int})
+        dst.load("best", np.full((2, 2), 100))
+        with src.activate() as x:
+            rt.send_to(x["v"], dst, "best", x.coord(0), x.coord(1), combine="min")
+        assert dst.read("best").tolist() == vals.min(axis=2).tolist()
+
+    def test_send_to_add_combining(self, rt):
+        src = rt.domain("S", (4,), {"v": int})
+        src.load("v", np.array([1, 2, 3, 4]))
+        dst = rt.domain("T", (2,), {"s": int})
+        addr = src.coord(0) % 2
+        with src.activate() as x:
+            rt.send_to(x["v"], dst, "s", addr, combine="add")
+        assert dst.read("s").tolist() == [4, 6]
+
+    def test_send_respects_context(self, rt):
+        src = rt.domain("S", (4,), {"v": int})
+        src.load("v", np.array([1, 2, 3, 4]))
+        dst = rt.domain("T", (4,), {"s": int})
+        with src.activate() as x:
+            with src.where(x.coord(0) < 2):
+                rt.send_to(x["v"], dst, "s", x.coord(0), combine="overwrite")
+        assert dst.read("s").tolist() == [1, 2, 0, 0]
+
+
+class TestAppendixPrograms:
+    def test_fig9_and_fig10_agree_with_reference(self):
+        from repro.algorithms import floyd_warshall, random_distance_matrix
+        from repro.cstar.programs import apsp_n2, apsp_n3
+
+        d = random_distance_matrix(10, seed=11)
+        ref = floyd_warshall(d)
+        assert np.array_equal(apsp_n2(d).distances, ref)
+        assert np.array_equal(apsp_n3(d).distances, ref)
+
+    def test_fig10_paper_iteration_count_also_works(self):
+        from repro.algorithms import floyd_warshall, random_distance_matrix
+        from repro.cstar.programs import apsp_n3
+
+        d = random_distance_matrix(6, seed=12)
+        res = apsp_n3(d, iterations=6)  # the listing's conservative N sweeps
+        assert np.array_equal(res.distances, floyd_warshall(d))
+
+    def test_programs_report_elapsed_time(self):
+        from repro.algorithms import random_distance_matrix
+        from repro.cstar.programs import apsp_n2
+
+        res = apsp_n2(random_distance_matrix(8, seed=1))
+        assert res.elapsed_us > 0

@@ -1,0 +1,132 @@
+"""CLI tests (run/check/cstar/analyze)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def apsp_file(tmp_path):
+    f = tmp_path / "apsp.uc"
+    f.write_text(
+        """
+        index_set I:i = {0..N-1}, J:j = I, K:k = I;
+        int d[N][N];
+        main {
+            par (I, J) st (i == j) d[i][j] = 0;
+              others d[i][j] = rand() % N + 1;
+            seq (K)
+              par (I, J)
+                st (d[i][k] + d[k][j] < d[i][j]) d[i][j] = d[i][k] + d[k][j];
+        }
+        """
+    )
+    return str(f)
+
+
+@pytest.fixture
+def mapped_file(tmp_path):
+    f = tmp_path / "shift.uc"
+    f.write_text(
+        """
+        int N = 16;
+        index_set I:i = {0..N-2};
+        int a[16], b[16];
+        map (I) { permute (I) b[i+1] :- a[i]; }
+        main { par (I) a[i] = a[i] + b[i+1]; }
+        """
+    )
+    return str(f)
+
+
+class TestRun:
+    def test_run_prints_variables_and_timing(self, apsp_file, capsys):
+        assert main(["run", apsp_file, "-D", "N=4"]) == 0
+        out = capsys.readouterr().out
+        assert "d =" in out
+        assert "simulated elapsed" in out
+
+    def test_run_selected_variable(self, apsp_file, capsys):
+        main(["run", apsp_file, "-D", "N=4", "--print", "d"])
+        out = capsys.readouterr().out
+        assert out.count(" = ") == 1
+
+    def test_run_unknown_variable(self, apsp_file):
+        with pytest.raises(SystemExit):
+            main(["run", apsp_file, "-D", "N=4", "--print", "zz"])
+
+    def test_run_ledger(self, apsp_file, capsys):
+        main(["run", apsp_file, "-D", "N=4", "--ledger"])
+        out = capsys.readouterr().out
+        assert "instruction ledger" in out
+        assert "alu" in out
+
+    def test_run_with_pes_override(self, apsp_file, capsys):
+        assert main(["run", apsp_file, "-D", "N=4", "--pes", "64"]) == 0
+
+    def test_missing_define_fails_cleanly(self, apsp_file):
+        with pytest.raises(SystemExit):
+            main(["check", apsp_file])
+
+    def test_bad_define_syntax(self, apsp_file):
+        with pytest.raises(SystemExit):
+            main(["run", apsp_file, "-D", "N"])
+        with pytest.raises(SystemExit):
+            main(["run", apsp_file, "-D", "N=four"])
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["run", "/nonexistent.uc"])
+
+
+class TestCheck:
+    def test_check_ok(self, apsp_file, capsys):
+        assert main(["check", apsp_file, "-D", "N=8"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_reports_mapped_arrays(self, mapped_file, capsys):
+        main(["check", mapped_file])
+        assert "1 mapped arrays" in capsys.readouterr().out
+
+    def test_check_semantic_error(self, tmp_path):
+        f = tmp_path / "bad.uc"
+        f.write_text("index_set I:i = {5..2};")
+        with pytest.raises(SystemExit):
+            main(["check", str(f)])
+
+
+class TestCstar:
+    def test_emits_domains(self, apsp_file, capsys):
+        main(["cstar", apsp_file, "-D", "N=8"])
+        out = capsys.readouterr().out
+        assert "domain" in out and "where (" in out
+
+    def test_mapping_rewritten_away(self, mapped_file, capsys):
+        main(["cstar", mapped_file])
+        out = capsys.readouterr().out
+        assert "b[i + 1]" not in out
+
+
+class TestAnalyze:
+    def test_reports_and_suggestions(self, mapped_file, capsys):
+        main(["analyze", mapped_file, "--no-maps"])
+        out = capsys.readouterr().out
+        assert "news" in out
+        assert "permute" in out
+
+    def test_mapped_program_reports_local(self, mapped_file, capsys):
+        main(["analyze", mapped_file])
+        out = capsys.readouterr().out
+        assert "local" in out
+
+    def test_processor_opt_reported(self, tmp_path, capsys):
+        f = tmp_path / "hist.uc"
+        f.write_text(
+            "index_set I:i = {0..63}, J:j = {0..9};\n"
+            "int samples[64];\nint count[10];\n"
+            "main { par (J) count[j] = $+(I st (samples[i] == j) 1); }"
+        )
+        main(["analyze", str(f)])
+        out = capsys.readouterr().out
+        assert "processor optimization" in out
+        assert "64 VPs" in out

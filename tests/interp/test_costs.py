@@ -1,0 +1,109 @@
+"""Cost-accounting tests: the simulated clock tells the paper's story."""
+
+import numpy as np
+import pytest
+
+from repro.machine import MachineConfig
+from tests.conftest import run_uc
+
+
+class TestReferenceCosts:
+    def test_local_assignment_uses_no_communication(self):
+        r = run_uc(
+            "index_set I:i = {0..7};\nint a[8], b[8];\nmain { par (I) a[i] = b[i]; }"
+        )
+        assert r.counts.get("router_get", 0) == 0
+        assert r.counts.get("news", 0) == 0
+
+    def test_shifted_reference_uses_news(self):
+        r = run_uc(
+            "index_set I:i = {0..6};\nint a[8], b[8];\n"
+            "main { par (I) a[i] = b[i + 1]; }"
+        )
+        assert r.counts.get("news", 0) >= 1
+        assert r.counts.get("router_get", 0) == 0
+
+    def test_permute_map_removes_news(self):
+        src = (
+            "index_set I:i = {0..6};\nint a[8], b[8];\n"
+            "MAP\nmain { par (I) a[i] = b[i + 1]; }"
+        )
+        mapped = run_uc(src.replace("MAP", "map (I) { permute (I) b[i+1] :- a[i]; }"))
+        unmapped = run_uc(src.replace("MAP", ""))
+        assert unmapped.counts.get("news", 0) > mapped.counts.get("news", 0)
+        assert mapped.elapsed_us < unmapped.elapsed_us
+
+    def test_data_dependent_reference_uses_router(self):
+        r = run_uc(
+            "index_set I:i = {0..7};\nint a[8], b[8], p[8];\n"
+            "main { par (I) a[i] = b[p[i]]; }",
+            {"p": np.arange(8)[::-1].copy()},
+        )
+        assert r.counts.get("router_get", 0) >= 1
+
+    def test_scatter_write_uses_router_send(self):
+        r = run_uc(
+            "index_set I:i = {0..7};\nint a[8], p[8];\n"
+            "main { par (I) a[p[i]] = i; }",
+            {"p": np.arange(8)[::-1].copy()},
+        )
+        assert r.counts.get("router_send", 0) >= 1
+
+    def test_transpose_read_uses_router_until_mapped(self):
+        src = (
+            "index_set I:i = {0..7}, J:j = I;\nint a[8][8], b[8][8];\n"
+            "MAP\nmain { par (I, J) a[i][j] = b[j][i]; }"
+        )
+        unmapped = run_uc(src.replace("MAP", ""))
+        mapped = run_uc(
+            src.replace("MAP", "map (I, J) { permute (I, J) b[j][i] :- a[i][j]; }")
+        )
+        assert unmapped.counts.get("router_get", 0) >= 1
+        assert mapped.counts.get("router_get", 0) == 0
+
+    def test_spread_for_reduction_operands(self):
+        r = run_uc(
+            "index_set I:i = {0..7}, J:j = I, K:k = I;\nint d[8][8], c[8][8];\n"
+            "main { par (I, J) c[i][j] = $<(K; d[i][k] + d[k][j]); }"
+        )
+        assert r.counts.get("scan_step", 0) > 0
+
+    def test_broadcast_for_uniform_reference(self):
+        r = run_uc(
+            "index_set I:i = {0..7};\nint a[8], b[8];\n"
+            "main { par (I) a[i] = b[3]; }"
+        )
+        assert r.counts.get("broadcast", 0) >= 1
+
+
+class TestVPRatioScaling:
+    def test_bigger_grids_cost_more_past_machine_size(self):
+        cfg = MachineConfig(n_pes=64)
+        src = "index_set I:i = {0..SZ-1};\nint a[SZ];\nmain { par (I) a[i] = i; }"
+        t_fit = run_uc(src.replace("SZ", "64"), machine_config=cfg).elapsed_us
+        t_over = run_uc(src.replace("SZ", "256"), machine_config=cfg).elapsed_us
+        # per-VP work quadruples but the fixed dispatch overhead does not
+        assert t_over > t_fit * 1.2
+
+    def test_same_cost_while_grid_fits(self):
+        src = "index_set I:i = {0..SZ-1};\nint a[SZ];\nmain { par (I) a[i] = i; }"
+        t_small = run_uc(src.replace("SZ", "64")).elapsed_us
+        t_large = run_uc(src.replace("SZ", "8192")).elapsed_us
+        assert t_large == pytest.approx(t_small, rel=0.05)
+
+
+class TestIterationCosts:
+    def test_star_par_pays_per_sweep(self):
+        src = (
+            "index_set I:i = {0..7};\nint a[8];\n"
+            "main { par (I) a[i] = LIMIT; *par (I) st (a[i] > 0) a[i] = a[i] - 1; }"
+        )
+        short = run_uc(src, defines={"LIMIT": 2})
+        long = run_uc(src, defines={"LIMIT": 12})
+        assert long.counts["global_or"] > short.counts["global_or"]
+        assert long.elapsed_us > short.elapsed_us
+
+    def test_dispatch_dominates_small_programs(self):
+        """A host-driven SIMD machine pays dispatch per instruction."""
+        r = run_uc("index_set I:i = {0..7};\nint a[8];\nmain { par (I) a[i] = i; }")
+        assert r.times.get("dispatch", 0) > r.times.get("alu", 0)

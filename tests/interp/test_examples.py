@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs to completion (small sizes)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+@pytest.mark.parametrize(
+    "script,args,expect",
+    [
+        ("quickstart.py", (), "OK"),
+        ("shortest_path.py", ("8",), "simulated elapsed"),
+        ("grid_navigation.py", ("16",), "obstacle moved"),
+        ("sorting_oneof.py", (), "prefix sums"),
+        ("wavefront_solve.py", (), "anti-diagonal wavefront"),
+        ("mapping_tuning.py", (), "results are identical"),
+        ("numerical_eigen.py", ("5",), "singular values"),
+    ],
+)
+def test_example_runs(script, args, expect):
+    out = _run(script, *args)
+    assert expect in out

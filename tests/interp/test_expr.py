@@ -1,0 +1,177 @@
+"""Expression-evaluation tests (scalar and vectorised)."""
+
+import numpy as np
+import pytest
+
+from repro.lang.errors import UCRuntimeError
+from tests.conftest import run_uc
+
+
+def eval_scalar(expr, decls="", inputs=None):
+    src = f"{decls}\nint out_;\nmain {{ out_ = {expr}; }}"
+    return run_uc(src, inputs)["out_"]
+
+
+def eval_float(expr, decls="", inputs=None):
+    src = f"{decls}\nfloat out_;\nmain {{ out_ = {expr}; }}"
+    return run_uc(src, inputs)["out_"]
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert eval_scalar("2 + 3 * 4") == 14
+        assert eval_scalar("(2 + 3) * 4") == 20
+        assert eval_scalar("10 - 4 - 3") == 3
+
+    def test_c_division_truncates_toward_zero(self):
+        assert eval_scalar("7 / 2") == 3
+        assert eval_scalar("-7 / 2") == -3
+        assert eval_scalar("7 / -2") == -3
+
+    def test_c_mod_sign(self):
+        assert eval_scalar("7 % 3") == 1
+        assert eval_scalar("-7 % 3") == -1
+        assert eval_scalar("7 % -3") == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(UCRuntimeError):
+            eval_scalar("1 / 0")
+        with pytest.raises(UCRuntimeError):
+            eval_scalar("1 % 0")
+
+    def test_float_arithmetic(self):
+        assert eval_float("1.0 / 4") == pytest.approx(0.25)
+        assert eval_float("1.5 + 2") == pytest.approx(3.5)
+
+    def test_bitwise(self):
+        assert eval_scalar("5 & 3") == 1
+        assert eval_scalar("5 | 3") == 7
+        assert eval_scalar("5 ^ 3") == 6
+        assert eval_scalar("1 << 4") == 16
+        assert eval_scalar("16 >> 2") == 4
+
+    def test_comparisons_are_ints(self):
+        assert eval_scalar("3 < 4") == 1
+        assert eval_scalar("3 > 4") == 0
+        assert eval_scalar("(1 == 1) + (2 != 2)") == 1
+
+    def test_unary(self):
+        assert eval_scalar("-(3)") == -3
+        assert eval_scalar("!0") == 1
+        assert eval_scalar("!7") == 0
+        assert eval_scalar("~0") == -1
+
+    def test_logical_short_circuit_scalar(self):
+        # 1/0 must not evaluate when short-circuited
+        assert eval_scalar("0 && (1 / 0)") == 0
+        assert eval_scalar("1 || (1 / 0)") == 1
+
+    def test_ternary_scalar(self):
+        assert eval_scalar("1 ? 10 : 20") == 10
+        assert eval_scalar("0 ? 10 : 20") == 20
+
+    def test_float_to_int_truncation(self):
+        assert eval_scalar("1.9 + 0.0") == 1
+
+    def test_inf_constant(self):
+        assert eval_float("INF") > 1e15
+
+
+class TestParallelValues:
+    def test_element_values(self):
+        r = run_uc(
+            "index_set I:i = {0..4};\nint a[5];\nmain { par (I) a[i] = i * 2; }"
+        )
+        assert r["a"].tolist() == [0, 2, 4, 6, 8]
+
+    def test_listing_set_element_values(self):
+        r = run_uc(
+            "index_set L:l = {4, 2, 9};\nint a[10];\nmain { par (L) a[l] = l; }"
+        )
+        assert r["a"].tolist() == [0, 0, 2, 0, 4, 0, 0, 0, 0, 9]
+
+    def test_vectorised_ternary_guards_oob(self):
+        """Disabled lanes of a ?: must never dereference (i-1 at i==0)."""
+        r = run_uc(
+            "index_set I:i = {0..4};\nint a[5];\n"
+            "main { par (I) a[i] = (i == 0) ? 100 : a[i-1] + 1; }"
+        )
+        assert r["a"][0] == 100
+
+    def test_shortcircuit_and_guards_oob(self):
+        r = run_uc(
+            "index_set I:i = {0..4};\nint a[5], b[5];\n"
+            "main { par (I) st (i < 4 && a[i+1] == 0) b[i] = 1; }"
+        )
+        assert r["b"].tolist() == [1, 1, 1, 1, 0]
+
+    def test_unguarded_oob_raises(self):
+        with pytest.raises(UCRuntimeError):
+            run_uc(
+                "index_set I:i = {0..4};\nint a[5];\n"
+                "main { par (I) a[i] = a[i + 1]; }"
+            )
+
+    def test_scalar_broadcast_into_parallel(self):
+        r = run_uc(
+            "index_set I:i = {0..3};\nint a[4], k;\n"
+            "main { k = 7; par (I) a[i] = k + i; }"
+        )
+        assert r["a"].tolist() == [7, 8, 9, 10]
+
+    def test_parallel_local_scalar(self):
+        r = run_uc(
+            "index_set I:i = {0..3};\nint a[4];\n"
+            "main { par (I) { int t; t = i * i; a[i] = t + 1; } }"
+        )
+        assert r["a"].tolist() == [1, 2, 5, 10]
+
+    def test_parallel_local_with_initializer(self):
+        r = run_uc(
+            "index_set I:i = {0..3};\nint a[4];\n"
+            "main { par (I) { int t = i + 1; a[i] = t; } }"
+        )
+        assert r["a"].tolist() == [1, 2, 3, 4]
+
+    def test_array_without_subscripts_rejected(self):
+        with pytest.raises(UCRuntimeError):
+            run_uc("int a[4], x;\nmain { x = a + 1; }")
+
+    def test_compound_assignment(self):
+        r = run_uc(
+            "index_set I:i = {0..3};\nint a[4];\n"
+            "main { par (I) a[i] = i; par (I) a[i] += 10; }"
+        )
+        assert r["a"].tolist() == [10, 11, 12, 13]
+
+    def test_incdec_statement(self):
+        r = run_uc("int x;\nmain { x = 5; x++; x++; x--; }")
+        assert r["x"] == 6
+
+    def test_float_array(self):
+        r = run_uc(
+            "index_set I:i = {0..3};\nfloat f[4];\n"
+            "main { par (I) f[i] = i / 2.0; }"
+        )
+        assert r["f"].tolist() == [0.0, 0.5, 1.0, 1.5]
+
+    def test_int_array_truncates_float_values(self):
+        r = run_uc(
+            "index_set I:i = {0..3};\nint a[4];\n"
+            "main { par (I) a[i] = i + 0.9; }"
+        )
+        assert r["a"].tolist() == [0, 1, 2, 3]
+
+
+class TestHostArrayAccess:
+    def test_host_element_read_write(self):
+        r = run_uc("int a[4], x;\nmain { a[2] = 42; x = a[2] + 1; }")
+        assert r["x"] == 43
+
+    def test_host_oob_raises(self):
+        with pytest.raises(UCRuntimeError):
+            run_uc("int a[4];\nmain { a[4] = 1; }")
+
+    def test_host_negative_index_raises(self):
+        with pytest.raises(UCRuntimeError):
+            run_uc("int a[4], x;\nmain { x = a[0-1]; }")

@@ -1,0 +1,178 @@
+"""Interpreter-internal unit tests: grid contexts, environments, errors."""
+
+import numpy as np
+import pytest
+
+from repro.interp.env import Env
+from repro.interp.values import (
+    GridContext,
+    ParallelLocal,
+    ScalarVar,
+    coerce_scalar,
+    numpy_ctype,
+)
+from repro.lang.errors import UCRuntimeError
+from repro.lang.scope import IndexSetValue
+from tests.conftest import run_uc
+
+
+class TestGridContext:
+    def _sets(self):
+        return [
+            IndexSetValue("I", "i", (0, 1, 2)),
+            IndexSetValue("J", "j", (10, 20)),
+        ]
+
+    def test_host_context(self):
+        g = GridContext()
+        assert g.is_host and g.rank == 0 and g.size == 1
+        assert g.axis_elems == ()
+
+    def test_extend_appends_axes(self):
+        g = GridContext().extend(self._sets())
+        assert g.shape == (3, 2)
+        assert g.axis_elems == ("i", "j")
+        assert g.size == 6
+
+    def test_axis_values_broadcast(self):
+        g = GridContext().extend(self._sets())
+        vi = g.axis_values(0)
+        vj = g.axis_values(1)
+        assert vi.shape == (3, 2) and vj.shape == (3, 2)
+        assert vi[2, 0] == 2
+        assert vj[0, 1] == 20  # listing values, not positions
+
+    def test_positions_cached(self):
+        g = GridContext().extend(self._sets())
+        assert g.positions() is g.positions()
+        assert g.positions()[0][2, 1] == 2
+
+    def test_broadcast_from_parent(self):
+        parent = GridContext().extend(self._sets()[:1])
+        child = parent.extend(self._sets()[1:])
+        v = np.array([5, 6, 7])
+        out = child.broadcast_from(v, parent.rank)
+        assert out.shape == (3, 2)
+        assert out[1, 0] == 6 and out[1, 1] == 6
+
+    def test_broadcast_scalar_passthrough(self):
+        g = GridContext().extend(self._sets())
+        assert g.broadcast_from(42, 0) == 42
+
+    def test_nested_extension_keeps_earlier_axes(self):
+        g1 = GridContext().extend([IndexSetValue("I", "i", (0, 1))])
+        g2 = g1.extend([IndexSetValue("I2", "i", (0, 1, 2))])  # shadowing elem
+        assert g2.shape == (2, 3)
+        assert g2.axis_elems == ("i", "i")
+
+
+class TestEnv:
+    def test_lookup_chain_and_shadowing(self):
+        root = Env()
+        root.declare("x", 1)
+        child = root.child()
+        child.declare("x", 2)
+        assert child.lookup("x") == 2
+        assert root.lookup("x") == 1
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(UCRuntimeError):
+            Env().lookup("ghost")
+
+    def test_try_lookup_returns_none(self):
+        assert Env().try_lookup("ghost") is None
+
+    def test_set_existing_updates_owner_scope(self):
+        root = Env()
+        root.declare("x", 1)
+        child = root.child()
+        child.set_existing("x", 9)
+        assert root.lookup("x") == 9
+
+    def test_set_existing_missing_raises(self):
+        with pytest.raises(UCRuntimeError):
+            Env().set_existing("ghost", 1)
+
+
+class TestValueHelpers:
+    def test_numpy_ctype(self):
+        assert numpy_ctype("int") == np.dtype(np.int64)
+        assert numpy_ctype("float") == np.dtype(np.float64)
+
+    def test_coerce_scalar(self):
+        assert coerce_scalar("int", 3.9) == 3
+        assert coerce_scalar("float", 3) == 3.0
+        assert isinstance(coerce_scalar("float", 3), float)
+
+
+class TestRuntimeErrors:
+    def test_assign_to_index_element(self):
+        from repro.lang.errors import UCError
+
+        with pytest.raises(UCError):  # now rejected statically
+            run_uc(
+                "index_set I:i = {0..3};\nint a[4];\nmain { par (I) i = 5; }"
+            )
+
+    def test_scalar_used_as_array(self):
+        from repro.lang.errors import UCError
+
+        with pytest.raises(UCError):  # caught at semantic-analysis time
+            run_uc("int s, x;\nmain { s = 1; x = s[0]; }")
+
+    def test_too_few_subscripts_in_expression(self):
+        with pytest.raises(Exception):
+            run_uc("int m[2][2], x;\nmain { x = m[1] + 1; }")
+
+    def test_parallel_local_not_an_array(self):
+        from repro.lang.errors import UCError
+
+        with pytest.raises(UCError):
+            run_uc(
+                "index_set I:i = {0..3};\nint a[4];\n"
+                "main { par (I) { int t; a[i] = t[0]; } }"
+            )
+
+    def test_grid_value_escaping_to_host_scalar(self):
+        """A grid-shaped value cannot be stored in a host scalar outside
+        a parallel assignment context with agreement."""
+        from repro.lang.errors import UCMultipleAssignmentError
+
+        with pytest.raises(UCMultipleAssignmentError):
+            run_uc("index_set I:i = {0..3};\nint s;\nmain { par (I) s = i % 2; }")
+
+    def test_solve_with_others_rejected(self):
+        from repro.lang.errors import UCError
+
+        with pytest.raises(UCError):
+            run_uc(
+                "index_set I:i = {0..3};\nint a[4];\n"
+                "main { solve (I) st (i > 0) a[i] = 1; others a[i] = 2; }"
+            )
+
+    def test_runaway_while_guard(self):
+        with pytest.raises(UCRuntimeError):
+            run_uc("int x;\nmain { x = 1; while (x) x = 1; }")
+
+
+class TestLocalIndexSets:
+    def test_block_local_index_set(self):
+        r = run_uc(
+            "int a[4];\n"
+            "main { index_set Q:q = {0..3}; par (Q) a[q] = q * q; }"
+        )
+        assert r["a"].tolist() == [0, 1, 4, 9]
+
+    def test_local_alias(self):
+        r = run_uc(
+            "index_set I:i = {0..3};\nint a[4];\n"
+            "main { index_set Q:q = I; par (Q) a[q] = q; }"
+        )
+        assert r["a"].tolist() == [0, 1, 2, 3]
+
+    def test_local_listing(self):
+        r = run_uc(
+            "int a[10];\n"
+            "main { index_set L:l = {9, 1, 5}; par (L) a[l] = 7; }"
+        )
+        assert r["a"].tolist() == [0, 7, 0, 0, 0, 7, 0, 0, 0, 7]

@@ -1,0 +1,93 @@
+"""Numerical workloads (§5's announced experiments): Jacobi & Laplace."""
+
+import numpy as np
+import pytest
+
+from repro.bench.numerics import (
+    random_symmetric,
+    run_jacobi_eigen,
+    run_laplace,
+)
+from tests.conftest import run_uc
+
+
+class TestJacobiEigen:
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_eigenvalues_match_numpy(self, n):
+        a = random_symmetric(n, seed=n)
+        eig, _ = run_jacobi_eigen(a, eps=1e-9)
+        assert np.allclose(eig, np.sort(np.linalg.eigvalsh(a)), atol=1e-6)
+
+    def test_diagonal_matrix_converges_immediately(self):
+        a = np.diag([3.0, 1.0, 2.0])
+        eig, res = run_jacobi_eigen(a)
+        assert np.allclose(eig, [1.0, 2.0, 3.0])
+        # the while condition fails on the first front-end test
+        assert res.counts.get("host_cm_latency", 0) < 20
+
+    def test_off_diagonal_below_eps_after_run(self):
+        a = random_symmetric(5, seed=2)
+        _, res = run_jacobi_eigen(a, eps=1e-8)
+        final = np.asarray(res["a"])
+        off = final[~np.eye(5, dtype=bool)]
+        assert np.abs(off).max() <= 1e-8
+
+    def test_trace_preserved(self):
+        a = random_symmetric(6, seed=3)
+        eig, _ = run_jacobi_eigen(a)
+        assert np.isclose(eig.sum(), np.trace(a))
+
+    def test_non_symmetric_rejected(self):
+        with pytest.raises(ValueError):
+            run_jacobi_eigen(np.arange(9.0).reshape(3, 3))
+
+
+class TestLaplace:
+    def test_boundary_held_fixed(self):
+        b = np.zeros((8, 8), dtype=np.int64)
+        b[0, :] = 400
+        r = run_laplace(b)
+        t = np.asarray(r["t"])
+        assert (t[0] == 400).all()
+        assert (t[-1] == 0).all()
+
+    def test_interior_is_discrete_harmonic(self):
+        """At the fixed point every interior cell equals the truncated
+        average of its neighbours — the *solve termination condition."""
+        b = np.zeros((10, 10), dtype=np.int64)
+        b[0, :] = 1000
+        b[:, 0] = 500
+        t = np.asarray(run_laplace(b)["t"])
+        inner = t[1:-1, 1:-1]
+        avg = (t[:-2, 1:-1] + t[2:, 1:-1] + t[1:-1, :-2] + t[1:-1, 2:]) // 4
+        assert np.array_equal(inner, avg)
+
+    def test_monotone_between_boundaries(self):
+        b = np.zeros((12, 12), dtype=np.int64)
+        b[0, :] = 1200
+        t = np.asarray(run_laplace(b)["t"])
+        col = t[:, 6]
+        assert (np.diff(col) <= 0).all()  # cools away from the hot edge
+
+
+class TestSqrtBuiltin:
+    def test_host_sqrt(self):
+        r = run_uc("float x;\nmain { x = sqrt(2.0); }")
+        assert r["x"] == pytest.approx(2**0.5)
+
+    def test_vectorised_sqrt(self):
+        r = run_uc(
+            "index_set I:i = {0..4};\nfloat f[5];\n"
+            "main { par (I) f[i] = sqrt(i * i * 1.0); }"
+        )
+        assert r["f"].tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_negative_sqrt_rejected_on_host(self):
+        from repro.lang.errors import UCRuntimeError
+
+        with pytest.raises(UCRuntimeError):
+            run_uc("float x;\nmain { x = sqrt(0.0 - 1.0); }")
+
+    def test_fabs(self):
+        r = run_uc("float x;\nmain { x = fabs(0.0 - 2.5); }")
+        assert r["x"] == 2.5

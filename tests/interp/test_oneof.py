@@ -1,0 +1,86 @@
+"""oneof / *oneof construct tests (paper §3.7)."""
+
+import numpy as np
+import pytest
+
+from repro.lang.errors import UCRuntimeError
+from tests.conftest import run_uc
+
+ODDEVEN = (
+    "int N = 16;\nindex_set I:i = {0..N-2};\nint x[16];\n"
+    "main { *oneof (I)\n"
+    "  st (i % 2 == 0 && x[i] > x[i+1]) swap(x[i], x[i+1]);\n"
+    "  st (i % 2 != 0 && x[i] > x[i+1]) swap(x[i], x[i+1]); }"
+)
+
+
+class TestOneof:
+    def test_single_enabled_block_behaves_like_par(self):
+        r = run_uc(
+            "index_set I:i = {0..5};\nint a[6];\n"
+            "main { oneof (I) st (i < 3) a[i] = 1; }"
+        )
+        assert r["a"].tolist() == [1, 1, 1, 0, 0, 0]
+
+    def test_nothing_enabled_is_noop(self):
+        r = run_uc(
+            "index_set I:i = {0..5};\nint a[6];\n"
+            "main { oneof (I) st (a[i] > 10) a[i] = 1; }"
+        )
+        assert r["a"].tolist() == [0] * 6
+
+    def test_exactly_one_block_executes(self):
+        """With two enabled blocks, one and only one runs."""
+        src = (
+            "index_set I:i = {0..3};\nint a[4], b[4];\n"
+            "main { oneof (I) st (1 == 1) a[i] = 1; st (1 == 1) b[i] = 1; }"
+        )
+        for seed in range(6):
+            r = run_uc(src, seed=seed)
+            ran_a = sum(r["a"]) == 4
+            ran_b = sum(r["b"]) == 4
+            assert ran_a != ran_b  # exactly one
+
+    def test_both_choices_reachable(self):
+        src = (
+            "index_set I:i = {0..3};\nint a[4], b[4];\n"
+            "main { oneof (I) st (1 == 1) a[i] = 1; st (1 == 1) b[i] = 1; }"
+        )
+        outcomes = set()
+        for seed in range(20):
+            r = run_uc(src, seed=seed)
+            outcomes.add("a" if sum(r["a"]) else "b")
+        assert outcomes == {"a", "b"}
+
+    def test_block_runs_for_all_its_enabled_elements(self):
+        r = run_uc(
+            "index_set I:i = {0..5};\nint a[6];\n"
+            "main { oneof (I) st (i % 2 == 0) a[i] = 7; }"
+        )
+        assert r["a"].tolist() == [7, 0, 7, 0, 7, 0]
+
+
+class TestStarOneof:
+    def test_odd_even_sort_terminates_sorted(self):
+        data = np.random.default_rng(4).permutation(16)
+        r = run_uc(ODDEVEN, {"x": data})
+        assert r["x"].tolist() == sorted(data.tolist())
+
+    def test_different_seeds_same_result(self):
+        """No fairness guarantee, but the sorted fixed point is unique."""
+        data = np.random.default_rng(9).permutation(16)
+        results = {tuple(run_uc(ODDEVEN, {"x": data}, seed=s)["x"]) for s in range(5)}
+        assert results == {tuple(sorted(data.tolist()))}
+
+    def test_sorted_input_terminates_immediately(self):
+        data = np.arange(16)
+        r = run_uc(ODDEVEN, {"x": data})
+        assert r["x"].tolist() == list(range(16))
+        # one global-or poll discovers there is nothing to do
+        assert r.counts["global_or"] <= 2
+
+    def test_star_oneof_without_predicates_rejected(self):
+        with pytest.raises(UCRuntimeError):
+            run_uc(
+                "index_set I:i = {0..3};\nint a[4];\nmain { *oneof (I) a[i] = 1; }"
+            )

@@ -1,0 +1,55 @@
+"""Per-statement profiling tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.interp.program import UCProgram
+
+SRC = """
+index_set I:i = {0..15}, J:j = I, K:k = I;
+int d[16][16], s;
+main {
+    par (I, J) d[i][j] = i + j;
+    seq (K)
+      par (I, J) st (d[i][k] + d[k][j] < d[i][j]) d[i][j] = d[i][k] + d[k][j];
+    s = $+(I, J; d[i][j]);
+}
+"""
+
+
+class TestProfile:
+    def test_profile_covers_all_statements(self):
+        r = UCProgram(SRC).run(profile=True)
+        assert len(r.profile) == 3
+        kinds = sorted(r.profile)
+        assert any("par" in k for k in kinds)
+        assert any("seq" in k for k in kinds)
+
+    def test_profile_times_sum_to_elapsed(self):
+        r = UCProgram(SRC).run(profile=True)
+        assert sum(r.profile.values()) == pytest.approx(r.elapsed_us)
+
+    def test_hot_statement_is_the_seq_loop(self):
+        r = UCProgram(SRC).run(profile=True)
+        hottest = max(r.profile.items(), key=lambda kv: kv[1])[0]
+        assert "seq" in hottest
+
+    def test_profile_off_by_default(self):
+        r = UCProgram(SRC).run()
+        assert r.profile == {}
+
+    def test_results_identical_with_profiling(self):
+        import numpy as np
+
+        plain = UCProgram(SRC).run()
+        prof = UCProgram(SRC).run(profile=True)
+        assert np.array_equal(plain["d"], prof["d"])
+        assert plain.elapsed_us == pytest.approx(prof.elapsed_us)
+
+    def test_cli_profile_flag(self, tmp_path, capsys):
+        f = tmp_path / "p.uc"
+        f.write_text(SRC)
+        main(["run", str(f), "--profile", "--print", "s"])
+        out = capsys.readouterr().out
+        assert "per-statement profile" in out
+        assert "%" in out

@@ -1,0 +1,114 @@
+"""UCProgram / RunResult public-API tests."""
+
+import numpy as np
+import pytest
+
+from repro.interp.program import UCProgram
+from repro.lang.errors import UCRuntimeError
+from repro.machine import Machine, MachineConfig
+
+
+SRC = """
+int N = 4;
+index_set I:i = {0..N-1};
+int a[4], s;
+main { par (I) a[i] = i; s = $+(I; a[i]); }
+"""
+
+
+class TestUCProgram:
+    def test_basic_run(self):
+        r = UCProgram(SRC).run()
+        assert r["a"].tolist() == [0, 1, 2, 3]
+        assert r["s"] == 6
+
+    def test_defines_parameterise(self):
+        src = "index_set I:i = {0..N-1};\nint a[N];\nmain { par (I) a[i] = 1; }"
+        r = UCProgram(src, defines={"N": 7}).run()
+        assert len(r["a"]) == 7
+
+    def test_defines_readable_at_runtime(self):
+        src = "int x;\nmain { x = N * 2; }"
+        assert UCProgram(src, defines={"N": 21}).run()["x"] == 42
+
+    def test_inputs_preload_arrays(self):
+        src = "index_set I:i = {0..3};\nint a[4], s;\nmain { s = $+(I; a[i]); }"
+        r = UCProgram(src).run({"a": np.array([1, 2, 3, 4])})
+        assert r["s"] == 10
+
+    def test_inputs_preload_scalars(self):
+        src = "int k, x;\nmain { x = k + 1; }"
+        assert UCProgram(src).run({"k": 9})["x"] == 10
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(UCRuntimeError):
+            UCProgram(SRC).run({"zz": 1})
+
+    def test_runs_are_independent(self):
+        prog = UCProgram(SRC)
+        r1 = prog.run()
+        r2 = prog.run()
+        assert r1["s"] == r2["s"]
+        assert abs(r1.elapsed_us - r2.elapsed_us) < 1e-9
+
+    def test_custom_machine_config(self):
+        cfg = MachineConfig(n_pes=64)
+        src = "index_set I:i = {0..255};\nint a[256];\nmain { par (I) a[i] = i; }"
+        small = UCProgram(src, machine_config=cfg).run()
+        big = UCProgram(src).run()
+        # VP ratio 4 on the small machine makes everything pricier
+        assert small.elapsed_us > big.elapsed_us
+
+    def test_explicit_machine_instance(self):
+        m = Machine()
+        UCProgram(SRC).run(machine=m)
+        assert m.clock.time_us > 0
+
+    def test_no_main_rejected(self):
+        prog = UCProgram("int a[4];")
+        with pytest.raises(UCRuntimeError):
+            prog.run()
+
+    def test_bad_solve_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            UCProgram(SRC, solve_strategy="telepathy").run()
+
+    def test_top_level_initializers_run(self):
+        src = "int N = 3;\nint x = N + 1;\nint y;\nmain { y = x; }"
+        assert UCProgram(src).run()["y"] == 4
+
+
+class TestRunResult:
+    def test_mapping_protocol(self):
+        r = UCProgram(SRC).run()
+        assert "a" in r and "s" in r and "zz" not in r
+        assert set(r.keys()) == {"N", "a", "s"}
+        assert sorted(r) == ["N", "a", "s"]
+
+    def test_timing_fields(self):
+        r = UCProgram(SRC).run()
+        assert r.elapsed_us > 0
+        assert r.elapsed_ms == pytest.approx(r.elapsed_us / 1000)
+
+    def test_counts_and_times(self):
+        r = UCProgram(SRC).run()
+        assert r.counts.get("alu", 0) > 0
+        assert r.times.get("alu", 0) > 0
+
+    def test_repr(self):
+        r = UCProgram(SRC).run()
+        assert "RunResult" in repr(r)
+
+    def test_values_are_copies(self):
+        prog = UCProgram(SRC)
+        r = prog.run()
+        r["a"][0] = 99
+        assert prog.run()["a"][0] == 0
+
+
+class TestInputLoadTiming:
+    def test_input_io_not_billed_to_algorithm(self):
+        src = "index_set I:i = {0..63};\nint a[64], s;\nmain { s = $+(I; a[i]); }"
+        with_inputs = UCProgram(src).run({"a": np.ones(64, dtype=np.int64)})
+        without = UCProgram(src).run()
+        assert with_inputs.elapsed_us == pytest.approx(without.elapsed_us)

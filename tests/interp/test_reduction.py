@@ -1,0 +1,158 @@
+"""Reduction tests (paper §3.2, figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.scan import INF
+from tests.conftest import run_uc
+
+HEADER = "index_set I:i = {0..9}, J:j = I;\nint a[10];\n"
+A = np.array([5, 3, 8, 3, 9, 1, 7, 1, 9, 2])
+
+
+def reduce_expr(expr, extra_decl="int out_;", out="out_", inputs=None):
+    src = HEADER + extra_decl + "\nmain { " + f"{out} = {expr};" + " }"
+    data = {"a": A}
+    if inputs:
+        data.update(inputs)
+    return run_uc(src, data)[out]
+
+
+class TestFigureOne:
+    """The exact reductions of the paper's figure 1."""
+
+    def test_sum_of_elements(self):
+        assert reduce_expr("$+(I; i)") == 45
+
+    def test_average(self):
+        avg = reduce_expr("$+(I; a[i]) / 10.0", "float out_;")
+        assert avg == pytest.approx(A.mean())
+
+    def test_min_value(self):
+        assert reduce_expr("$<(I; a[i])") == 1
+
+    def test_first_occurrence_of_min(self):
+        assert reduce_expr("$<(I st (a[i] == $<(J; a[j])) i)") == 5
+
+    def test_arbitrary_occurrence_of_min(self):
+        assert reduce_expr("$,(I st (a[i] == $<(J; a[j])) i)") in (5, 7)
+
+    def test_last_occurrence_of_max_nested(self):
+        assert reduce_expr("$>(I st (a[i] == $>(J; a[j])) i)") == 8
+
+
+class TestOperators:
+    def test_add(self):
+        assert reduce_expr("$+(I; a[i])") == A.sum()
+
+    def test_mul(self):
+        assert reduce_expr("$*(I st (i < 4) a[i])") == 5 * 3 * 8 * 3
+
+    def test_max(self):
+        assert reduce_expr("$>(I; a[i])") == 9
+
+    def test_logand(self):
+        assert reduce_expr("$&&(I; a[i] > 0)") == 1
+        assert reduce_expr("$&&(I; a[i] > 1)") == 0
+
+    def test_logor(self):
+        assert reduce_expr("$||(I; a[i] == 8)") == 1
+        assert reduce_expr("$||(I; a[i] == 100)") == 0
+
+    def test_logxor(self):
+        # parity of the number of true operands
+        assert reduce_expr("$^(I; a[i] == 9)") == 0  # two nines
+        assert reduce_expr("$^(I; a[i] == 8)") == 1  # one eight
+
+    def test_arbitrary_returns_an_operand(self):
+        assert reduce_expr("$,(I; a[i])") in set(A.tolist())
+
+
+class TestIdentities:
+    """Empty reductions return the operator identity (§3.2 table)."""
+
+    def test_add_identity(self):
+        assert reduce_expr("$+(I st (a[i] > 100) a[i])") == 0
+
+    def test_mul_identity(self):
+        assert reduce_expr("$*(I st (a[i] > 100) a[i])") == 1
+
+    def test_min_identity_is_inf(self):
+        assert reduce_expr("$<(I st (a[i] > 100) a[i])", "float out_;") == INF
+
+    def test_max_identity_is_minus_inf(self):
+        assert reduce_expr("$>(I st (a[i] > 100) a[i])", "float out_;") == -INF
+
+    def test_logand_identity(self):
+        assert reduce_expr("$&&(I st (0 == 1) 1)") == 1
+
+    def test_logor_identity(self):
+        assert reduce_expr("$||(I st (0 == 1) 1)") == 0
+
+
+class TestArmsAndOthers:
+    def test_abs_sum_paper_example(self):
+        src = (
+            "index_set I:i = {0..5};\nint b[6], out_;\n"
+            "main { out_ = $+(I st (b[i] > 0) b[i] others -b[i]); }"
+        )
+        b = np.array([3, -4, 5, -1, 0, 2])
+        assert run_uc(src, {"b": b})["out_"] == np.abs(b).sum()
+
+    def test_overlapping_arms_count_twice(self):
+        """An element enabled for two arms contributes to both (§3.2)."""
+        assert reduce_expr("$+(I st (a[i] > 8) 1 st (a[i] == 9) 10)") == 22
+
+    def test_multiple_index_sets_cartesian(self):
+        assert reduce_expr("$+(I, J; 1)") == 100
+        assert reduce_expr("$+(I, J st (i == j) 1)") == 10
+
+
+class TestInParallelContext:
+    def test_reduction_per_lane(self):
+        """matrix multiply: a reduction evaluated per (i, j) pair."""
+        src = (
+            "index_set I:i = {0..3}, J:j = I, K:k = I;\n"
+            "int x[4][4], y[4][4], c[4][4];\n"
+            "main { par (I, J) c[i][j] = $+(K; x[i][k] * y[k][j]); }"
+        )
+        rng = np.random.default_rng(5)
+        x = rng.integers(0, 9, (4, 4))
+        y = rng.integers(0, 9, (4, 4))
+        r = run_uc(src, {"x": x, "y": y})
+        assert np.array_equal(r["c"], x @ y)
+
+    def test_index_set_shadowing(self):
+        """§3.4: the inner use of I hides the outer predicate."""
+        src = (
+            "index_set I:i = {0..9};\nint a[10];\n"
+            "main { par (I) st (i % 2 == 0) a[i] = $+(I; i); }"
+        )
+        r = run_uc(src)
+        assert r["a"].tolist() == [45, 0, 45, 0, 45, 0, 45, 0, 45, 0]
+
+    def test_ranksort_reduction(self):
+        src = (
+            "index_set I:i = {0..9}, J:j = I;\nint a[10];\n"
+            "main { par (I) { int rank; rank = $+(J st (a[j] < a[i]) 1); "
+            "a[rank] = a[i]; } }"
+        )
+        data = np.array([5, 2, 9, 1, 7, 3, 8, 0, 6, 4])
+        assert run_uc(src, {"a": data})["a"].tolist() == sorted(data.tolist())
+
+    def test_arbitrary_in_parallel_context(self):
+        src = (
+            "index_set I:i = {0..3}, J:j = I;\nint b[4], c[4];\n"
+            "main { par (I) c[i] = $,(J; b[j]); }"
+        )
+        b = np.array([10, 20, 30, 40])
+        r = run_uc(src, {"b": b})
+        assert all(v in b for v in r["c"])
+
+    def test_float_reduction_dtype(self):
+        src = (
+            "index_set I:i = {0..3};\nfloat f[4], out_;\n"
+            "main { out_ = $+(I; f[i]); }"
+        )
+        f = np.array([0.5, 1.5, 2.0, 0.25])
+        assert run_uc(src, {"f": f})["out_"] == pytest.approx(f.sum())

@@ -1,0 +1,92 @@
+"""seq / *seq construct tests (paper §3.5)."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import run_uc
+
+
+class TestSeq:
+    def test_iterates_in_declaration_order(self):
+        r = run_uc(
+            "index_set I:i = {0..4};\nint a[5], n;\n"
+            "main { n = 0; seq (I) { a[i] = n; n = n + 1; } }"
+        )
+        assert r["a"].tolist() == [0, 1, 2, 3, 4]
+
+    def test_listing_order_respected(self):
+        """Elements are chosen 'in the order that they appear' (§3.5)."""
+        r = run_uc(
+            "index_set L:l = {4, 2, 9};\nint a[10], n;\n"
+            "main { n = 1; seq (L) { a[l] = n; n = n + 1; } }"
+        )
+        assert r["a"][4] == 1 and r["a"][2] == 2 and r["a"][9] == 3
+
+    def test_scalar_predicate_skips_iterations(self):
+        r = run_uc(
+            "index_set I:i = {0..5};\nint s;\n"
+            "main { s = 0; seq (I) st (i % 2 == 0) s = s + i; }"
+        )
+        assert r["s"] == 0 + 2 + 4
+
+    def test_seq_drives_nested_par_apsp(self):
+        """figure 4's structure validated against Floyd-Warshall."""
+        from repro.algorithms import floyd_warshall, random_distance_matrix
+
+        src = (
+            "int N = 8;\nindex_set I:i = {0..N-1}, J:j = I, K:k = I;\n"
+            "int d[8][8];\n"
+            "main { seq (K) par (I, J) st (d[i][k] + d[k][j] < d[i][j]) "
+            "d[i][j] = d[i][k] + d[k][j]; }"
+        )
+        dist = random_distance_matrix(8, seed=3)
+        r = run_uc(src, {"d": dist})
+        assert np.array_equal(r["d"], floyd_warshall(dist))
+
+    def test_cartesian_seq(self):
+        r = run_uc(
+            "index_set I:i = {0..1}, J:j = I;\nint order[4], n;\n"
+            "main { n = 0; seq (I, J) { order[n] = 10 * i + j; n = n + 1; } }"
+        )
+        assert r["order"].tolist() == [0, 1, 10, 11]
+
+    def test_grid_predicate_masks_lanes(self):
+        """seq inside par: the predicate selects lanes per iteration."""
+        src = (
+            "index_set I:i = {0..3}, J:j = {0..2};\nint a[4];\n"
+            "main { par (I) { a[i] = 0; seq (J) st (i >= j) a[i] = a[i] + 1; } }"
+        )
+        r = run_uc(src)
+        assert r["a"].tolist() == [1, 2, 3, 3]
+
+    def test_others_in_seq_scalar(self):
+        r = run_uc(
+            "index_set I:i = {0..3};\nint hits, misses;\n"
+            "main { hits = 0; misses = 0; seq (I) st (i == 2) hits = hits + 1; "
+            "others misses = misses + 1; }"
+        )
+        assert r["hits"] == 1 and r["misses"] == 3
+
+
+class TestStarSeq:
+    def test_star_seq_until_no_predicate_true(self):
+        src = (
+            "index_set I:i = {0..3};\nint a[4];\n"
+            "main { par (I) a[i] = i; *seq (I) st (a[i] > 0) a[i] = a[i] - 1; }"
+        )
+        r = run_uc(src)
+        assert r["a"].tolist() == [0, 0, 0, 0]
+
+    def test_star_seq_runs_no_sweep_when_disabled(self):
+        r = run_uc(
+            "index_set I:i = {0..3};\nint s;\n"
+            "main { s = 0; *seq (I) st (0 == 1) s = s + 1; }"
+        )
+        assert r["s"] == 0
+
+
+class TestSeqCosts:
+    def test_each_iteration_pays_front_end_latency(self):
+        r1 = run_uc("index_set I:i = {0..1};\nint s;\nmain { seq (I) s = i; }")
+        r2 = run_uc("index_set I:i = {0..9};\nint s;\nmain { seq (I) s = i; }")
+        assert r2.counts["host_cm_latency"] > r1.counts["host_cm_latency"]

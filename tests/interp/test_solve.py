@@ -1,0 +1,109 @@
+"""solve / *solve construct tests (paper §3.6)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import floyd_warshall, random_distance_matrix, wavefront_matrix
+from repro.lang.errors import UCRuntimeError
+from tests.conftest import run_uc
+
+WAVEFRONT = (
+    "int N = 8;\nindex_set I:i = {0..N-1}, J:j = I;\nint a[8][8];\n"
+    "main { solve (I, J) a[i][j] = (i == 0 || j == 0) ? 1 "
+    ": a[i-1][j] + a[i-1][j-1] + a[i][j-1]; }"
+)
+
+
+class TestSolve:
+    @pytest.mark.parametrize("strategy", ["auto", "scheduled", "guarded"])
+    def test_wavefront_all_strategies(self, strategy):
+        r = run_uc(WAVEFRONT, solve_strategy=strategy)
+        assert np.array_equal(r["a"], wavefront_matrix(8))
+
+    def test_strategies_agree_exactly(self):
+        a = run_uc(WAVEFRONT, solve_strategy="scheduled")["a"]
+        b = run_uc(WAVEFRONT, solve_strategy="guarded")["a"]
+        assert np.array_equal(a, b)
+
+    def test_scheduled_is_cheaper_than_guarded(self):
+        s = run_uc(WAVEFRONT, solve_strategy="scheduled")
+        g = run_uc(WAVEFRONT, solve_strategy="guarded")
+        assert s.elapsed_us < g.elapsed_us
+
+    def test_one_dimensional_recurrence(self):
+        src = (
+            "index_set I:i = {0..9};\nint f[10];\n"
+            "main { solve (I) f[i] = (i < 2) ? 1 : f[i-1] + f[i-2]; }"
+        )
+        r = run_uc(src)
+        assert r["f"].tolist() == [1, 1, 2, 3, 5, 8, 13, 21, 34, 55]
+
+    def test_constant_body(self):
+        r = run_uc(
+            "index_set I:i = {0..3};\nint a[4];\nmain { solve (I) a[i] = 5; }"
+        )
+        assert r["a"].tolist() == [5, 5, 5, 5]
+
+    def test_multiple_proper_assignments(self):
+        src = (
+            "index_set I:i = {0..4};\nint a[5], b[5];\n"
+            "main { solve (I) { a[i] = (i == 0) ? 1 : b[i-1] + 1; "
+            "b[i] = a[i] * 2; } }"
+        )
+        r = run_uc(src, solve_strategy="guarded")
+        assert r["a"].tolist() == [1, 3, 7, 15, 31]
+        assert r["b"].tolist() == [2, 6, 14, 30, 62]
+
+    def test_circular_dependency_detected(self):
+        src = (
+            "index_set I:i = {0..3};\nint a[4];\n"
+            "main { solve (I) a[i] = a[(i + 1) % 4] + 1; }"
+        )
+        with pytest.raises(UCRuntimeError):
+            run_uc(src, solve_strategy="guarded")
+
+    def test_scheduled_strategy_rejects_unschedulable(self):
+        src = (
+            "index_set I:i = {0..3};\nint a[4], p[4];\n"
+            "main { solve (I) a[i] = (i == 0) ? 1 : a[p[i]] + 1; }"
+        )
+        with pytest.raises(UCRuntimeError):
+            run_uc(src, {"p": np.array([0, 0, 1, 2])}, solve_strategy="scheduled")
+
+    def test_auto_falls_back_to_guarded(self):
+        """Data-dependent references are fine under 'auto' if acyclic."""
+        src = (
+            "index_set I:i = {0..3};\nint a[4], p[4];\n"
+            "main { solve (I) a[i] = (i == 0) ? 1 : a[p[i]] + 1; }"
+        )
+        r = run_uc(src, {"p": np.array([0, 0, 1, 2])})
+        assert r["a"].tolist() == [1, 2, 3, 4]
+
+
+class TestStarSolve:
+    def test_apsp_fixed_point(self):
+        src = (
+            "int N = 8;\nindex_set I:i = {0..N-1}, J:j = I, K:k = I;\n"
+            "int dist[8][8];\n"
+            "main { *solve (I, J) dist[i][j] = $<(K; dist[i][k] + dist[k][j]); }"
+        )
+        d = random_distance_matrix(8, seed=2)
+        r = run_uc(src, {"dist": d})
+        assert np.array_equal(r["dist"], floyd_warshall(d))
+
+    def test_already_at_fixed_point_stops_fast(self):
+        src = (
+            "index_set I:i = {0..3};\nint a[4];\n"
+            "main { *solve (I) a[i] = a[i]; }"
+        )
+        r = run_uc(src)
+        assert r.counts["global_or"] <= 2
+
+    def test_star_solve_not_single_assignment_restricted(self):
+        """§3.6: *solve statements need not be single-assignment."""
+        src = (
+            "index_set I:i = {0..3};\nint a[4];\n"
+            "main { *solve (I) { a[i] = a[i] + 0; a[i] = (a[i] > 3) ? 3 : a[i]; } }"
+        )
+        r = run_uc(src, {"a": np.array([1, 9, 2, 8])})
+        assert r["a"].tolist() == [1, 3, 2, 3]

@@ -1,0 +1,303 @@
+"""Parser tests."""
+
+import pytest
+
+from repro.lang import ast, parse_expression, parse_program, parse_statement
+from repro.lang.errors import UCSyntaxError
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.right, ast.Binary) and e.right.op == "*"
+
+    def test_left_associativity(self):
+        e = parse_expression("8 - 4 - 2")
+        assert e.op == "-" and isinstance(e.left, ast.Binary)
+        assert e.left.op == "-"
+
+    def test_parentheses(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert e.op == "*" and isinstance(e.left, ast.Binary)
+
+    def test_comparison_chain_levels(self):
+        e = parse_expression("a < b == c")
+        assert e.op == "=="
+
+    def test_logical_levels(self):
+        e = parse_expression("a || b && c")
+        assert e.op == "||"
+        assert isinstance(e.right, ast.Binary) and e.right.op == "&&"
+
+    def test_ternary(self):
+        e = parse_expression("a ? b : c ? d : e")
+        assert isinstance(e, ast.Ternary)
+        assert isinstance(e.els, ast.Ternary)  # right-associative
+
+    def test_unary(self):
+        e = parse_expression("-a")
+        assert isinstance(e, ast.Unary) and e.op == "-"
+        e = parse_expression("!x")
+        assert e.op == "!"
+        assert isinstance(parse_expression("+a"), ast.Name)  # unary plus folds
+
+    def test_index_chain(self):
+        e = parse_expression("d[i][j]")
+        assert isinstance(e, ast.Index)
+        assert e.base == "d" and len(e.subs) == 2
+
+    def test_call(self):
+        e = parse_expression("power2(i + 1)")
+        assert isinstance(e, ast.Call)
+        assert e.func == "power2" and len(e.args) == 1
+
+    def test_call_no_args(self):
+        e = parse_expression("rand()")
+        assert isinstance(e, ast.Call) and e.args == []
+
+    def test_assignment_right_assoc(self):
+        e = parse_expression("a = b = 1")
+        assert isinstance(e, ast.Assign)
+        assert isinstance(e.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        e = parse_expression("a[i] += 2")
+        assert isinstance(e, ast.Assign) and e.op == "+"
+
+    def test_assignment_to_literal_rejected(self):
+        with pytest.raises(UCSyntaxError):
+            parse_expression("3 = x")
+
+    def test_incdec(self):
+        e = parse_expression("a++")
+        assert isinstance(e, ast.IncDec) and e.op == "++"
+        e = parse_expression("--a")
+        assert isinstance(e, ast.IncDec) and e.op == "--"
+
+    def test_inf(self):
+        assert isinstance(parse_expression("INF"), ast.InfLit)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(UCSyntaxError):
+            parse_expression("a + b c")
+
+
+class TestReductions:
+    def test_simple_with_semicolon(self):
+        e = parse_expression("$+(I; a[i])")
+        assert isinstance(e, ast.Reduction)
+        assert e.op == "add" and e.index_sets == ["I"]
+        assert len(e.arms) == 1 and e.arms[0].pred is None
+
+    def test_with_predicate(self):
+        e = parse_expression("$<(I st (a[i] == mn) i)")
+        assert e.op == "min"
+        assert e.arms[0].pred is not None
+
+    def test_multiple_index_sets(self):
+        e = parse_expression("$>(I, J; a[i] + b[j])")
+        assert e.index_sets == ["I", "J"]
+
+    def test_multi_arm_with_others(self):
+        e = parse_expression("$+(I st (a[i] > 0) a[i] others -a[i])")
+        assert len(e.arms) == 1 and e.others is not None
+
+    def test_two_arms(self):
+        e = parse_expression("$+(I st (a[i] > 0) 1 st (a[i] < 0) 2)")
+        assert len(e.arms) == 2
+
+    def test_optional_semicolon_before_st(self):
+        e = parse_expression("$+(I; st (a[i] > 0) a[i])")
+        assert e.arms[0].pred is not None
+
+    def test_nested_reduction(self):
+        e = parse_expression("$>(I st (a[i] == $>(J; a[j])) i)")
+        inner = e.arms[0].pred.right
+        assert isinstance(inner, ast.Reduction)
+
+    def test_missing_body_rejected(self):
+        with pytest.raises(UCSyntaxError):
+            parse_expression("$+(I)")
+
+
+class TestStatements:
+    def test_expression_statement(self):
+        s = parse_statement("a = 1;")
+        assert isinstance(s, ast.ExprStmt)
+
+    def test_block(self):
+        s = parse_statement("{ a = 1; b = 2; }")
+        assert isinstance(s, ast.Block) and len(s.stmts) == 2
+
+    def test_if_else(self):
+        s = parse_statement("if (a) b = 1; else b = 2;")
+        assert isinstance(s, ast.If) and s.els is not None
+
+    def test_dangling_else_binds_inner(self):
+        s = parse_statement("if (a) if (b) x = 1; else x = 2;")
+        assert s.els is None
+        assert isinstance(s.then, ast.If) and s.then.els is not None
+
+    def test_while(self):
+        assert isinstance(parse_statement("while (a) b = 1;"), ast.While)
+
+    def test_do_while(self):
+        assert isinstance(parse_statement("do a = 1; while (a);"), ast.DoWhile)
+
+    def test_for(self):
+        s = parse_statement("for (k = 0; k < N; k++) a = k;")
+        assert isinstance(s, ast.For)
+        assert s.init is not None and s.cond is not None and s.step is not None
+
+    def test_for_empty_clauses(self):
+        s = parse_statement("for (;;) a = 1;")
+        assert s.init is None and s.cond is None and s.step is None
+
+    def test_return_break_continue(self):
+        assert isinstance(parse_statement("return 1 + 2;"), ast.Return)
+        assert parse_statement("return;").value is None
+        assert isinstance(parse_statement("break;"), ast.Break)
+        assert isinstance(parse_statement("continue;"), ast.Continue)
+
+    def test_goto_rejected(self):
+        with pytest.raises(UCSyntaxError):
+            parse_statement("goto label;")
+
+    def test_local_decl(self):
+        s = parse_statement("int rank;")
+        assert isinstance(s, ast.VarDecl) and s.name == "rank"
+
+    def test_local_decl_list_is_scopeless_group(self):
+        s = parse_statement("int a, b;")
+        assert isinstance(s, ast.DeclGroup) and len(s.decls) == 2
+
+    def test_empty_statement(self):
+        assert isinstance(parse_statement(";"), ast.EmptyStmt)
+
+    def test_unterminated_block(self):
+        with pytest.raises(UCSyntaxError):
+            parse_statement("{ a = 1;")
+
+
+class TestUCConstructs:
+    def test_simple_par(self):
+        s = parse_statement("par (I) a[i] = 0;")
+        assert isinstance(s, ast.UCStmt)
+        assert s.kind == "par" and not s.star
+        assert s.index_sets == ["I"]
+        assert len(s.blocks) == 1 and s.blocks[0].pred is None
+
+    def test_star_par(self):
+        s = parse_statement("*par (I) st (a[i]) a[i] = 0;")
+        assert s.star
+
+    def test_multiple_index_sets(self):
+        s = parse_statement("par (I, J) d[i][j] = 0;")
+        assert s.index_sets == ["I", "J"]
+
+    def test_st_blocks_and_others(self):
+        s = parse_statement(
+            "par (I) st (i % 2 == 0) a[i] = 0; st (i % 3 == 0) a[i] = 1; "
+            "others a[i] = 2;"
+        )
+        assert len(s.blocks) == 2
+        assert s.others is not None
+
+    def test_seq_solve_oneof(self):
+        for kind in ("seq", "solve", "oneof"):
+            s = parse_statement(f"{kind} (I) a[i] = 0;")
+            assert s.kind == kind
+
+    def test_nested_st_binds_innermost(self):
+        """The dangling-st rule (§3.4): like C's dangling else."""
+        s = parse_statement(
+            "par (I) par (J) st (i == j) d[i][j] = 0; others d[i][j] = 1;"
+        )
+        outer = s
+        assert outer.blocks[0].pred is None
+        inner = outer.blocks[0].stmt
+        assert isinstance(inner, ast.UCStmt)
+        assert inner.blocks[0].pred is not None
+        assert inner.others is not None
+
+    def test_braces_force_outer_binding(self):
+        s = parse_statement(
+            "par (I) st (i > 0) { par (J) d[i][j] = 0; } others a[i] = 1;"
+        )
+        assert s.others is not None
+        assert isinstance(s.blocks[0].stmt, ast.Block)
+
+    def test_par_body_sequence(self):
+        s = parse_statement("par (I) { int rank; rank = 1; a[rank] = a[i]; }")
+        body = s.blocks[0].stmt
+        assert isinstance(body, ast.Block) and len(body.stmts) == 3
+
+
+class TestProgramLevel:
+    def test_full_program(self):
+        p = parse_program(
+            """
+            int N = 4;
+            index_set I:i = {0..N-1}, J:j = I;
+            int a[4], s;
+            float avg;
+            int helper(int x) { return x + 1; }
+            map (I) { permute (I) a[i] :- a[i]; }
+            main { par (I) a[i] = helper(i); }
+            """
+        )
+        assert len([d for d in p.decls if isinstance(d, ast.IndexSetDecl)]) == 2
+        assert len([d for d in p.decls if isinstance(d, ast.VarDecl)]) == 4
+        assert len(p.funcs) == 1
+        assert len(p.maps) == 1
+        assert p.main is not None
+
+    def test_index_set_forms(self):
+        p = parse_program("index_set I:i = {0..9}, L:l = {4, 2, 9}, K:k = I;")
+        specs = [d.spec.kind for d in p.decls]
+        assert specs == ["range", "listing", "alias"]
+
+    def test_void_main_form(self):
+        p = parse_program("void main() { ; }")
+        assert p.main is not None
+
+    def test_int_main_form(self):
+        p = parse_program("int main() { return 0; }")
+        assert p.main is not None
+
+    def test_main_with_parens(self):
+        p = parse_program("main () { ; }")
+        assert p.main is not None
+
+    def test_function_with_array_params(self):
+        p = parse_program("void f(int a[], int b[4][4], float x) { ; }")
+        f = p.funcs[0]
+        assert f.params[0].dims == 1
+        assert f.params[1].dims == 2
+        assert f.params[2].dims == 0
+
+    def test_map_section_syntax(self):
+        p = parse_program(
+            """
+            index_set I:i = {0..7};
+            int a[8], b[8];
+            map (I) {
+                permute (I) b[i+1] :- a[i];
+                fold (I) a[i+4] :- a[i];
+                copy (I, I) b[i][i] :- b[i];
+            }
+            """
+        )
+        kinds = [d.kind for d in p.maps[0].decls]
+        assert kinds == ["permute", "fold", "copy"]
+
+    def test_top_level_garbage(self):
+        with pytest.raises(UCSyntaxError):
+            parse_program("42;")
+
+    def test_walk_and_children(self):
+        p = parse_program("main { par (I) a[i] = 0; }")
+        nodes = list(ast.walk(p))
+        assert any(isinstance(n, ast.UCStmt) for n in nodes)
+        assert any(isinstance(n, ast.Assign) for n in nodes)

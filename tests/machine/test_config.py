@@ -1,0 +1,60 @@
+"""Machine configuration and cost-table tests."""
+
+import pytest
+
+from repro.machine import MachineConfig, default_config, small_config
+from repro.machine.config import COST_KINDS, HOST_KINDS, CostTable
+from repro.machine.errors import GeometryError
+
+
+class TestCostTable:
+    def test_defaults_keep_cm2_cost_ordering(self):
+        c = CostTable()
+        assert c.alu < c.news < c.router_send <= c.router_get
+        assert c.host < c.alu
+        assert c.host_cm_latency > c.broadcast
+
+    def test_scaled_multiplies_cm_side_costs(self):
+        c = CostTable().scaled(2.0)
+        base = CostTable()
+        assert c.alu == base.alu * 2
+        assert c.router_get == base.router_get * 2
+        assert c.dispatch == base.dispatch * 2
+
+    def test_scaled_preserves_host_costs(self):
+        c = CostTable().scaled(5.0)
+        base = CostTable()
+        assert c.host == base.host
+        assert c.host_cm_latency == base.host_cm_latency
+
+    def test_every_cost_kind_has_an_attribute(self):
+        c = CostTable()
+        for kind in COST_KINDS:
+            assert isinstance(getattr(c, kind), float)
+
+    def test_host_kinds_subset_of_cost_kinds(self):
+        assert HOST_KINDS <= set(COST_KINDS)
+
+
+class TestMachineConfig:
+    def test_default_is_16k(self):
+        assert default_config().n_pes == 16384
+
+    def test_small_config(self):
+        assert small_config(2048).n_pes == 2048
+
+    def test_rejects_nonpositive_pes(self):
+        with pytest.raises(GeometryError):
+            MachineConfig(n_pes=0)
+        with pytest.raises(GeometryError):
+            MachineConfig(n_pes=-5)
+
+    def test_with_costs_overrides_single_entry(self):
+        cfg = default_config().with_costs(router_get=9999.0)
+        assert cfg.costs.router_get == 9999.0
+        assert cfg.costs.alu == default_config().costs.alu
+
+    def test_config_is_frozen(self):
+        cfg = default_config()
+        with pytest.raises(Exception):
+            cfg.n_pes = 1  # type: ignore[misc]

@@ -1,0 +1,151 @@
+"""Clock / cost-accounting tests."""
+
+import math
+
+import pytest
+
+from repro.machine.config import CostTable
+from repro.machine.cost import Clock
+
+
+@pytest.fixture
+def clock() -> Clock:
+    return Clock(CostTable())
+
+
+class TestCharging:
+    def test_cm_charge_includes_one_dispatch(self, clock):
+        c = clock.costs
+        dt = clock.charge("alu")
+        assert dt == pytest.approx(c.alu + c.dispatch)
+        assert clock.count("alu") == 1
+        assert clock.count("dispatch") == 1
+
+    def test_count_scales_time_but_not_dispatch(self, clock):
+        c = clock.costs
+        dt = clock.charge("news", count=5)
+        assert dt == pytest.approx(5 * c.news + c.dispatch)
+        assert clock.count("dispatch") == 1
+
+    def test_vp_ratio_scales_cm_charges(self, clock):
+        c = clock.costs
+        dt = clock.charge("alu", vp_ratio=4)
+        assert dt == pytest.approx(4 * c.alu + c.dispatch)
+
+    def test_vp_ratio_below_one_clamped(self, clock):
+        c = clock.costs
+        assert clock.charge("alu", vp_ratio=0) == pytest.approx(c.alu + c.dispatch)
+
+    def test_host_charges_have_no_dispatch_or_ratio(self, clock):
+        c = clock.costs
+        dt = clock.charge("host", count=3, vp_ratio=16)
+        assert dt == pytest.approx(3 * c.host)
+        assert clock.count("dispatch") == 0
+
+    def test_host_cm_latency_is_host_side(self, clock):
+        dt = clock.charge("host_cm_latency")
+        assert dt == pytest.approx(clock.costs.host_cm_latency)
+        assert clock.count("dispatch") == 0
+
+    def test_unknown_kind_rejected(self, clock):
+        with pytest.raises(KeyError):
+            clock.charge("warp_drive")
+
+    def test_total_time_accumulates(self, clock):
+        clock.charge("alu")
+        clock.charge("host")
+        expected = clock.costs.alu + clock.costs.dispatch + clock.costs.host
+        assert clock.time_us == pytest.approx(expected)
+        assert clock.time_ms == pytest.approx(expected / 1e3)
+        assert clock.time_s == pytest.approx(expected / 1e6)
+
+
+class TestScanCharge:
+    def test_levels_are_log2(self, clock):
+        clock.charge_scan(1024)
+        assert clock.count("scan_step") == 10
+
+    def test_minimum_one_level(self, clock):
+        clock.charge_scan(1)
+        assert clock.count("scan_step") == 1
+
+    def test_non_power_of_two_rounds_up(self, clock):
+        clock.charge_scan(1000)
+        assert clock.count("scan_step") == 10
+
+    def test_steps_per_level(self, clock):
+        clock.charge_scan(16, steps_per_level=2)
+        assert clock.count("scan_step") == 8
+
+
+class TestAdvanceAndReset:
+    def test_advance(self, clock):
+        clock.advance(123.0)
+        assert clock.time_us == 123.0
+
+    def test_advance_rejects_negative(self, clock):
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_reset_zeroes_everything(self, clock):
+        clock.charge("alu", count=7)
+        clock.begin_region("x")
+        clock.end_region()
+        clock.reset()
+        assert clock.time_us == 0.0
+        assert clock.count("alu") == 0
+        assert clock.regions == {}
+
+
+class TestRegions:
+    def test_region_accumulates_elapsed(self, clock):
+        with clock.region("phase"):
+            clock.charge("alu")
+        assert clock.regions["phase"] == pytest.approx(
+            clock.costs.alu + clock.costs.dispatch
+        )
+
+    def test_nested_regions(self, clock):
+        clock.begin_region("outer")
+        clock.begin_region("inner")
+        clock.charge("alu")
+        name, inner_t = clock.end_region()
+        assert name == "inner"
+        clock.charge("news")
+        _, outer_t = clock.end_region()
+        assert outer_t > inner_t
+
+    def test_end_without_begin(self, clock):
+        with pytest.raises(RuntimeError):
+            clock.end_region()
+
+    def test_repeated_region_sums(self, clock):
+        for _ in range(2):
+            with clock.region("r"):
+                clock.charge("alu")
+        assert clock.regions["r"] == pytest.approx(
+            2 * (clock.costs.alu + clock.costs.dispatch)
+        )
+
+
+class TestSnapshotsAndLedger:
+    def test_snapshot_delta(self, clock):
+        s0 = clock.snapshot()
+        clock.charge("router_get", vp_ratio=2)
+        delta = clock.snapshot() - s0
+        assert delta.counts["router_get"] == 1
+        assert delta.time_us == pytest.approx(
+            2 * clock.costs.router_get + clock.costs.dispatch
+        )
+
+    def test_ledger_sorted_by_time(self, clock):
+        clock.charge("alu", count=1)
+        clock.charge("router_get", count=1)
+        ledger = clock.ledger()
+        assert ledger[0].kind in ("router_get", "dispatch")
+        kinds = {r.kind for r in ledger}
+        assert {"alu", "router_get", "dispatch"} <= kinds
+
+    def test_time_in(self, clock):
+        clock.charge("alu", count=3)
+        assert clock.time_in("alu") == pytest.approx(3 * clock.costs.alu)

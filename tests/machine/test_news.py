@@ -1,0 +1,95 @@
+"""NEWS grid communication tests."""
+
+import numpy as np
+import pytest
+
+from repro.machine import news
+from repro.machine.errors import GeometryError
+
+
+@pytest.fixture
+def line(machine):
+    vps = machine.vpset((5,))
+    f = machine.field(vps)
+    f.data[:] = [10, 11, 12, 13, 14]
+    return f
+
+
+class TestShifts:
+    def test_positive_offset_reads_higher_coord(self, line):
+        out = news.news_shifted(line, 0, 1)
+        assert out.tolist() == [11, 12, 13, 14, 0]
+
+    def test_negative_offset_reads_lower_coord(self, line):
+        out = news.news_shifted(line, 0, -2)
+        assert out.tolist() == [0, 0, 10, 11, 12]
+
+    def test_zero_offset_is_copy(self, line):
+        out = news.news_shifted(line, 0, 0)
+        assert out.tolist() == [10, 11, 12, 13, 14]
+        out[0] = 99
+        assert line.data[0] == 10
+
+    def test_wrap_border(self, line):
+        out = news.news_shifted(line, 0, 1, border="wrap")
+        assert out.tolist() == [11, 12, 13, 14, 10]
+
+    def test_clamp_border(self, line):
+        out = news.news_shifted(line, 0, 2, border="clamp")
+        assert out.tolist() == [12, 13, 14, 14, 14]
+
+    def test_scalar_border_fill(self, line):
+        out = news.news_shifted(line, 0, 1, border=-1)
+        assert out.tolist() == [11, 12, 13, 14, -1]
+
+    def test_offset_beyond_extent_fill(self, line):
+        out = news.news_shifted(line, 0, 7)
+        assert out.tolist() == [0] * 5
+
+    def test_offset_beyond_extent_clamp(self, line):
+        out = news.news_shifted(line, 0, -9, border="clamp")
+        assert out.tolist() == [10] * 5
+
+    def test_2d_axis_selection(self, machine):
+        vps = machine.vpset((2, 3))
+        f = machine.field(vps)
+        f.data[:] = np.arange(6).reshape(2, 3)
+        down = news.news_shifted(f, 0, 1)
+        assert down.tolist() == [[3, 4, 5], [0, 0, 0]]
+        right = news.news_shifted(f, 1, 1)
+        assert right.tolist() == [[1, 2, 0], [4, 5, 0]]
+
+    def test_bad_axis(self, line):
+        with pytest.raises(GeometryError):
+            news.news_shifted(line, 3, 1)
+
+
+class TestCosts:
+    def test_cost_per_hop(self, line):
+        m = line.machine
+        before = m.clock.count("news")
+        news.news_shifted(line, 0, 3)
+        assert m.clock.count("news") == before + 3
+
+    def test_zero_offset_free(self, line):
+        m = line.machine
+        before = m.clock.count("news")
+        news.news_shifted(line, 0, 0)
+        assert m.clock.count("news") == before
+
+
+class TestGetFromNews:
+    def test_masked_destination(self, machine):
+        vps = machine.vpset((4,))
+        src = machine.field(vps)
+        src.data[:] = [1, 2, 3, 4]
+        dst = machine.field(vps)
+        with vps.where(np.array([True, False, True, False])):
+            news.get_from_news(dst, src, 0, 1)
+        assert dst.read().tolist() == [2, 0, 4, 0]
+
+    def test_cross_vpset_rejected(self, machine):
+        a = machine.field(machine.vpset((4,)))
+        b = machine.field(machine.vpset((4,)))
+        with pytest.raises(Exception):
+            news.get_from_news(a, b, 0, 1)

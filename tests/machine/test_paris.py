@@ -1,0 +1,158 @@
+"""Paris-layer elementwise operation tests."""
+
+import numpy as np
+import pytest
+
+from repro.machine import paris
+from repro.machine.errors import FieldError, VPSetMismatchError
+
+
+@pytest.fixture
+def vf(machine):
+    vps = machine.vpset((4,))
+    a = machine.field(vps)
+    b = machine.field(vps)
+    out = machine.field(vps)
+    a.data[:] = [6, -7, 8, 9]
+    b.data[:] = [2, 2, -3, 4]
+    return vps, a, b, out
+
+
+class TestBinops:
+    def test_add(self, vf):
+        vps, a, b, out = vf
+        paris.binop(out, "add", a, b)
+        assert out.read().tolist() == [8, -5, 5, 13]
+
+    def test_sub_scalar_operand(self, vf):
+        vps, a, b, out = vf
+        paris.binop(out, "sub", a, 1)
+        assert out.read().tolist() == [5, -8, 7, 8]
+
+    def test_c_integer_division_truncates_toward_zero(self, vf):
+        vps, a, b, out = vf
+        paris.binop(out, "div", a, b)
+        # 6/2=3, -7/2=-3 (C truncation), 8/-3=-2, 9/4=2
+        assert out.read().tolist() == [3, -3, -2, 2]
+
+    def test_c_mod_sign_follows_dividend(self, vf):
+        vps, a, b, out = vf
+        paris.binop(out, "mod", a, b)
+        # -7 % 2 == -1 in C; 8 % -3 == 2
+        assert out.read().tolist() == [0, -1, 2, 1]
+
+    def test_float_division(self, machine):
+        vps = machine.vpset((2,))
+        a = machine.field(vps, np.float64)
+        out = machine.field(vps, np.float64)
+        a.data[:] = [1.0, 3.0]
+        paris.binop(out, "div", a, 2.0)
+        assert out.read().tolist() == [0.5, 1.5]
+
+    def test_min_max(self, vf):
+        vps, a, b, out = vf
+        paris.binop(out, "min", a, b)
+        assert out.read().tolist() == [2, -7, -3, 4]
+        paris.binop(out, "max", a, b)
+        assert out.read().tolist() == [6, 2, 8, 9]
+
+    def test_comparisons_yield_bools(self, vf):
+        vps, a, b, out = vf
+        paris.binop(out, "lt", a, b)
+        assert out.read().tolist() == [0, 1, 0, 0]
+
+    def test_logical_ops(self, machine):
+        vps = machine.vpset((3,))
+        a = machine.field(vps)
+        out = machine.field(vps)
+        a.data[:] = [0, 1, 2]
+        paris.binop(out, "logand", a, 1)
+        assert out.read().tolist() == [0, 1, 1]
+
+    def test_shifts(self, vf):
+        vps, a, b, out = vf
+        paris.binop(out, "shl", 1, np.array([0, 1, 2, 3]))
+        assert out.read().tolist() == [1, 2, 4, 8]
+
+    def test_masked_binop(self, vf):
+        vps, a, b, out = vf
+        with vps.where(np.array([True, False, True, False])):
+            paris.binop(out, "add", a, b)
+        assert out.read().tolist() == [8, 0, 5, 0]
+
+    def test_unknown_op(self, vf):
+        vps, a, b, out = vf
+        with pytest.raises(FieldError):
+            paris.binop(out, "hypot", a, b)
+
+    def test_vpset_mismatch(self, machine):
+        a = machine.field(machine.vpset((4,)))
+        out = machine.field(machine.vpset((4,)))
+        with pytest.raises(VPSetMismatchError):
+            paris.binop(out, "add", a, 1)
+
+    def test_operand_array_wrong_shape(self, machine):
+        vps = machine.vpset((4,))
+        out = machine.field(vps)
+        with pytest.raises(FieldError):
+            paris.binop(out, "add", np.zeros(3), 1)
+
+    def test_charges_one_alu(self, vf):
+        vps, a, b, out = vf
+        before = vps.machine.clock.count("alu")
+        paris.binop(out, "add", a, b)
+        assert vps.machine.clock.count("alu") == before + 1
+
+
+class TestUnopsMoveSelect:
+    def test_neg_abs(self, vf):
+        vps, a, b, out = vf
+        paris.unop(out, "neg", a)
+        assert out.read().tolist() == [-6, 7, -8, -9]
+        paris.unop(out, "abs", a)
+        assert out.read().tolist() == [6, 7, 8, 9]
+
+    def test_lognot(self, machine):
+        vps = machine.vpset((3,))
+        out = machine.field(vps)
+        paris.unop(out, "lognot", np.array([0, 1, 5]))
+        assert out.read().tolist() == [1, 0, 0]
+
+    def test_int_truncation(self, machine):
+        vps = machine.vpset((3,))
+        out = machine.field(vps)
+        paris.unop(out, "int", np.array([1.9, -1.9, 0.5]))
+        assert out.read().tolist() == [1, -1, 0]
+
+    def test_move(self, vf):
+        vps, a, b, out = vf
+        paris.move(out, a)
+        assert out.read().tolist() == a.read().tolist()
+
+    def test_select(self, vf):
+        vps, a, b, out = vf
+        paris.select(out, np.array([1, 0, 1, 0]), a, b)
+        assert out.read().tolist() == [6, 2, 8, 4]
+
+    def test_unknown_unop(self, vf):
+        vps, a, b, out = vf
+        with pytest.raises(FieldError):
+            paris.unop(out, "sqrt", a)
+
+
+class TestGlobalOr:
+    def test_any_active_true(self, machine):
+        vps = machine.vpset((4,))
+        assert paris.global_or(vps, np.array([0, 0, 1, 0]))
+        assert not paris.global_or(vps, np.zeros(4))
+
+    def test_respects_context(self, machine):
+        vps = machine.vpset((4,))
+        with vps.where(np.array([True, True, False, False])):
+            assert not paris.global_or(vps, np.array([0, 0, 1, 1]))
+
+    def test_charges_global_or(self, machine):
+        vps = machine.vpset((4,))
+        before = machine.clock.count("global_or")
+        paris.global_or(vps, np.ones(4))
+        assert machine.clock.count("global_or") == before + 1

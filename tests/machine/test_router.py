@@ -1,0 +1,153 @@
+"""General-router tests: get, send, combining, permutes."""
+
+import numpy as np
+import pytest
+
+from repro.machine import router
+from repro.machine.errors import RouterError
+
+
+class TestGet:
+    def test_gather_by_address(self, machine):
+        vps = machine.vpset((4,))
+        src = machine.field(vps)
+        src.data[:] = [10, 20, 30, 40]
+        dst = machine.field(vps)
+        router.get(dst, src, np.array([3, 2, 1, 0]))
+        assert dst.read().tolist() == [40, 30, 20, 10]
+
+    def test_cross_vpset_gather(self, machine):
+        src = machine.field(machine.vpset((2, 2)))
+        src.data[:] = [[1, 2], [3, 4]]
+        dvps = machine.vpset((3,))
+        dst = machine.field(dvps)
+        router.get(dst, src, np.array([0, 3, 2]))
+        assert dst.read().tolist() == [1, 4, 3]
+
+    def test_masked_get(self, machine):
+        vps = machine.vpset((3,))
+        src = machine.field(vps)
+        src.data[:] = [5, 6, 7]
+        dst = machine.field(vps)
+        with vps.where(np.array([False, True, False])):
+            router.get(dst, src, np.array([2, 2, 2]))
+        assert dst.read().tolist() == [0, 7, 0]
+
+    def test_out_of_range_address(self, machine):
+        vps = machine.vpset((3,))
+        src = machine.field(vps)
+        dst = machine.field(vps)
+        with pytest.raises(RouterError):
+            router.get(dst, src, np.array([0, 1, 3]))
+
+    def test_masked_out_of_range_tolerated(self, machine):
+        vps = machine.vpset((3,))
+        src = machine.field(vps)
+        dst = machine.field(vps)
+        with vps.where(np.array([True, True, False])):
+            router.get(dst, src, np.array([0, 1, 99]))
+
+    def test_wrong_address_shape(self, machine):
+        vps = machine.vpset((3,))
+        src = machine.field(vps)
+        dst = machine.field(vps)
+        with pytest.raises(RouterError):
+            router.get(dst, src, np.array([0, 1]))
+
+    def test_get_charges_router(self, machine):
+        vps = machine.vpset((3,))
+        src, dst = machine.field(vps), machine.field(vps)
+        before = machine.clock.count("router_get")
+        router.get(dst, src, np.zeros(3, np.int64))
+        assert machine.clock.count("router_get") == before + 1
+
+
+class TestSend:
+    def _setup(self, machine, n=4):
+        vps = machine.vpset((n,))
+        src = machine.field(vps)
+        dst = machine.field(vps)
+        return vps, src, dst
+
+    def test_overwrite(self, machine):
+        vps, src, dst = self._setup(machine)
+        src.data[:] = [1, 2, 3, 4]
+        router.send(dst, src, np.array([3, 2, 1, 0]))
+        assert dst.read().tolist() == [4, 3, 2, 1]
+
+    def test_add_combining(self, machine):
+        vps, src, dst = self._setup(machine)
+        src.data[:] = [1, 2, 3, 4]
+        router.send(dst, src, np.array([0, 0, 1, 1]), combiner="add")
+        assert dst.read().tolist() == [3, 7, 0, 0]
+
+    def test_min_combining(self, machine):
+        vps, src, dst = self._setup(machine)
+        src.data[:] = [9, 2, 5, 4]
+        dst.data[:] = 100
+        router.send(dst, src, np.array([0, 0, 0, 1]), combiner="min")
+        assert dst.read().tolist() == [2, 4, 100, 100]
+
+    def test_max_combining(self, machine):
+        vps, src, dst = self._setup(machine)
+        src.data[:] = [9, 2, 5, 4]
+        router.send(dst, src, np.array([1, 1, 1, 1]), combiner="max")
+        assert dst.read()[1] == 9
+
+    def test_logor_combining(self, machine):
+        vps = machine.vpset((3,))
+        src = machine.field(vps, bool)
+        dst = machine.field(vps, bool)
+        src.data[:] = [True, False, True]
+        router.send(dst, src, np.array([0, 0, 0]), combiner="logor")
+        assert dst.read().tolist() == [True, False, False]
+
+    def test_arbitrary_delivers_exactly_one(self, machine):
+        vps, src, dst = self._setup(machine)
+        src.data[:] = [1, 2, 3, 4]
+        router.send(dst, src, np.array([0, 0, 0, 0]), combiner="arbitrary")
+        assert dst.read()[0] in (1, 2, 3, 4)
+
+    def test_arbitrary_deterministic_with_rng(self, machine):
+        vps, src, dst = self._setup(machine)
+        src.data[:] = [1, 2, 3, 4]
+        rng1 = np.random.default_rng(99)
+        rng2 = np.random.default_rng(99)
+        router.send(dst, src, np.array([0, 0, 0, 0]), combiner="arbitrary", rng=rng1)
+        first = dst.read()[0]
+        dst.data[:] = 0
+        router.send(dst, src, np.array([0, 0, 0, 0]), combiner="arbitrary", rng=rng2)
+        assert dst.read()[0] == first
+
+    def test_masked_send(self, machine):
+        vps, src, dst = self._setup(machine)
+        src.data[:] = [1, 2, 3, 4]
+        with vps.where(np.array([True, False, False, True])):
+            router.send(dst, src, np.array([0, 1, 2, 3]), combiner="add")
+        assert dst.read().tolist() == [1, 0, 0, 4]
+
+    def test_unknown_combiner(self, machine):
+        vps, src, dst = self._setup(machine)
+        with pytest.raises(RouterError):
+            router.send(dst, src, np.zeros(4, np.int64), combiner="median")
+
+    def test_send_charges_router(self, machine):
+        vps, src, dst = self._setup(machine)
+        before = machine.clock.count("router_send")
+        router.send(dst, src, np.zeros(4, np.int64), combiner="add")
+        assert machine.clock.count("router_send") == before + 1
+
+
+class TestPermute:
+    def test_valid_permutation(self, machine):
+        vps = machine.vpset((4,))
+        src, dst = machine.field(vps), machine.field(vps)
+        src.data[:] = [1, 2, 3, 4]
+        router.permute(dst, src, np.array([1, 0, 3, 2]))
+        assert dst.read().tolist() == [2, 1, 4, 3]
+
+    def test_collision_rejected(self, machine):
+        vps = machine.vpset((4,))
+        src, dst = machine.field(vps), machine.field(vps)
+        with pytest.raises(RouterError):
+            router.permute(dst, src, np.array([0, 0, 1, 2]))

@@ -1,0 +1,184 @@
+"""Scan / reduce / spread / enumerate tests."""
+
+import numpy as np
+import pytest
+
+from repro.machine import INF, scan
+from repro.machine.errors import ScanError
+
+
+class TestReduce:
+    @pytest.mark.parametrize(
+        "op,values,expected",
+        [
+            ("add", [1, 2, 3, 4], 10),
+            ("mul", [1, 2, 3, 4], 24),
+            ("max", [3, 9, 1, 4], 9),
+            ("min", [3, 9, 1, 4], 1),
+            ("logand", [1, 1, 1, 1], True),
+            ("logand", [1, 0, 1, 1], False),
+            ("logor", [0, 0, 1, 0], True),
+            ("logor", [0, 0, 0, 0], False),
+            ("logxor", [1, 1, 1, 0], True),
+        ],
+    )
+    def test_ops(self, machine, op, values, expected):
+        f = machine.field(machine.vpset((4,)))
+        f.data[:] = values
+        assert scan.reduce(f, op) == expected
+
+    @pytest.mark.parametrize(
+        "op,identity",
+        [
+            ("add", 0),
+            ("mul", 1),
+            ("max", -INF),
+            ("min", INF),
+            ("logand", True),
+            ("logor", False),
+            ("logxor", False),
+        ],
+    )
+    def test_empty_reduction_returns_identity(self, machine, op, identity):
+        """The paper's table of identity values (§3.2)."""
+        vps = machine.vpset((4,))
+        f = machine.field(vps)
+        with vps.where(np.zeros(4, bool)):
+            assert scan.reduce(f, op) == identity
+
+    def test_identity_of_table(self):
+        assert scan.identity_of("add") == 0
+        assert scan.identity_of("min") == INF
+        assert scan.identity_of("arbitrary") == INF
+        with pytest.raises(ScanError):
+            scan.identity_of("median")
+
+    def test_masked_reduce(self, machine):
+        vps = machine.vpset((4,))
+        f = machine.field(vps)
+        f.data[:] = [1, 2, 3, 4]
+        with vps.where(np.array([False, True, True, False])):
+            assert scan.reduce(f, "add") == 5
+
+    def test_arbitrary_picks_active_value(self, machine):
+        vps = machine.vpset((4,))
+        f = machine.field(vps)
+        f.data[:] = [7, 8, 9, 10]
+        with vps.where(np.array([False, True, False, True])):
+            assert scan.reduce(f, "arbitrary") in (8, 10)
+
+    def test_unknown_op(self, machine):
+        f = machine.field(machine.vpset((2,)))
+        with pytest.raises(ScanError):
+            scan.reduce(f, "avg")
+
+    def test_reduce_charges_scan_and_host(self, machine):
+        f = machine.field(machine.vpset((1024,)))
+        s0 = machine.clock.snapshot()
+        scan.reduce(f, "add")
+        d = machine.clock.snapshot() - s0
+        assert d.counts["scan_step"] == 10
+        assert d.counts["host_cm_latency"] == 1
+
+
+class TestScan:
+    def test_inclusive_add(self, machine):
+        vps = machine.vpset((5,))
+        f = machine.field(vps)
+        f.data[:] = [1, 2, 3, 4, 5]
+        out = machine.field(vps)
+        scan.scan(out, f, "add")
+        assert out.read().tolist() == [1, 3, 6, 10, 15]
+
+    def test_exclusive_add(self, machine):
+        vps = machine.vpset((5,))
+        f = machine.field(vps)
+        f.data[:] = [1, 2, 3, 4, 5]
+        out = machine.field(vps)
+        scan.scan(out, f, "add", inclusive=False)
+        assert out.read().tolist() == [0, 1, 3, 6, 10]
+
+    def test_max_scan(self, machine):
+        vps = machine.vpset((5,))
+        f = machine.field(vps)
+        f.data[:] = [3, 1, 4, 1, 5]
+        out = machine.field(vps)
+        scan.scan(out, f, "max")
+        assert out.read().tolist() == [3, 3, 4, 4, 5]
+
+    def test_axis_selection(self, machine):
+        vps = machine.vpset((2, 3))
+        f = machine.field(vps)
+        f.data[:] = [[1, 2, 3], [4, 5, 6]]
+        out = machine.field(vps)
+        scan.scan(out, f, "add", axis=0)
+        assert out.read().tolist() == [[1, 2, 3], [5, 7, 9]]
+
+    def test_masked_positions_pass_through(self, machine):
+        vps = machine.vpset((4,))
+        f = machine.field(vps)
+        f.data[:] = [1, 10, 1, 10]
+        out = machine.field(vps)
+        with vps.where(np.array([True, False, True, False])):
+            scan.scan(out, f, "add")
+        # inactive positions contribute identity and receive nothing
+        assert out.read().tolist() == [1, 0, 2, 0]
+
+    def test_segmented_scan(self, machine):
+        vps = machine.vpset((6,))
+        f = machine.field(vps)
+        f.data[:] = [1, 1, 1, 1, 1, 1]
+        out = machine.field(vps)
+        segs = np.array([True, False, False, True, False, False])
+        scan.scan(out, f, "add", segment_mask=segs)
+        assert out.read().tolist() == [1, 2, 3, 1, 2, 3]
+
+    def test_segmented_wrong_shape(self, machine):
+        vps = machine.vpset((4,))
+        f, out = machine.field(vps), machine.field(vps)
+        with pytest.raises(ScanError):
+            scan.scan(out, f, "add", segment_mask=np.ones(3, bool))
+
+    def test_unknown_scan_op(self, machine):
+        vps = machine.vpset((4,))
+        f, out = machine.field(vps), machine.field(vps)
+        with pytest.raises(ScanError):
+            scan.scan(out, f, "arbitrary")
+
+
+class TestSpread:
+    def test_spread_min_along_axis(self, machine):
+        vps = machine.vpset((2, 3))
+        f = machine.field(vps)
+        f.data[:] = [[5, 2, 7], [1, 8, 3]]
+        out = machine.field(vps)
+        scan.spread(out, f, "min", axis=1)
+        assert out.read().tolist() == [[2, 2, 2], [1, 1, 1]]
+
+    def test_spread_add_axis0(self, machine):
+        vps = machine.vpset((2, 3))
+        f = machine.field(vps)
+        f.data[:] = [[1, 2, 3], [10, 20, 30]]
+        out = machine.field(vps)
+        scan.spread(out, f, "add", axis=0)
+        assert out.read().tolist() == [[11, 22, 33], [11, 22, 33]]
+
+    def test_spread_unknown_op(self, machine):
+        vps = machine.vpset((2, 2))
+        f, out = machine.field(vps), machine.field(vps)
+        with pytest.raises(ScanError):
+            scan.spread(out, f, "arbitrary", axis=0)
+
+
+class TestEnumerate:
+    def test_ranks_of_active(self, machine):
+        vps = machine.vpset((5,))
+        f = machine.field(vps)
+        with vps.where(np.array([True, False, True, True, False])):
+            scan.enumerate_active(f)
+        assert f.read().tolist() == [0, 0, 1, 2, 0]
+
+    def test_global_count(self, machine):
+        vps = machine.vpset((5,))
+        with vps.where(np.array([True, False, True, False, False])):
+            assert scan.global_count(vps) == 2

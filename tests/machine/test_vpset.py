@@ -1,0 +1,122 @@
+"""VP-set geometry and activity-context tests."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine, small_config
+from repro.machine.errors import ContextError, GeometryError
+
+
+class TestGeometry:
+    def test_shape_and_size(self, machine):
+        vps = machine.vpset((8, 16))
+        assert vps.shape == (8, 16)
+        assert vps.n_vps == 128
+        assert vps.rank == 2
+        assert vps.axis_extent(1) == 16
+
+    def test_vp_ratio_one_when_fits(self, machine):
+        assert machine.vpset((128, 128)).vp_ratio == 1
+
+    def test_vp_ratio_rounds_up(self, small_machine):
+        # 1024 PEs; 3000 VPs -> ratio 3
+        assert small_machine.vpset((3000,)).vp_ratio == 3
+
+    def test_empty_shape_rejected(self, machine):
+        with pytest.raises(GeometryError):
+            machine.vpset(())
+
+    def test_nonpositive_extent_rejected(self, machine):
+        with pytest.raises(GeometryError):
+            machine.vpset((4, 0))
+
+    def test_self_addresses_row_major(self, machine):
+        vps = machine.vpset((2, 3))
+        addr = vps.self_addresses()
+        assert addr[0, 0] == 0
+        assert addr[0, 2] == 2
+        assert addr[1, 0] == 3
+
+    def test_coordinates(self, machine):
+        vps = machine.vpset((2, 3))
+        assert np.array_equal(vps.coordinates(0), [[0, 0, 0], [1, 1, 1]])
+        assert np.array_equal(vps.coordinates(1), [[0, 1, 2], [0, 1, 2]])
+
+    def test_coordinates_bad_axis(self, machine):
+        with pytest.raises(GeometryError):
+            machine.vpset((4,)).coordinates(1)
+
+
+class TestContext:
+    def test_default_context_all_active(self, machine):
+        vps = machine.vpset((4,))
+        assert vps.active_count() == 4
+        assert vps.context.all()
+
+    def test_push_pop(self, machine):
+        vps = machine.vpset((4,))
+        vps.push_context(np.array([True, False, True, False]))
+        assert vps.active_count() == 2
+        vps.pop_context()
+        assert vps.active_count() == 4
+
+    def test_nested_contexts_and(self, machine):
+        vps = machine.vpset((4,))
+        vps.push_context(np.array([True, True, False, False]))
+        vps.push_context(np.array([True, False, True, False]))
+        assert np.array_equal(vps.context, [True, False, False, False])
+
+    def test_push_without_combine(self, machine):
+        vps = machine.vpset((4,))
+        vps.push_context(np.zeros(4, bool))
+        vps.push_context(np.ones(4, bool), combine=False)
+        assert vps.active_count() == 4
+
+    def test_pop_empty_raises(self, machine):
+        with pytest.raises(ContextError):
+            machine.vpset((4,)).pop_context()
+
+    def test_wrong_shape_mask_rejected(self, machine):
+        with pytest.raises(ContextError):
+            machine.vpset((4,)).push_context(np.ones(5, bool))
+
+    def test_where_context_manager(self, machine):
+        vps = machine.vpset((4,))
+        with vps.where(np.array([True, False, False, False])):
+            assert vps.active_count() == 1
+        assert vps.active_count() == 4
+
+    def test_everywhere_suspends_masking(self, machine):
+        vps = machine.vpset((4,))
+        with vps.where(np.zeros(4, bool)):
+            with vps.everywhere():
+                assert vps.active_count() == 4
+            assert vps.active_count() == 0
+
+    def test_context_ops_charge_clock(self, machine):
+        vps = machine.vpset((4,))
+        before = machine.clock.count("context")
+        vps.push_context(np.ones(4, bool))
+        vps.pop_context()
+        assert machine.clock.count("context") == before + 2
+
+
+class TestMachineObject:
+    def test_cold_boot_resets(self, machine):
+        vps = machine.vpset((4,))
+        machine.field(vps)
+        machine.cold_boot()
+        assert machine.clock.time_us == 0
+        assert machine.vpsets == []
+        assert machine.fields == []
+
+    def test_foreign_vpset_rejected(self, machine):
+        other = Machine(small_config())
+        vps = other.vpset((4,))
+        with pytest.raises(ValueError):
+            machine.field(vps)
+
+    def test_elapsed_properties(self, machine):
+        machine.vpset((4,))
+        assert machine.elapsed_us >= 0
+        assert machine.elapsed_ms == machine.elapsed_us / 1000

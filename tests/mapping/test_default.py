@@ -1,0 +1,24 @@
+"""Default-mapping tests (paper §4: conforming arrays co-located)."""
+
+from repro.mapping.default import default_layouts
+
+
+class TestDefaultLayouts:
+    def test_all_arrays_canonical(self):
+        table = default_layouts({"a": ("int", (8,)), "d": ("float", (4, 4))})
+        assert table.get("a").is_canonical
+        assert table.get("d").is_canonical
+        assert table.get("d").shape == (4, 4)
+
+    def test_conforming_arrays_share_positions(self):
+        """Same-shape arrays put element x at the same grid position, so
+        a[i] = b[i] is local under the default mapping."""
+        table = default_layouts({"a": ("int", (8,)), "b": ("int", (8,))})
+        for x in range(8):
+            assert table.get("a").physical_position((x,)) == table.get(
+                "b"
+            ).physical_position((x,))
+
+    def test_empty(self):
+        table = default_layouts({})
+        assert table.arrays() == []

@@ -1,0 +1,86 @@
+"""Layout descriptor tests."""
+
+import pytest
+
+from repro.lang.errors import UCSemanticError
+from repro.mapping.layout import AxisFold, Layout, LayoutTable
+
+
+class TestAxisFold:
+    def test_wrap(self):
+        f = AxisFold(axis=0, kind="wrap", param=4)
+        assert f.physical(0) == 0
+        assert f.physical(3) == 3
+        assert f.physical(4) == 0
+        assert f.physical(7) == 3
+
+    def test_mirror(self):
+        f = AxisFold(axis=0, kind="mirror", param=7)  # around 3.5
+        assert f.physical(0) == 0
+        assert f.physical(3) == 3
+        assert f.physical(4) == 3
+        assert f.physical(7) == 0
+
+
+class TestLayout:
+    def test_canonical_default(self):
+        l = Layout("a", (4, 4))
+        assert l.is_canonical
+        assert l.offsets == (0, 0)
+        assert l.physical_position((2, 3)) == (2, 3)
+
+    def test_offsets(self):
+        l = Layout("b", (8,), offsets=(-1,))
+        assert not l.is_canonical
+        assert l.physical_position((3,)) == (2,)
+
+    def test_axis_perm(self):
+        l = Layout("b", (4, 4)).with_axis_perm((1, 0))
+        assert l.physical_position((1, 2)) == (2, 1)
+        assert not l.is_canonical
+
+    def test_fold_position(self):
+        l = Layout("a", (8,)).with_fold(AxisFold(0, "wrap", 4))
+        assert l.physical_position((5,)) == (1,)
+        assert l.physical_position((2,)) == (2,)
+
+    def test_copy_marker(self):
+        l = Layout("v", (8,)).with_copy("k", 4)
+        assert l.copy_elem == "k" and l.copy_extent == 4
+        assert not l.is_canonical
+
+    def test_offset_count_mismatch(self):
+        with pytest.raises(UCSemanticError):
+            Layout("a", (4, 4), offsets=(1,))
+
+    def test_bad_perm(self):
+        with pytest.raises(UCSemanticError):
+            Layout("a", (4, 4), axis_perm=(0, 0))
+
+    def test_position_rank_mismatch(self):
+        with pytest.raises(UCSemanticError):
+            Layout("a", (4,)).physical_position((1, 2))
+
+
+class TestLayoutTable:
+    def test_add_get(self):
+        t = LayoutTable()
+        t.add(Layout("a", (4,)))
+        assert t.get("a").array == "a"
+        assert "a" in t and "b" not in t
+
+    def test_missing_raises(self):
+        with pytest.raises(UCSemanticError):
+            LayoutTable().get("nope")
+
+    def test_non_canonical_listing(self):
+        t = LayoutTable()
+        t.add(Layout("a", (4,)))
+        t.add(Layout("b", (4,), offsets=(-1,)))
+        assert [l.array for l in t.non_canonical()] == ["b"]
+
+    def test_replacement(self):
+        t = LayoutTable()
+        t.add(Layout("a", (4,)))
+        t.add(Layout("a", (4,), offsets=(2,)))
+        assert t.get("a").offsets == (2,)

@@ -1,0 +1,160 @@
+"""Reference-classification tests: the heart of the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.layout import AxisFold, Layout
+from repro.mapping.locality import classify_reference, classify_write
+
+
+def grid(shape, elems=None):
+    elems = elems or tuple(f"e{k}" for k in range(len(shape)))
+    pos = list(np.indices(shape, dtype=np.int64))
+    return shape, tuple(elems), pos
+
+
+class TestReadClassification:
+    def test_identity_is_local(self):
+        shape, elems, pos = grid((8,), ("i",))
+        rc = classify_reference([pos[0]], shape, elems, Layout("a", (8,)))
+        assert rc.kind == "local"
+
+    def test_constant_shift_is_news(self):
+        shape, elems, pos = grid((8,), ("i",))
+        rc = classify_reference([pos[0] + 1], shape, elems, Layout("a", (9,)))
+        assert rc.kind == "news" and rc.news_distance == 1
+
+    def test_larger_shift_distance(self):
+        shape, elems, pos = grid((8,), ("i",))
+        rc = classify_reference([pos[0] + 3], shape, elems, Layout("a", (11,)))
+        assert rc.news_distance == 3
+
+    def test_permute_offset_cancels_shift(self):
+        shape, elems, pos = grid((8,), ("i",))
+        layout = Layout("b", (9,), offsets=(-1,))
+        rc = classify_reference([pos[0] + 1], shape, elems, layout)
+        assert rc.kind == "local"
+
+    def test_permute_offset_makes_identity_remote(self):
+        shape, elems, pos = grid((8,), ("i",))
+        layout = Layout("b", (9,), offsets=(-1,))
+        rc = classify_reference([pos[0]], shape, elems, layout)
+        assert rc.kind == "news" and rc.news_distance == 1
+
+    def test_2d_identity_local(self):
+        shape, elems, pos = grid((4, 4), ("i", "j"))
+        rc = classify_reference([pos[0], pos[1]], shape, elems, Layout("d", (4, 4)))
+        assert rc.kind == "local"
+
+    def test_transpose_is_router(self):
+        shape, elems, pos = grid((4, 4), ("i", "j"))
+        rc = classify_reference([pos[1], pos[0]], shape, elems, Layout("d", (4, 4)))
+        assert rc.kind == "router"
+
+    def test_transpose_with_perm_layout_local(self):
+        shape, elems, pos = grid((4, 4), ("i", "j"))
+        layout = Layout("d", (4, 4)).with_axis_perm((1, 0))
+        rc = classify_reference([pos[1], pos[0]], shape, elems, layout)
+        assert rc.kind == "local"
+
+    def test_mirror_is_router(self):
+        shape, elems, pos = grid((8,), ("i",))
+        rc = classify_reference([7 - pos[0]], shape, elems, Layout("a", (8,)))
+        assert rc.kind == "router"
+
+    def test_mirror_with_fold_local(self):
+        shape, elems, pos = grid((8,), ("i",))
+        layout = Layout("a", (8,)).with_fold(AxisFold(0, "mirror", 7))
+        rc = classify_reference([7 - pos[0]], shape, elems, layout)
+        assert rc.kind == "local"
+
+    def test_wrap_shift_with_fold_local(self):
+        shape, elems, pos = grid((4,), ("i",))
+        layout = Layout("a", (8,)).with_fold(AxisFold(0, "wrap", 4))
+        rc = classify_reference([pos[0] + 4], shape, elems, layout)
+        assert rc.kind == "local"
+
+    def test_all_uniform_is_broadcast(self):
+        shape, elems, pos = grid((4, 4), ("i", "j"))
+        rc = classify_reference([2, 3], shape, elems, Layout("d", (4, 4)))
+        assert rc.kind == "broadcast"
+
+    def test_unused_grid_axis_is_spread(self):
+        """d[i][k] in an (i, j, k) grid: constant along j -> spread."""
+        shape, elems, pos = grid((4, 4, 4), ("i", "j", "k"))
+        rc = classify_reference([pos[0], pos[2]], shape, elems, Layout("d", (4, 4)))
+        assert rc.kind == "spread"
+        assert rc.spread_extent == 4
+
+    def test_copy_absorbs_spread(self):
+        shape, elems, pos = grid((4, 4), ("i", "k"))
+        layout = Layout("v", (4,)).with_copy("k", 4)
+        rc = classify_reference([pos[0]], shape, elems, layout)
+        assert rc.kind == "local"
+
+    def test_copy_wrong_element_still_spreads(self):
+        shape, elems, pos = grid((4, 4), ("i", "k"))
+        layout = Layout("v", (4,)).with_copy("z", 4)
+        rc = classify_reference([pos[0]], shape, elems, layout)
+        assert rc.kind == "spread"
+
+    def test_data_dependent_is_router(self):
+        shape, elems, pos = grid((8,), ("i",))
+        rng = np.random.default_rng(0)
+        rc = classify_reference(
+            [rng.integers(0, 8, 8)], shape, elems, Layout("a", (8,))
+        )
+        assert rc.kind == "router"
+
+    def test_uniform_row_with_identity_column_is_spread(self):
+        """b[k][i] with scalar k: a row slice fetched by spreading."""
+        shape, elems, pos = grid((8,), ("i",))
+        rc = classify_reference([3, pos[0]], shape, elems, Layout("b", (8, 8)))
+        assert rc.kind == "spread"
+
+    def test_host_context_is_broadcast(self):
+        rc = classify_reference([2], (), (), Layout("a", (8,)))
+        assert rc.kind == "broadcast"
+
+    def test_mixed_shift_axes_accumulate(self):
+        shape, elems, pos = grid((4, 4), ("i", "j"))
+        rc = classify_reference(
+            [pos[0] + 1, pos[1] - 2], shape, elems, Layout("d", (6, 6))
+        )
+        assert rc.kind == "news" and rc.news_distance == 3
+
+    def test_diagonal_subscript_is_router(self):
+        """a[i+j] varies along two axes at once: no single-axis match."""
+        shape, elems, pos = grid((4, 4), ("i", "j"))
+        rc = classify_reference([pos[0] + pos[1]], shape, elems, Layout("a", (8,)))
+        assert rc.kind == "router"
+
+
+class TestWriteClassification:
+    def test_local_write(self):
+        shape, elems, pos = grid((8,), ("i",))
+        rc = classify_write([pos[0]], shape, elems, Layout("a", (8,)))
+        assert rc.kind == "local"
+
+    def test_uniform_write_is_router(self):
+        """All VPs writing one element must combine in the router."""
+        shape, elems, pos = grid((8,), ("i",))
+        rc = classify_write([3], shape, elems, Layout("a", (8,)))
+        assert rc.kind == "router"
+
+    def test_spreadlike_write_is_router(self):
+        shape, elems, pos = grid((4, 4), ("i", "j"))
+        rc = classify_write([pos[0]], shape, elems, Layout("a", (4,)))
+        assert rc.kind == "router"
+
+    def test_data_dependent_write_is_router(self):
+        shape, elems, pos = grid((8,), ("i",))
+        rc = classify_write(
+            [np.arange(8)[::-1].copy()], shape, elems, Layout("a", (8,))
+        )
+        assert rc.kind == "router"
+
+    def test_shift_write_is_news(self):
+        shape, elems, pos = grid((8,), ("i",))
+        rc = classify_write([pos[0] + 1], shape, elems, Layout("a", (9,)))
+        assert rc.kind == "news"

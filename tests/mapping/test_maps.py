@@ -1,0 +1,132 @@
+"""Map-declaration -> layout translation tests."""
+
+import pytest
+
+from repro.lang import analyze, parse_program
+from repro.lang.errors import UCSemanticError
+from repro.mapping.maps import affine_subscript, build_layouts
+from repro.lang import parse_expression
+
+
+def layouts_of(src, defines=None):
+    info = analyze(parse_program(src), defines)
+    return build_layouts(info), info
+
+
+HEADER = "index_set I:i = {0..7}, J:j = I;\nint a[8], b[8], d[8][8], e[8][8];\n"
+
+
+class TestAffineSubscript:
+    ELEMS = {"i": "I", "j": "J"}
+
+    def test_bare_element(self):
+        s = affine_subscript(parse_expression("i"), self.ELEMS, {})
+        assert (s.elem, s.scale, s.offset) == ("i", 1, 0)
+
+    def test_plus_const(self):
+        s = affine_subscript(parse_expression("i + 3"), self.ELEMS, {})
+        assert (s.elem, s.scale, s.offset) == ("i", 1, 3)
+
+    def test_const_minus_element(self):
+        s = affine_subscript(parse_expression("7 - i"), self.ELEMS, {})
+        assert (s.elem, s.scale, s.offset) == ("i", -1, 7)
+
+    def test_pure_constant(self):
+        s = affine_subscript(parse_expression("2 * 3"), self.ELEMS, {})
+        assert (s.elem, s.offset) == (None, 6)
+
+    def test_define_constant(self):
+        s = affine_subscript(parse_expression("i + N"), self.ELEMS, {"N": 4})
+        assert s.offset == 4
+
+    def test_two_elements_rejected(self):
+        with pytest.raises(UCSemanticError):
+            affine_subscript(parse_expression("i + j"), self.ELEMS, {})
+
+    def test_nonunit_scale_rejected(self):
+        with pytest.raises(UCSemanticError):
+            affine_subscript(parse_expression("2 * i"), self.ELEMS, {})
+
+
+class TestPermute:
+    def test_paper_example_offset(self):
+        """permute (I) b[i+1] :- a[i]  =>  b shifted by -1."""
+        table, _ = layouts_of(HEADER + "map (I) { permute (I) b[i+1] :- a[i]; }")
+        assert table.get("b").offsets == (-1,)
+        assert table.get("a").is_canonical
+
+    def test_negative_direction(self):
+        table, _ = layouts_of(HEADER + "map (I) { permute (I) b[i] :- a[i+2]; }")
+        assert table.get("b").offsets == (2,)
+
+    def test_transpose(self):
+        table, _ = layouts_of(
+            HEADER + "map (I, J) { permute (I, J) e[j][i] :- d[i][j]; }"
+        )
+        assert table.get("e").axis_perm == (1, 0)
+
+    def test_transpose_with_shift(self):
+        table, _ = layouts_of(
+            HEADER + "map (I, J) { permute (I, J) e[j][i+1] :- d[i][j]; }"
+        )
+        l = table.get("e")
+        assert l.axis_perm == (1, 0)
+        assert l.offsets == (0, -1)
+
+    def test_element_missing_from_source(self):
+        with pytest.raises(UCSemanticError):
+            layouts_of(HEADER + "map (I, J) { permute (I, J) b[i] :- a[j]; }")
+
+    def test_source_must_be_canonical(self):
+        with pytest.raises(UCSemanticError):
+            layouts_of(
+                HEADER
+                + "map (I) { permute (I) b[i+1] :- a[i]; permute (I) a[i] :- b[i]; }"
+            )
+
+
+class TestFold:
+    def test_wrap_fold(self):
+        table, _ = layouts_of(HEADER + "map (I) { fold (I) a[i+4] :- a[i]; }")
+        f = table.get("a").fold
+        assert f is not None and f.kind == "wrap" and f.param == 4
+
+    def test_mirror_fold(self):
+        table, _ = layouts_of(HEADER + "map (I) { fold (I) a[7-i] :- a[i]; }")
+        f = table.get("a").fold
+        assert f is not None and f.kind == "mirror" and f.param == 7
+
+    def test_identity_fold_rejected(self):
+        with pytest.raises(UCSemanticError):
+            layouts_of(HEADER + "map (I) { fold (I) a[i] :- a[i]; }")
+
+    def test_negative_pivot_rejected(self):
+        with pytest.raises(UCSemanticError):
+            layouts_of(HEADER + "map (I) { fold (I) a[i-4] :- a[i]; }")
+
+
+class TestCopy:
+    def test_copy_extent_from_index_set(self):
+        table, info = layouts_of(
+            HEADER + "map (I, J) { copy (I, J) a[i][j] :- a[i]; }"
+        )
+        l = table.get("a")
+        assert l.copy_elem == "j"
+        assert l.copy_extent == len(info.index_sets["J"])
+
+    def test_copy_without_new_element_rejected(self):
+        with pytest.raises(UCSemanticError):
+            layouts_of(HEADER + "map (I) { copy (I) d[i][i] :- d[i][0]; }")
+
+
+class TestBuildLayouts:
+    def test_apply_maps_false_keeps_canonical(self):
+        src = HEADER + "map (I) { permute (I) b[i+1] :- a[i]; }"
+        info = analyze(parse_program(src))
+        table = build_layouts(info, apply_maps=False)
+        assert table.get("b").is_canonical
+
+    def test_every_array_gets_layout(self):
+        table, info = layouts_of(HEADER)
+        for name in info.arrays:
+            assert name in table

@@ -1,0 +1,70 @@
+"""Property test: peephole folding never changes program results."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.cstar_gen import expr_to_text
+from repro.compiler.peephole import fold_expr
+from repro.lang import parse_expression
+from tests.conftest import run_uc
+
+# random expression strings over integer literals and the variables x, i
+_leaf = st.sampled_from(["1", "2", "3", "7", "x", "i", "0"])
+
+
+def _combine(children):
+    binops = st.tuples(
+        st.sampled_from(["+", "-", "*", "%", "<", "==", "&&", "||", "<<"]),
+        children,
+        children,
+    ).map(lambda t: f"({t[1]} {t[0]} {t[2]})")
+    ternary = st.tuples(children, children, children).map(
+        lambda t: f"({t[0]} ? {t[1]} : {t[2]})"
+    )
+    unary = children.map(lambda c: f"(-{c})")
+    return st.one_of(binops, ternary, unary)
+
+
+expr_strings = st.recursive(_leaf, _combine, max_leaves=12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr_strings, st.integers(-20, 20))
+def test_folding_preserves_parallel_evaluation(expr_text, xv):
+    # guard: % by a subexpression that evaluates to 0 must fail the same
+    # way on both sides, so just run both and compare outcomes
+    src = (
+        "index_set I:i = {0..5};\nint a[6], x;\n"
+        f"main {{ par (I) a[i] = {expr_text}; }}"
+    )
+    folded_text = expr_to_text(fold_expr(parse_expression(expr_text)))
+    folded_src = (
+        "index_set I:i = {0..5};\nint a[6], x;\n"
+        f"main {{ par (I) a[i] = {folded_text}; }}"
+    )
+    try:
+        original = run_uc(src, {"x": xv})["a"]
+        ok = True
+    except Exception as exc:
+        original, ok = type(exc), False
+    try:
+        folded = run_uc(folded_src, {"x": xv})["a"]
+        fok = True
+    except Exception as exc:
+        folded, fok = type(exc), False
+
+    assert ok == fok
+    if ok:
+        assert np.array_equal(original, folded), (
+            f"{expr_text!r} -> {folded_text!r} changed results"
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr_strings)
+def test_folding_is_idempotent(expr_text):
+    once = fold_expr(parse_expression(expr_text))
+    twice = fold_expr(once)
+    assert expr_to_text(once) == expr_to_text(twice)

@@ -1,0 +1,89 @@
+"""Property tests for the locality classifier.
+
+The classifier decides what the clock charges; these properties pin its
+behaviour for arbitrary shifts, offsets and grid sizes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping.layout import AxisFold, Layout
+from repro.mapping.locality import classify_reference
+
+
+def _grid(n):
+    return (n,), ("i",), list(np.indices((n,), dtype=np.int64))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(2, 64), st.integers(-8, 8))
+def test_shift_distance_is_absolute_offset(n, c):
+    shape, elems, pos = _grid(n)
+    layout = Layout("a", (n + 16,), offsets=(0,))
+    rc = classify_reference([pos[0] + (c + 8)], shape, elems, layout)
+    # subscripts shifted by c+8 >= 0 keep everything in range
+    assert rc.kind in ("news", "local")
+    assert rc.news_distance == abs(c + 8)
+    if c + 8 == 0:
+        assert rc.kind == "local"
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(2, 64), st.integers(-6, 6))
+def test_matching_permute_offset_always_localises(n, c):
+    shape, elems, pos = _grid(n)
+    layout = Layout("b", (n + 12,), offsets=(-(c + 6),))
+    rc = classify_reference([pos[0] + (c + 6)], shape, elems, layout)
+    assert rc.kind == "local"
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(4, 64))
+def test_mirror_needs_matching_fold(n):
+    shape, elems, pos = _grid(n)
+    plain = Layout("a", (n,))
+    folded = plain.with_fold(AxisFold(0, "mirror", n - 1))
+    mirrored = [(n - 1) - pos[0]]
+    assert classify_reference(mirrored, shape, elems, plain).kind == "router"
+    assert classify_reference(mirrored, shape, elems, folded).kind == "local"
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 32), st.integers(0, 31))
+def test_uniform_subscript_is_never_local(n, k):
+    shape, elems, pos = _grid(n)
+    layout = Layout("a", (32,))
+    rc = classify_reference([min(k, 31)], shape, elems, layout)
+    assert rc.kind == "broadcast"
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_random_permutation_subscripts_route(data):
+    n = data.draw(st.integers(4, 32))
+    perm = data.draw(st.permutations(list(range(n))))
+    shape, elems, pos = _grid(n)
+    sub = np.asarray(perm)
+    rc = classify_reference([sub], shape, elems, Layout("a", (n,)))
+    # identity and constant-shift permutations are the only cheap ones
+    diffs = sub - pos[0]
+    if len(set(diffs.tolist())) == 1:
+        assert rc.kind in ("local", "news")
+    else:
+        sums = sub + pos[0]
+        if len(set(sums.tolist())) == 1:
+            assert rc.kind == "router"  # mirror without a fold
+        else:
+            assert rc.kind == "router"
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 16), st.integers(2, 16))
+def test_2d_identity_always_local(r, c):
+    shape = (r, c)
+    pos = list(np.indices(shape, dtype=np.int64))
+    rc = classify_reference(
+        [pos[0], pos[1]], shape, ("i", "j"), Layout("d", (r, c))
+    )
+    assert rc.kind == "local"

@@ -1,0 +1,94 @@
+"""Property tests on the machine collectives: scans/reduces match numpy."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.machine import Machine, scan
+
+small_ints = st.integers(min_value=-100, max_value=100)
+vec = arrays(np.int64, st.integers(min_value=1, max_value=64), elements=small_ints)
+mask_for = lambda n: arrays(np.bool_, n)  # noqa: E731
+
+
+@settings(max_examples=40, deadline=None)
+@given(vec)
+def test_reduce_add_matches_numpy(values):
+    m = Machine()
+    f = m.field(m.vpset((len(values),)))
+    f.data[:] = values
+    assert scan.reduce(f, "add") == values.sum()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_masked_reduce_matches_numpy(data):
+    values = data.draw(vec)
+    mask = data.draw(
+        arrays(np.bool_, len(values)).filter(lambda m: True)
+    )
+    m = Machine()
+    vps = m.vpset((len(values),))
+    f = m.field(vps)
+    f.data[:] = values
+    with vps.where(mask):
+        got = scan.reduce(f, "add")
+    assert got == values[mask].sum()
+
+
+@settings(max_examples=40, deadline=None)
+@given(vec)
+def test_inclusive_scan_matches_cumsum(values):
+    m = Machine()
+    vps = m.vpset((len(values),))
+    f = m.field(vps)
+    f.data[:] = values
+    out = m.field(vps)
+    scan.scan(out, f, "add")
+    assert np.array_equal(out.read(), np.cumsum(values))
+
+
+@settings(max_examples=40, deadline=None)
+@given(vec)
+def test_exclusive_plus_value_equals_inclusive(values):
+    m = Machine()
+    vps = m.vpset((len(values),))
+    f = m.field(vps)
+    f.data[:] = values
+    inc = m.field(vps)
+    exc = m.field(vps)
+    scan.scan(inc, f, "add")
+    scan.scan(exc, f, "add", inclusive=False)
+    assert np.array_equal(exc.read() + values, inc.read())
+
+
+@settings(max_examples=40, deadline=None)
+@given(vec)
+def test_max_scan_is_monotone_and_dominates(values):
+    m = Machine()
+    vps = m.vpset((len(values),))
+    f = m.field(vps)
+    f.data[:] = values
+    out = m.field(vps)
+    scan.scan(out, f, "max")
+    got = out.read()
+    assert np.array_equal(got, np.maximum.accumulate(values))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_router_send_add_matches_bincount(data):
+    n = data.draw(st.integers(min_value=1, max_value=64))
+    values = data.draw(arrays(np.int64, n, elements=st.integers(0, 20)))
+    addr = data.draw(arrays(np.int64, n, elements=st.integers(0, n - 1)))
+    from repro.machine import router
+
+    m = Machine()
+    vps = m.vpset((n,))
+    src = m.field(vps)
+    src.data[:] = values
+    dst = m.field(vps)
+    router.send(dst, src, addr, combiner="add")
+    expect = np.bincount(addr, weights=values, minlength=n).astype(np.int64)
+    assert np.array_equal(dst.read(), expect)

@@ -1,0 +1,97 @@
+"""THE paper property: data mappings never change program results (§4).
+
+"As these modifications do not affect program correctness ... a number of
+alternative mappings may be tested quickly."  We generate random inputs
+and random shift amounts, run the same source with and without its map
+section, and require bit-identical results (only the clock may differ).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.interp.program import UCProgram
+
+small_ints = st.integers(min_value=-30, max_value=30)
+
+
+def run_both(src_template, map_section, inputs, defines=None):
+    unmapped = UCProgram(
+        src_template.replace("MAYBE_MAP", ""), defines=defines
+    ).run(dict(inputs))
+    mapped = UCProgram(
+        src_template.replace("MAYBE_MAP", map_section), defines=defines
+    ).run(dict(inputs))
+    return unmapped, mapped
+
+
+def assert_same_results(unmapped, mapped):
+    for name in unmapped.keys():
+        assert np.array_equal(np.asarray(unmapped[name]), np.asarray(mapped[name]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    arrays(np.int64, 16, elements=small_ints),
+    arrays(np.int64, 16, elements=small_ints),
+    st.integers(min_value=1, max_value=4),
+)
+def test_permute_invariance_any_shift(a, b, shift):
+    src = (
+        f"index_set I:i = {{0..{15 - shift}}};\nint a[16], b[16];\n"
+        "MAYBE_MAP\n"
+        f"main {{ par (I) a[i] = a[i] + b[i + {shift}]; }}"
+    )
+    map_section = f"map (I) {{ permute (I) b[i+{shift}] :- a[i]; }}"
+    unmapped, mapped = run_both(src, map_section, {"a": a, "b": b})
+    assert_same_results(unmapped, mapped)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    arrays(np.int64, (6, 6), elements=small_ints),
+    arrays(np.int64, (6, 6), elements=small_ints),
+)
+def test_transpose_permute_invariance(a, b):
+    src = (
+        "index_set I:i = {0..5}, J:j = I;\nint a[6][6], b[6][6];\n"
+        "MAYBE_MAP\n"
+        "main { par (I, J) a[i][j] = a[i][j] + b[j][i]; }"
+    )
+    map_section = "map (I, J) { permute (I, J) b[j][i] :- a[i][j]; }"
+    unmapped, mapped = run_both(src, map_section, {"a": a, "b": b})
+    assert_same_results(unmapped, mapped)
+    # and the mapped run must actually avoid the router
+    assert mapped.counts.get("router_get", 0) == 0
+    assert unmapped.counts.get("router_get", 0) > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays(np.int64, 16, elements=small_ints))
+def test_fold_invariance(a):
+    src = (
+        "index_set I:i = {0..7};\nint a[16], s[8];\n"
+        "MAYBE_MAP\n"
+        "main { par (I) s[i] = a[i] + a[i + 8]; }"
+    )
+    map_section = "map (I) { fold (I) a[i + 8] :- a[i]; }"
+    unmapped, mapped = run_both(src, map_section, {"a": a})
+    assert_same_results(unmapped, mapped)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    arrays(np.int64, 6, elements=small_ints),
+    arrays(np.int64, (6, 6), elements=small_ints),
+)
+def test_copy_invariance(v, m):
+    src = (
+        "index_set I:i = {0..5}, K:k = I;\nint v[6], m[6][6];\n"
+        "MAYBE_MAP\n"
+        "main { par (I, K) m[i][k] = m[i][k] + v[i]; }"
+    )
+    map_section = "map (I, K) { copy (I, K) v[i][k] :- v[i]; }"
+    unmapped, mapped = run_both(src, map_section, {"v": v, "m": m})
+    assert_same_results(unmapped, mapped)
+    assert mapped.elapsed_us <= unmapped.elapsed_us

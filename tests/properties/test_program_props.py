@@ -1,0 +1,90 @@
+"""Property tests over whole UC programs: sorting, prefix sums, APSP."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.algorithms import floyd_warshall
+from tests.conftest import run_uc
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.permutations(list(range(12))))
+def test_ranksort_sorts_any_permutation(perm):
+    src = (
+        "index_set I:i = {0..11}, J:j = I;\nint a[12];\n"
+        "main { par (I) { int rank; rank = $+(J st (a[j] < a[i]) 1); "
+        "a[rank] = a[i]; } }"
+    )
+    r = run_uc(src, {"a": np.array(perm)})
+    assert r["a"].tolist() == sorted(perm)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.permutations(list(range(10))), st.integers(0, 2**31 - 1))
+def test_oneof_odd_even_sorts_any_permutation_any_schedule(perm, seed):
+    src = (
+        "int N = 10;\nindex_set I:i = {0..N-2};\nint x[10];\n"
+        "main { *oneof (I)\n"
+        "  st (i % 2 == 0 && x[i] > x[i+1]) swap(x[i], x[i+1]);\n"
+        "  st (i % 2 != 0 && x[i] > x[i+1]) swap(x[i], x[i+1]); }"
+    )
+    r = run_uc(src, {"x": np.array(perm)}, seed=seed)
+    assert r["x"].tolist() == sorted(perm)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(
+        np.int64,
+        st.integers(min_value=2, max_value=32),
+        elements=st.integers(-100, 100),
+    )
+)
+def test_star_par_prefix_sums_equal_cumsum(a):
+    n = len(a)
+    src = (
+        f"int N = {n};\nindex_set I:i = {{0..N-1}};\nint a[{n}], cnt[{n}];\n"
+        "int power2(int x) { return 1 << x; }\n"
+        "main { par (I) cnt[i] = 0;\n"
+        "*par (I) st (i >= power2(cnt[i])) {\n"
+        "  a[i] = a[i] + a[i - power2(cnt[i])];\n"
+        "  cnt[i] = cnt[i] + 1; } }"
+    )
+    r = run_uc(src, {"a": a})
+    assert np.array_equal(r["a"], np.cumsum(a))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    arrays(
+        np.int64,
+        st.tuples(st.integers(2, 9), st.integers(2, 9)).filter(lambda t: t[0] == t[1]),
+        elements=st.integers(1, 50),
+    )
+)
+def test_apsp_n2_matches_floyd_warshall(d):
+    np.fill_diagonal(d, 0)
+    n = d.shape[0]
+    src = (
+        f"int N = {n};\nindex_set I:i = {{0..N-1}}, J:j = I, K:k = I;\n"
+        f"int d[{n}][{n}];\n"
+        "main { seq (K) par (I, J) st (d[i][k] + d[k][j] < d[i][j]) "
+        "d[i][j] = d[i][k] + d[k][j]; }"
+    )
+    r = run_uc(src, {"d": d})
+    assert np.array_equal(r["d"], floyd_warshall(d))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=10))
+def test_solve_strategies_agree_on_wavefront(n):
+    src = (
+        f"int N = {n};\nindex_set I:i = {{0..N-1}}, J:j = I;\nint a[{n}][{n}];\n"
+        "main { solve (I, J) a[i][j] = (i == 0 || j == 0) ? 1 "
+        ": a[i-1][j] + a[i-1][j-1] + a[i][j-1]; }"
+    )
+    s = run_uc(src, solve_strategy="scheduled")["a"]
+    g = run_uc(src, solve_strategy="guarded")["a"]
+    assert np.array_equal(s, g)

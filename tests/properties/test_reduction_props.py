@@ -1,0 +1,74 @@
+"""Property tests: UC reductions agree with numpy on arbitrary data."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from tests.conftest import run_uc
+
+small_ints = st.integers(min_value=-50, max_value=50)
+vec = arrays(np.int64, st.integers(min_value=1, max_value=24), elements=small_ints)
+
+
+def _run_reduction(a, red_expr):
+    n = len(a)
+    src = (
+        f"index_set I:i = {{0..{n-1}}};\nint a[{n}], out_;\n"
+        f"main {{ out_ = {red_expr}; }}"
+    )
+    return run_uc(src, {"a": a})["out_"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(vec)
+def test_sum_matches_numpy(a):
+    assert _run_reduction(a, "$+(I; a[i])") == a.sum()
+
+
+@settings(max_examples=40, deadline=None)
+@given(vec)
+def test_min_max_match_numpy(a):
+    assert _run_reduction(a, "$<(I; a[i])") == a.min()
+    assert _run_reduction(a, "$>(I; a[i])") == a.max()
+
+
+@settings(max_examples=40, deadline=None)
+@given(vec, small_ints)
+def test_predicated_sum_matches_mask(a, threshold):
+    got = _run_reduction(a, f"$+(I st (a[i] > {threshold}) a[i])")
+    assert got == a[a > threshold].sum()
+
+
+@settings(max_examples=40, deadline=None)
+@given(vec)
+def test_abs_sum_with_others(a):
+    got = _run_reduction(a, "$+(I st (a[i] > 0) a[i] others -a[i])")
+    assert got == np.abs(a).sum()
+
+
+@settings(max_examples=40, deadline=None)
+@given(vec)
+def test_logical_reductions_match(a):
+    assert _run_reduction(a, "$||(I; a[i] != 0)") == int(np.any(a != 0))
+    assert _run_reduction(a, "$&&(I; a[i] != 0)") == int(np.all(a != 0))
+    assert _run_reduction(a, "$^(I; a[i] != 0)") == int(np.count_nonzero(a) % 2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(vec)
+def test_arbitrary_returns_an_enabled_operand(a):
+    got = _run_reduction(a, "$,(I; a[i])")
+    assert got in set(a.tolist())
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.int64, st.tuples(st.integers(2, 8), st.integers(2, 8)), elements=small_ints))
+def test_two_set_reduction_matches_full_sum(m):
+    r, c = m.shape
+    src = (
+        f"index_set I:i = {{0..{r-1}}}, J:j = {{0..{c-1}}};\n"
+        f"int m[{r}][{c}], out_;\n"
+        "main { out_ = $+(I, J; m[i][j]); }"
+    )
+    assert run_uc(src, {"m": m})["out_"] == m.sum()

@@ -1,0 +1,73 @@
+"""Sequential Sun-4 model tests (figure 8 baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.grid_path import grid_reference_distances, obstacle_mask
+from repro.seqc import SunModel, sequential_obstacle_path
+from repro.seqc.grid import OPS_PER_CELL
+
+
+class TestSunModel:
+    def test_charging(self):
+        m = SunModel()
+        m.charge_ops(100)
+        assert m.ops == 100
+        assert m.elapsed_us == pytest.approx(100 * m.op_cost_us)
+
+    def test_optimized_factor(self):
+        plain = SunModel()
+        opt = SunModel(optimized=True)
+        plain.charge_ops(1000)
+        opt.charge_ops(1000)
+        assert plain.elapsed_us / opt.elapsed_us == pytest.approx(plain.optimize_factor)
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(ValueError):
+            SunModel().charge_ops(-1)
+
+    def test_reset(self):
+        m = SunModel()
+        m.charge_ops(10)
+        m.reset()
+        assert m.ops == 0 and m.elapsed_us == 0
+
+    def test_elapsed_seconds(self):
+        m = SunModel(op_cost_us=1.0)
+        m.charge_ops(2_000_000)
+        assert m.elapsed_s == pytest.approx(2.0)
+
+
+class TestSequentialGrid:
+    def test_distances_match_bfs(self):
+        res = sequential_obstacle_path(20)
+        ref = grid_reference_distances(20)
+        free = ~obstacle_mask(20)
+        assert np.array_equal(res.distances[free], ref[free])
+
+    def test_cost_scales_with_cells_and_sweeps(self):
+        res = sequential_obstacle_path(16)
+        assert res.ops >= res.sweeps * 16 * 16 * OPS_PER_CELL
+
+    def test_quadratic_ish_growth(self):
+        t1 = sequential_obstacle_path(20).elapsed_us
+        t2 = sequential_obstacle_path(40).elapsed_us
+        # sweeps double and cells quadruple: expect ~8x
+        assert 5 < t2 / t1 < 12
+
+    def test_optimized_is_faster_same_answer(self):
+        plain = sequential_obstacle_path(16)
+        opt = sequential_obstacle_path(16, optimized=True)
+        assert np.array_equal(plain.distances, opt.distances)
+        assert opt.elapsed_us < plain.elapsed_us
+
+    def test_custom_walls(self):
+        walls = np.zeros((12, 12), dtype=bool)
+        walls[5, 1:11] = True
+        res = sequential_obstacle_path(12, walls=walls)
+        ref = grid_reference_distances(12, walls)
+        assert np.array_equal(res.distances[~walls], ref[~walls])
+
+    def test_nonconvergence_guard(self):
+        with pytest.raises(RuntimeError):
+            sequential_obstacle_path(16, max_sweeps=2)
