@@ -1,0 +1,174 @@
+"""Interpreter engine benchmark — compiled plans vs the tree-walker.
+
+Unlike the other benchmarks (which measure *simulated* CM time), this one
+measures the harness itself: host wall-clock for iterated ``solve``
+workloads under the compiled-plan engine (``plans=True``, the default)
+against the tree-walking oracle (``plans=False``).  Both engines must
+produce bit-identical results and bit-identical cost ledgers — the plan
+engine is an invisible optimization — so the only thing allowed to
+differ is how long the host takes.
+
+Writes ``BENCH_interp.json`` at the repository root with the measured
+series, plus the usual text report under ``benchmarks/results/``.
+
+Run small (CI smoke): ``python benchmarks/bench_plan_cache.py --small``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+import pytest
+
+from repro.algorithms.shortest_path import random_distance_matrix
+from repro.bench.report import format_table
+from repro.bench.workloads import APSP_SOLVE_UC, WAVEFRONT_UC
+from repro.interp.program import UCProgram
+
+from _common import save_report
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+REPS = 3
+
+#: the headline workload: fig-7 APSP as a ``*solve`` fixed point — the
+#: acceptance bar is >= 2x on this at n=64 with identical clocks
+FULL_APSP_N = 64
+SMALL_APSP_N = 12
+FULL_WAVEFRONT_N = 48
+SMALL_WAVEFRONT_N = 10
+
+
+def _best_of(prog: UCProgram, inputs) -> tuple:
+    best = None
+    result = None
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        result = prog.run(dict(inputs or {}))
+        dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+    fp = prog.last_interpreter.machine.clock.fingerprint()
+    return best, result, fp
+
+
+def _compare(name, src, defines, inputs, **kw):
+    """One row: run both engines, check equivalence, report the speedup."""
+    t_plan, r_plan, fp_plan = _best_of(
+        UCProgram(src, defines=defines, plans=True, **kw), inputs
+    )
+    t_tree, r_tree, fp_tree = _best_of(
+        UCProgram(src, defines=defines, plans=False, **kw), inputs
+    )
+    assert fp_plan == fp_tree, f"{name}: cost ledgers diverge between engines"
+    for var in r_plan.keys():
+        a, b = r_plan[var], r_tree[var]
+        same = np.array_equal(a, b) if isinstance(a, np.ndarray) else a == b
+        assert same, f"{name}: variable {var!r} diverges between engines"
+    return {
+        "workload": name,
+        "tree_ms": t_tree * 1e3,
+        "plans_ms": t_plan * 1e3,
+        "speedup": t_tree / t_plan,
+        "clock_us": r_plan.elapsed_us,
+    }
+
+
+def run_bench(small: bool = False):
+    apsp_n = SMALL_APSP_N if small else FULL_APSP_N
+    wf_n = SMALL_WAVEFRONT_N if small else FULL_WAVEFRONT_N
+    dist = random_distance_matrix(apsp_n, seed=7)
+    rows = [
+        _compare(
+            f"apsp *solve n={apsp_n}",
+            APSP_SOLVE_UC,
+            {"N": apsp_n},
+            {"dist": dist},
+        ),
+        _compare(
+            f"apsp *solve n={apsp_n} (guarded)",
+            APSP_SOLVE_UC,
+            {"N": apsp_n},
+            {"dist": dist},
+            solve_strategy="guarded",
+        ),
+        _compare(
+            f"wavefront solve n={wf_n} (guarded)",
+            WAVEFRONT_UC,
+            {"N": wf_n},
+            None,
+            solve_strategy="guarded",
+        ),
+    ]
+    return rows, small
+
+
+def check_bench(rows, small: bool) -> None:
+    for row in rows:
+        # at full size the compiled engine must at least double throughput
+        # on the headline APSP workload; small (CI smoke) sizes only check
+        # that plans are not a slowdown disaster
+        if not small and row["workload"].startswith("apsp"):
+            assert row["speedup"] >= 2.0, (
+                f"{row['workload']}: speedup {row['speedup']:.2f}x below 2x"
+            )
+        if small:
+            assert row["speedup"] >= 0.5, (
+                f"{row['workload']}: plans slower than half the tree-walker"
+            )
+
+
+def write_json(rows, small: bool) -> Path:
+    out = REPO_ROOT / "BENCH_interp.json"
+    out.write_text(
+        json.dumps(
+            {
+                "benchmark": "compiled plans vs tree-walking interpreter",
+                "mode": "small" if small else "full",
+                "reps": REPS,
+                "rows": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    return out
+
+
+def report(rows, small: bool) -> None:
+    table = format_table(
+        ["workload", "tree (ms)", "plans (ms)", "speedup", "sim clock (us)"],
+        [
+            (
+                r["workload"],
+                r["tree_ms"],
+                r["plans_ms"],
+                f"{r['speedup']:.2f}x",
+                r["clock_us"],
+            )
+            for r in rows
+        ],
+        title="Interpreter engines: compiled plans vs tree-walker "
+        "(identical results + clocks)",
+    )
+    save_report("bench_plan_cache", table)
+    path = write_json(rows, small)
+    print(f"wrote {path}")
+
+
+@pytest.mark.benchmark(group="interp")
+def test_plan_cache_speedup(benchmark):
+    rows, small = benchmark.pedantic(run_bench, iterations=1, rounds=1)
+    check_bench(rows, small)
+    report(rows, small)
+
+
+if __name__ == "__main__":
+    is_small = "--small" in sys.argv[1:]
+    bench_rows, bench_small = run_bench(small=is_small)
+    check_bench(bench_rows, bench_small)
+    report(bench_rows, bench_small)

@@ -159,10 +159,15 @@ def _cse_key(ip, expr: ast.Expr) -> Optional[str]:
     if key is not None:
         return key or None
     pure = True
+    reads = set()
     for node in ast.walk(expr):
         if isinstance(node, (ast.Call, ast.Assign, ast.IncDec, ast.Reduction)):
             pure = False
             break
+        if isinstance(node, ast.Name):
+            reads.add(node.ident)
+        elif isinstance(node, ast.Index):
+            reads.add(node.base)
     if not pure:
         ip.cse_keys[id(expr)] = ""
         return None
@@ -170,6 +175,9 @@ def _cse_key(ip, expr: ast.Expr) -> Optional[str]:
 
     text = expr_to_text(expr)
     ip.cse_keys[id(expr)] = text
+    # the read-set lets cse_invalidate(name) drop only entries that can
+    # observe a write to `name`
+    ip.cse_text_names[text] = frozenset(reads)
     return text
 
 
@@ -515,7 +523,7 @@ def eval_scatter(
         _bounds_check(node, subs, view_shape, np.ones((), bool))
         ip.machine.clock.charge("host_cm_latency")
         data[idx] = _coerce_to_dtype(value, data.dtype)
-        ip.cse_invalidate()
+        ip.cse_invalidate(node.base)
         return
 
     mask = ctx.active_mask()
@@ -551,7 +559,7 @@ def eval_scatter(
 
     _check_single_assignment(node, flat_idx, vals)
     data.reshape(-1)[flat_idx] = vals
-    ip.cse_invalidate()
+    ip.cse_invalidate(node.base)
 
 
 def _check_single_assignment(node: ast.Index, flat_idx: np.ndarray, vals: np.ndarray) -> None:
@@ -629,7 +637,7 @@ def _assign_scalar(ip, var: ScalarVar, value: Value, ctx: ExecContext, node: ast
             )
         ip.machine.clock.charge("host")
         var.value = coerce_scalar(var.ctype, value)
-        ip.cse_invalidate()
+        ip.cse_invalidate(var.name)
         return
     # parallel write to a front-end scalar: all enabled lanes must agree
     mask = ctx.active_mask()
@@ -644,7 +652,7 @@ def _assign_scalar(ip, var: ScalarVar, value: Value, ctx: ExecContext, node: ast
         )
     ip.machine.clock.charge("host_cm_latency")
     var.value = coerce_scalar(var.ctype, vals.reshape(-1)[0])
-    ip.cse_invalidate()
+    ip.cse_invalidate(var.name)
 
 
 def _assign_parallel_local(
@@ -661,7 +669,7 @@ def _assign_parallel_local(
     if ctx.grid.rank == var.grid_rank:
         arr = np.broadcast_to(value, ctx.grid.shape)
         var.data[mask] = _cast_array(np.asarray(arr)[mask], var.data.dtype)
-        ip.cse_invalidate()
+        ip.cse_invalidate(var.name)
         return
     # assignment from an extended grid: values must agree along the extra axes
     extra = tuple(range(var.grid_rank, ctx.grid.rank))
@@ -676,7 +684,7 @@ def _assign_parallel_local(
             node.col,
         )
     var.data[any_mask] = _cast_array(mn[any_mask], var.data.dtype)
-    ip.cse_invalidate()
+    ip.cse_invalidate(var.name)
 
 
 # ---------------------------------------------------------------------------

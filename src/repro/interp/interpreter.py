@@ -8,7 +8,8 @@ built per run so benchmark sweeps are independent.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+import os
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -21,6 +22,7 @@ from ..machine.vpset import VPSet
 from ..mapping.layout import Layout, LayoutTable
 from .env import Env
 from .eval_expr import ExecContext, eval_expr
+from .plan_cache import PlanCache
 from .statements import ReturnSignal, exec_stmt
 from .values import ArrayVar, GridContext, ScalarVar, coerce_scalar, numpy_ctype
 from . import functions as _functions
@@ -39,6 +41,7 @@ class Interpreter:
         solve_strategy: str = "auto",
         processor_opt: bool = True,
         cse: bool = True,
+        plans: bool = True,
     ) -> None:
         if solve_strategy not in ("auto", "scheduled", "guarded"):
             raise ValueError(f"unknown solve strategy {solve_strategy!r}")
@@ -52,6 +55,13 @@ class Interpreter:
         self.cse_enabled = cse
         self.cse_cache: Optional[dict] = None
         self.cse_keys: Dict[int, str] = {}
+        # names read by each CSE key text, for targeted invalidation
+        self.cse_text_names: Dict[str, FrozenSet[str]] = {}
+        # compiled-plan execution (tree-walker stays available as the
+        # oracle: plans=False or REPRO_NO_PLANS=1 in the environment)
+        env_off = os.environ.get("REPRO_NO_PLANS", "").strip().lower()
+        self.plans_enabled = bool(plans) and env_off not in ("1", "true", "yes", "on")
+        self.plan_cache = PlanCache()
         self.rng = np.random.default_rng(seed)
         self._seed = seed
         self.solve_strategy = solve_strategy
@@ -115,10 +125,30 @@ class Interpreter:
         """Arm the cache for one statement execution (context manager)."""
         return _CseRegion(self)
 
-    def cse_invalidate(self) -> None:
-        """Drop cached values (after any write to program state)."""
-        if self.cse_cache is not None:
-            self.cse_cache.clear()
+    def cse_invalidate(self, name: Optional[str] = None) -> None:
+        """Drop cached values after a write to program state.
+
+        With ``name``, only entries whose key text mentions that variable
+        are dropped (the read-set is recorded when the key is built); an
+        entry whose read-set is unknown is dropped conservatively.
+        Without ``name`` the whole cache goes — used when the write target
+        cannot be pinned down (declaration shadowing, nested regions,
+        ``seq`` element rebinding).
+        """
+        cache = self.cse_cache
+        if cache is None:
+            return
+        if name is None:
+            cache.clear()
+            return
+        names_of = self.cse_text_names
+        dead = []
+        for key in cache:
+            reads = names_of.get(key[0])
+            if reads is None or name in reads:
+                dead.append(key)
+        for key in dead:
+            del cache[key]
 
     def cse_suspend(self) -> "_CseSuspend":
         """Run a nested region (function call, nested construct) uncached."""

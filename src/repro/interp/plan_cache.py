@@ -1,0 +1,75 @@
+"""LRU cache of compiled execution plans.
+
+A *plan* is a tree of Python closures compiled from an already
+semantically-checked AST subtree (see :mod:`repro.interp.plan`).  Plans
+carry per-node memoisation state (cached reference classifications,
+index vectors, out-of-bounds masks), so they are cached per
+``(kind, id(node), grid signature)``:
+
+* ``kind`` separates the compilation entry points ("construct",
+  "solve", "sched", ...);
+* ``id(node)`` identifies the AST node — each cache entry keeps a strong
+  reference to the node so the id cannot be recycled while the entry is
+  alive, and a hit re-checks node identity so a recycled id after an
+  eviction can never resurrect a stale plan;
+* the grid signature (the tuple of :class:`~repro.interp.values.GridAxis`)
+  distinguishes executions of the same construct over different index-set
+  geometries, giving each geometry its own memo state.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Tuple
+
+
+class PlanCache:
+    """Bounded LRU mapping ``(kind, id(node), sig)`` -> compiled plan."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, int, Hashable], Tuple[Any, Any]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_build(
+        self,
+        kind: str,
+        node: Any,
+        sig: Hashable,
+        build: Callable[[], Any],
+    ) -> Any:
+        key = (kind, id(node), sig)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is node:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry[1]
+        self.misses += 1
+        plan = build()
+        self._entries[key] = (node, plan)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return plan
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -104,6 +104,11 @@ class UCProgram:
         statement, pure subexpressions shared between a predicate and its
         body (or repeated inside one expression) are evaluated and charged
         once.  On by default, as in the paper's compiler.
+    plans:
+        Execute construct bodies as cached compiled closures instead of
+        recursive AST walks (see ``docs/PERFORMANCE.md``).  Semantics and
+        simulated clock are identical either way; set False (or export
+        ``REPRO_NO_PLANS=1``) to force the tree-walking oracle.
     """
 
     def __init__(
@@ -116,6 +121,7 @@ class UCProgram:
         solve_strategy: str = "auto",
         processor_opt: bool = True,
         cse: bool = True,
+        plans: bool = True,
         _ast=None,
     ) -> None:
         self.source = source
@@ -125,6 +131,7 @@ class UCProgram:
         self.solve_strategy = solve_strategy
         self.processor_opt = processor_opt
         self.cse = cse
+        self.plans = plans
         self.ast = _ast if _ast is not None else parse_program(source)
         self.info: ProgramInfo = analyze(self.ast, self.defines)
         self.layouts: LayoutTable = build_layouts(self.info, apply_maps=apply_maps)
@@ -157,6 +164,7 @@ class UCProgram:
             solve_strategy=self.solve_strategy,
             processor_opt=self.processor_opt,
             cse=self.cse,
+            plans=self.plans,
         )
         if inputs:
             interp.load_inputs(inputs)

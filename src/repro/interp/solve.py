@@ -27,7 +27,14 @@ from ..lang import ast
 from ..lang.errors import UCRuntimeError
 from .env import Env
 from .eval_expr import ExecContext, _truthy, eval_expr
-from .statements import MAX_SWEEPS, _run_blocks_once, enter_grid, exec_stmt
+from .plan import compile_solve_assignments
+from .statements import (
+    MAX_SWEEPS,
+    _plans_for,
+    _run_blocks_once,
+    enter_grid,
+    exec_stmt,
+)
 from .values import ArrayVar, ElementBinding, ParallelLocal, ScalarVar
 
 
@@ -124,6 +131,15 @@ def _exec_solve_guarded(
     done = [np.zeros(inner.grid.shape, dtype=bool) for _ in assignments]
     vps = ip.grid_vpset(inner.grid.shape)
 
+    plans = None
+    if getattr(ip, "plans_enabled", False):
+        plans = ip.plan_cache.get_or_build(
+            "solve",
+            stmt,
+            inner.grid.axes,
+            lambda: compile_solve_assignments(assignments),
+        )
+
     sweeps = 0
     while True:
         ip.machine.clock.charge("global_or", vp_ratio=vps.vp_ratio)
@@ -131,14 +147,22 @@ def _exec_solve_guarded(
         progress = False
         pending = False
         for k, (pred, assign) in enumerate(assignments):
+            ap = plans[k] if plans is not None else None
             enabled = base.copy()
             if pred is not None:
-                pv = eval_expr(ip, pred, inner)
+                if ap is not None:
+                    pv = ap.pred(ip, inner)
+                else:
+                    pv = eval_expr(ip, pred, inner)
                 enabled &= np.broadcast_to(np.asarray(_truthy(pv)), inner.grid.shape)
             remaining = enabled & ~done[k]
             if not np.any(remaining):
                 continue
-            ready = _readiness(ip, assign.value, inner.with_mask(remaining), defined)
+            rctx = inner.with_mask(remaining)
+            if ap is not None:
+                ready = ap.readiness(ip, rctx, defined)
+            else:
+                ready = _readiness(ip, assign.value, rctx, defined)
             ready = remaining & ready
             if np.any(remaining & ~ready):
                 pending = True
@@ -146,12 +170,16 @@ def _exec_solve_guarded(
                 continue
             progress = True
             sub = inner.with_mask(ready)
-            exec_stmt(
-                ip,
-                ast.ExprStmt(line=assign.line, col=assign.col, expr=assign),
-                sub,
-            )
-            _mark_defined(ip, assign.target, sub, defined)
+            if ap is not None:
+                ap.assign(ip, sub)
+                ap.mark(ip, sub, defined)
+            else:
+                exec_stmt(
+                    ip,
+                    ast.ExprStmt(line=assign.line, col=assign.col, expr=assign),
+                    sub,
+                )
+                _mark_defined(ip, assign.target, sub, defined)
             done[k] |= ready
         if not progress:
             if pending:
@@ -260,6 +288,7 @@ def _readiness(
 
 def _exec_solve_star(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
     inner = enter_grid(ip, stmt, ctx)
+    plans = _plans_for(ip, stmt, inner.grid)
     modified = _modified_names(stmt)
     vps = ip.grid_vpset(inner.grid.shape)
     sweeps = 0
@@ -268,7 +297,7 @@ def _exec_solve_star(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
         # the compiler saves intermediate state each sweep to detect the
         # fixed point — charge one extra ALU pass for the temporaries (§3.6)
         ip.machine.clock.charge("alu", count=len(modified) or 1, vp_ratio=vps.vp_ratio)
-        _run_blocks_once(ip, stmt, inner)
+        _run_blocks_once(ip, stmt, inner, plans)
         ip.machine.clock.charge("global_or", vp_ratio=vps.vp_ratio)
         ip.machine.clock.charge("host_cm_latency")
         after = _snapshot(inner, modified)

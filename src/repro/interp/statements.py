@@ -26,6 +26,7 @@ from .eval_expr import (
     charge_grid_op,
     eval_expr,
 )
+from .plan import ConstructPlan, compile_construct
 from .values import (
     ArrayVar,
     ElementBinding,
@@ -35,6 +36,20 @@ from .values import (
     coerce_scalar,
     numpy_ctype,
 )
+
+
+def _plans_for(ip, stmt: ast.UCStmt, grid: GridContext) -> Optional[ConstructPlan]:
+    """Cached :class:`ConstructPlan` for this construct on this grid.
+
+    Returns None when plan execution is disabled (``plans=False`` or
+    ``REPRO_NO_PLANS``), which sends every caller down the tree-walking
+    path unchanged.
+    """
+    if not getattr(ip, "plans_enabled", False):
+        return None
+    return ip.plan_cache.get_or_build(
+        "construct", stmt, grid.axes, lambda: compile_construct(stmt)
+    )
 
 
 class ReturnSignal(Exception):
@@ -275,17 +290,23 @@ def enter_grid(ip, stmt: ast.UCStmt, ctx: ExecContext) -> ExecContext:
 
 
 def _block_masks(
-    ip, stmt: ast.UCStmt, inner: ExecContext
+    ip,
+    stmt: ast.UCStmt,
+    inner: ExecContext,
+    plans: Optional[ConstructPlan] = None,
 ) -> Tuple[List[np.ndarray], Optional[np.ndarray]]:
     """Evaluate arm predicates; returns per-arm masks and the union."""
     base = inner.active_mask()
     masks: List[np.ndarray] = []
     union: Optional[np.ndarray] = None
-    for block in stmt.blocks:
+    for k, block in enumerate(stmt.blocks):
         if block.pred is None:
             masks.append(base)
         else:
-            pv = eval_expr(ip, block.pred, inner)
+            if plans is not None:
+                pv = plans.preds[k](ip, inner)
+            else:
+                pv = eval_expr(ip, block.pred, inner)
             pb = np.broadcast_to(np.asarray(_truthy(pv)), inner.grid.shape)
             m = base & pb
             masks.append(m)
@@ -293,7 +314,12 @@ def _block_masks(
     return masks, union
 
 
-def _run_blocks_once(ip, stmt: ast.UCStmt, inner: ExecContext) -> bool:
+def _run_blocks_once(
+    ip,
+    stmt: ast.UCStmt,
+    inner: ExecContext,
+    plans: Optional[ConstructPlan] = None,
+) -> bool:
     """One synchronous execution of all arms; returns whether any lane ran.
 
     The CSE cache is armed for the duration: a predicate and its arm's
@@ -301,12 +327,16 @@ def _run_blocks_once(ip, stmt: ast.UCStmt, inner: ExecContext) -> bool:
     detection; writes invalidate as they happen).
     """
     with ip.cse_arm():
-        masks, union = _block_masks(ip, stmt, inner)
+        masks, union = _block_masks(ip, stmt, inner, plans)
         ran = False
-        for block, mask in zip(stmt.blocks, masks):
+        for k, (block, mask) in enumerate(zip(stmt.blocks, masks)):
             if np.any(mask):
                 ran = True
-                exec_stmt(ip, block.stmt, inner.with_mask(mask))
+                sub = inner.with_mask(mask)
+                if plans is not None:
+                    plans.stmts[k](ip, sub)
+                else:
+                    exec_stmt(ip, block.stmt, sub)
         if stmt.others is not None:
             base = inner.active_mask()
             om = base & (
@@ -314,28 +344,37 @@ def _run_blocks_once(ip, stmt: ast.UCStmt, inner: ExecContext) -> bool:
             )
             if np.any(om):
                 ran = True
-                exec_stmt(ip, stmt.others, inner.with_mask(om))
+                sub = inner.with_mask(om)
+                if plans is not None:
+                    plans.others(ip, sub)
+                else:
+                    exec_stmt(ip, stmt.others, sub)
         return ran
 
 
 def exec_par(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
     inner = enter_grid(ip, stmt, ctx)
+    plans = _plans_for(ip, stmt, inner.grid)
     if not stmt.star:
-        _run_blocks_once(ip, stmt, inner)
+        _run_blocks_once(ip, stmt, inner, plans)
         return
     _check_starred(stmt)
     sweeps = 0
     vps = ip.grid_vpset(inner.grid.shape)
     while True:
         with ip.cse_arm():
-            masks, _ = _block_masks(ip, stmt, inner)
+            masks, _ = _block_masks(ip, stmt, inner, plans)
             ip.machine.clock.charge("global_or", vp_ratio=vps.vp_ratio)
             ip.machine.clock.charge("host_cm_latency")
             if not any(np.any(m) for m in masks):
                 return
-            for block, mask in zip(stmt.blocks, masks):
+            for k, (block, mask) in enumerate(zip(stmt.blocks, masks)):
                 if np.any(mask):
-                    exec_stmt(ip, block.stmt, inner.with_mask(mask))
+                    sub = inner.with_mask(mask)
+                    if plans is not None:
+                        plans.stmts[k](ip, sub)
+                    else:
+                        exec_stmt(ip, block.stmt, sub)
         sweeps += 1
         if sweeps > MAX_SWEEPS:
             raise UCRuntimeError(
@@ -366,9 +405,10 @@ def _check_starred(stmt: ast.UCStmt) -> None:
 
 def exec_seq(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
     sets = [ip.resolve_index_set(name, ctx) for name in stmt.index_sets]
+    plans = _plans_for(ip, stmt, ctx.grid)
     sweeps = 0
     while True:
-        any_ran = _seq_sweep(ip, stmt, sets, ctx)
+        any_ran = _seq_sweep(ip, stmt, sets, ctx, plans)
         if not stmt.star or not any_ran:
             return
         sweeps += 1
@@ -376,7 +416,13 @@ def exec_seq(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
             raise UCRuntimeError("*seq exceeded the sweep limit", stmt.line, stmt.col)
 
 
-def _seq_sweep(ip, stmt: ast.UCStmt, sets, ctx: ExecContext) -> bool:
+def _seq_sweep(
+    ip,
+    stmt: ast.UCStmt,
+    sets,
+    ctx: ExecContext,
+    plans: Optional[ConstructPlan] = None,
+) -> bool:
     any_ran = False
     for combo in itertools.product(*[s.values for s in sets]):
         # each iteration rebinds the loop elements: stale CSE entries
@@ -397,33 +443,53 @@ def _seq_sweep(ip, stmt: ast.UCStmt, sets, ctx: ExecContext) -> bool:
 
         union_scalar_true = False
         union_mask: Optional[np.ndarray] = None
-        for block in stmt.blocks:
+        for k, block in enumerate(stmt.blocks):
+            run = plans.stmts[k] if plans is not None else None
             if block.pred is None:
-                exec_stmt(ip, block.stmt, iter_ctx)
+                if run is not None:
+                    run(ip, iter_ctx)
+                else:
+                    exec_stmt(ip, block.stmt, iter_ctx)
                 any_ran = True
                 union_scalar_true = True
                 continue
-            pv = eval_expr(ip, block.pred, iter_ctx)
+            if plans is not None:
+                pv = plans.preds[k](ip, iter_ctx)
+            else:
+                pv = eval_expr(ip, block.pred, iter_ctx)
             if isinstance(pv, np.ndarray):
                 pb = np.broadcast_to(pv.astype(bool), ctx.grid.shape)
                 union_mask = pb if union_mask is None else (union_mask | pb)
                 sub = iter_ctx.refine(pb)
                 if np.any(sub.active_mask()):
-                    exec_stmt(ip, block.stmt, sub)
+                    if run is not None:
+                        run(ip, sub)
+                    else:
+                        exec_stmt(ip, block.stmt, sub)
                     any_ran = True
             else:
                 if pv:
                     union_scalar_true = True
-                    exec_stmt(ip, block.stmt, iter_ctx)
+                    if run is not None:
+                        run(ip, iter_ctx)
+                    else:
+                        exec_stmt(ip, block.stmt, iter_ctx)
                     any_ran = True
         if stmt.others is not None:
+            run = plans.others if plans is not None else None
             if union_mask is not None:
                 sub = iter_ctx.refine(~union_mask)
                 if np.any(sub.active_mask()):
-                    exec_stmt(ip, stmt.others, sub)
+                    if run is not None:
+                        run(ip, sub)
+                    else:
+                        exec_stmt(ip, stmt.others, sub)
                     any_ran = True
             elif not union_scalar_true:
-                exec_stmt(ip, stmt.others, iter_ctx)
+                if run is not None:
+                    run(ip, iter_ctx)
+                else:
+                    exec_stmt(ip, stmt.others, iter_ctx)
                 any_ran = True
     return any_ran
 
@@ -435,30 +501,41 @@ def _seq_sweep(ip, stmt: ast.UCStmt, sets, ctx: ExecContext) -> bool:
 
 def exec_oneof(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
     inner = enter_grid(ip, stmt, ctx)
+    plans = _plans_for(ip, stmt, inner.grid)
     vps = ip.grid_vpset(inner.grid.shape)
     if not stmt.star:
-        _oneof_once(ip, stmt, inner)
+        _oneof_once(ip, stmt, inner, plans)
         return
     _check_starred(stmt)
     sweeps = 0
     while True:
         ip.machine.clock.charge("global_or", vp_ratio=vps.vp_ratio)
         ip.machine.clock.charge("host_cm_latency")
-        if not _oneof_once(ip, stmt, inner):
+        if not _oneof_once(ip, stmt, inner, plans):
             return
         sweeps += 1
         if sweeps > MAX_SWEEPS:
             raise UCRuntimeError("*oneof exceeded the sweep limit", stmt.line, stmt.col)
 
 
-def _oneof_once(ip, stmt: ast.UCStmt, inner: ExecContext) -> bool:
+def _oneof_once(
+    ip,
+    stmt: ast.UCStmt,
+    inner: ExecContext,
+    plans: Optional[ConstructPlan] = None,
+) -> bool:
     """Execute one enabled arm (chosen by the machine RNG); True if any ran."""
     with ip.cse_arm():
-        return _oneof_once_armed(ip, stmt, inner)
+        return _oneof_once_armed(ip, stmt, inner, plans)
 
 
-def _oneof_once_armed(ip, stmt: ast.UCStmt, inner: ExecContext) -> bool:
-    masks, union = _block_masks(ip, stmt, inner)
+def _oneof_once_armed(
+    ip,
+    stmt: ast.UCStmt,
+    inner: ExecContext,
+    plans: Optional[ConstructPlan] = None,
+) -> bool:
+    masks, union = _block_masks(ip, stmt, inner, plans)
     enabled = [k for k, m in enumerate(masks) if np.any(m)]
     others_mask: Optional[np.ndarray] = None
     if stmt.others is not None:
@@ -473,7 +550,14 @@ def _oneof_once_armed(ip, stmt: ast.UCStmt, inner: ExecContext) -> bool:
     pick = enabled[int(ip.rng.integers(0, len(enabled)))]
     if pick == -1:
         assert others_mask is not None
-        exec_stmt(ip, stmt.others, inner.with_mask(others_mask))
+        if plans is not None:
+            plans.others(ip, inner.with_mask(others_mask))
+        else:
+            exec_stmt(ip, stmt.others, inner.with_mask(others_mask))
     else:
-        exec_stmt(ip, stmt.blocks[pick].stmt, inner.with_mask(masks[pick]))
+        sub = inner.with_mask(masks[pick])
+        if plans is not None:
+            plans.stmts[pick](ip, sub)
+        else:
+            exec_stmt(ip, stmt.blocks[pick].stmt, sub)
     return True

@@ -113,6 +113,21 @@ class Clock:
         recs = [r for r in self._records.values() if r.count]
         return sorted(recs, key=lambda r: -r.time_us)
 
+    def fingerprint(self) -> Tuple:
+        """Hashable digest of the full cost state: total time plus every
+        (kind, count, time) line, sorted by kind.
+
+        Two executions took the same simulated path iff their fingerprints
+        are equal — the differential tests use this to hold the compiled
+        plan engine to the tree-walker's exact charge sequence.
+        """
+        lines = tuple(
+            (kind, rec.count, rec.time_us)
+            for kind, rec in sorted(self._records.items())
+            if rec.count
+        )
+        return (self._time_us, lines)
+
     # -- regions -----------------------------------------------------------
 
     def begin_region(self, name: str) -> None:

@@ -31,10 +31,13 @@ COMBINERS: Dict[str, Callable[[np.ndarray, np.ndarray, np.ndarray], None]] = {
 
 
 def _check_addresses(addr: np.ndarray, n_vps: int) -> None:
-    if addr.size and (addr.min() < 0 or addr.max() >= n_vps):
+    if not addr.size:
+        return
+    lo = addr.min()
+    hi = addr.max()
+    if lo < 0 or hi >= n_vps:
         raise RouterError(
-            f"router address out of range [0, {n_vps}): "
-            f"min={addr.min()}, max={addr.max()}"
+            f"router address out of range [0, {n_vps}): min={lo}, max={hi}"
         )
 
 

@@ -176,3 +176,37 @@ class TestBroadEquivalence:
         on, off = both(RANKSORT_UC, {"a": data}, defines={"N": 16})
         assert on["a"].tolist() == sorted(data.tolist())
         assert np.array_equal(on["a"], off["a"])
+
+
+class TestTargetedInvalidation:
+    """Writes only evict cache entries that *read* the written name — a
+    cached subexpression survives writes to unrelated arrays."""
+
+    SRC = (
+        "index_set I:i = {0..15};\nint a[16], b[16], c[16], d[16];\n"
+        "main { par (I) { b[i] = (a[i] * 3) + 1; c[i] = 7; "
+        "d[i] = (a[i] * 3) + 2; } }"
+    )
+    #: same shape, but the middle write hits the array the subexpression
+    #: reads, so the cache entry must die and a[i] * 3 recomputes
+    SRC_CLOBBER = (
+        "index_set I:i = {0..15};\nint a[16], b[16], c[16], d[16];\n"
+        "main { par (I) { b[i] = (a[i] * 3) + 1; a[i] = a[i]; "
+        "d[i] = (a[i] * 3) + 2; } }"
+    )
+
+    def test_survives_unrelated_write(self):
+        a = np.arange(16)
+        on, off = both(self.SRC, {"a": a})
+        assert np.array_equal(on["d"], a * 3 + 2)
+        assert np.array_equal(on["d"], off["d"])
+        # a[i] * 3 is computed once under CSE: one multiply saved
+        assert on.counts["alu"] < off.counts["alu"]
+
+    def test_dies_on_related_write(self):
+        a = np.arange(16)
+        keep = UCProgram(self.SRC, cse=True).run({"a": a})
+        clobber = UCProgram(self.SRC_CLOBBER, cse=True).run({"a": a})
+        assert np.array_equal(keep["d"], clobber["d"])
+        # the clobbering variant must recompute the multiply
+        assert keep.counts["alu"] < clobber.counts["alu"]
