@@ -1,0 +1,235 @@
+"""Communication-tier benchmark — tiered dispatch vs the router-only path.
+
+The tier dispatcher (``repro.interp.commtiers``) services each remote
+reference with the cheapest mechanism the classifier can prove safe:
+constant-offset stencils become clamped NEWS window copies, values
+constant along a construct axis become log-depth spreads, and pure
+axis-order transposes under an active ``permute`` map use the
+precomputed-permutation cycle.  ``REPRO_NO_COMM_TIERS=1`` (here: the
+``comm_tiers=False`` constructor toggle) restores the router-only
+behaviour: every remote reference is charged a router cycle and serviced
+by the full general gather on every sweep.
+
+Each row runs one workload on one engine (compiled plans or the
+tree-walking oracle) with tiers on and off, and reports host wall-clock
+and simulated Clock time for both.  Acceptance: on the constant-offset
+stencil, the tiered plan engine must be at least 2x faster in wall-clock
+AND strictly cheaper on the simulated Clock than the router-only path.
+
+Writes ``BENCH_comm.json`` at the repository root plus the usual text
+report under ``benchmarks/results/``.
+
+Run small (CI smoke): ``python benchmarks/bench_comm.py --smoke``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.interp.program import UCProgram
+
+from _common import save_report
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+REPS = 3
+
+STENCIL_UC = """
+index_set I:i = {1..N-2}, J:j = I, T:t = {0..REPS-1};
+int a[N][N], b[N][N];
+main {
+    seq (T)
+        par (I, J) b[i][j] = a[i-1][j] + a[i+1][j] + a[i][j-1] + a[i][j+1];
+}
+"""
+
+#: ``row[j]`` is constant along ``i``: one spread replaces a router get
+BROADCAST_UC = """
+index_set I:i = {0..N-1}, J:j = I, T:t = {0..REPS-1};
+int c[N][N], row[N];
+main {
+    seq (T)
+        par (I, J) c[i][j] = c[i][j] + row[j];
+}
+"""
+
+#: ``b`` is stored transposed (permute map), so reading it in natural
+#: order is a pure axis permutation — the precomputed-permutation tier
+TRANSPOSE_UC = """
+index_set I:i = {0..N-1}, J:j = I, T:t = {0..REPS-1};
+int a[N][N], b[N][N];
+map (I, J) { permute (I, J) b[j][i] :- a[i][j]; }
+main {
+    seq (T)
+        par (I, J) a[i][j] = a[i][j] + b[i][j];
+}
+"""
+
+FULL_SIZES = {"stencil": (256, 30), "broadcast": (192, 30), "transpose": (128, 20)}
+SMOKE_SIZES = {"stencil": (48, 6), "broadcast": (32, 6), "transpose": (24, 4)}
+
+WORKLOADS = {
+    "stencil": STENCIL_UC,
+    "broadcast": BROADCAST_UC,
+    "transpose": TRANSPOSE_UC,
+}
+
+
+def _best_of(src, defines, *, plans, comm_tiers):
+    prog = UCProgram(src, defines=defines, plans=plans, comm_tiers=comm_tiers)
+    best = None
+    result = None
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        result = prog.run()
+        dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+    clock = prog.last_interpreter.machine.clock
+    return best, result, clock.fingerprint(), dict(clock.tier_counts)
+
+
+def _row(name, src, defines, *, plans):
+    engine = "plans" if plans else "tree"
+    t_on, r_on, fp_on, tiers_on = _best_of(
+        src, defines, plans=plans, comm_tiers=True
+    )
+    t_off, r_off, fp_off, tiers_off = _best_of(
+        src, defines, plans=plans, comm_tiers=False
+    )
+    for var in r_on.keys():
+        a, b = r_on[var], r_off[var]
+        same = np.array_equal(a, b) if isinstance(a, np.ndarray) else a == b
+        assert same, f"{name}/{engine}: {var!r} diverges between tier modes"
+    assert set(tiers_off) <= {"local", "router"}, (
+        f"{name}/{engine}: router-only mode dispatched {sorted(tiers_off)}"
+    )
+    return {
+        "workload": name,
+        "engine": engine,
+        "tiers_ms": t_on * 1e3,
+        "router_ms": t_off * 1e3,
+        "speedup": t_off / t_on,
+        "tiers_clock_us": r_on.elapsed_us,
+        "router_clock_us": r_off.elapsed_us,
+        "tier_counts": tiers_on,
+        "fingerprint_on": fp_on,
+        "fingerprint_off": fp_off,
+    }
+
+
+def run_bench(small: bool = False):
+    sizes = SMOKE_SIZES if small else FULL_SIZES
+    rows = []
+    for name, src in WORKLOADS.items():
+        n, t = sizes[name]
+        defines = {"N": n, "REPS": t}
+        plan_row = _row(f"{name} n={n}", src, defines, plans=True)
+        tree_row = _row(f"{name} n={n}", src, defines, plans=False)
+        # the two engines must agree per tier mode: bit-identical clocks
+        for key in ("fingerprint_on", "fingerprint_off"):
+            assert plan_row[key] == tree_row[key], (
+                f"{name}: {key} diverges between engines"
+            )
+        rows.extend([plan_row, tree_row])
+    return rows, small
+
+
+def check_bench(rows, small: bool) -> None:
+    expected_tiers = {"stencil": "news", "broadcast": "spread", "transpose": "permute"}
+    for row in rows:
+        kind = row["workload"].split()[0]
+        tier = expected_tiers[kind]
+        assert row["tier_counts"].get(tier, 0) > 0, (
+            f"{row['workload']}/{row['engine']}: expected {tier} dispatches, "
+            f"got {row['tier_counts']}"
+        )
+        # the simulated Clock is deterministic, so the cost claim holds at
+        # any size: tiers must be strictly cheaper than router-only
+        assert row["tiers_clock_us"] < row["router_clock_us"], (
+            f"{row['workload']}/{row['engine']}: tiers did not reduce the "
+            f"simulated Clock"
+        )
+        if not small and kind == "stencil" and row["engine"] == "plans":
+            assert row["speedup"] >= 2.0, (
+                f"{row['workload']}: speedup {row['speedup']:.2f}x below 2x"
+            )
+        if small:
+            assert row["speedup"] >= 0.3, (
+                f"{row['workload']}/{row['engine']}: tiers slower than a "
+                f"third of the router-only path"
+            )
+
+
+def write_json(rows, small: bool) -> Path:
+    out = REPO_ROOT / "BENCH_comm.json"
+    payload = [
+        {k: v for k, v in r.items() if not k.startswith("fingerprint")}
+        for r in rows
+    ]
+    out.write_text(
+        json.dumps(
+            {
+                "benchmark": "communication tiers vs router-only dispatch",
+                "mode": "small" if small else "full",
+                "reps": REPS,
+                "escape_hatch": "REPRO_NO_COMM_TIERS=1",
+                "rows": payload,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    return out
+
+
+def report(rows, small: bool) -> None:
+    table = format_table(
+        [
+            "workload",
+            "engine",
+            "router (ms)",
+            "tiers (ms)",
+            "speedup",
+            "router clock (us)",
+            "tiers clock (us)",
+        ],
+        [
+            (
+                r["workload"],
+                r["engine"],
+                r["router_ms"],
+                r["tiers_ms"],
+                f"{r['speedup']:.2f}x",
+                r["router_clock_us"],
+                r["tiers_clock_us"],
+            )
+            for r in rows
+        ],
+        title="Communication tiers vs router-only dispatch "
+        "(identical results per mode, identical clocks across engines)",
+    )
+    save_report("bench_comm", table)
+    path = write_json(rows, small)
+    print(f"wrote {path}")
+
+
+@pytest.mark.benchmark(group="comm")
+def test_comm_tier_speedup(benchmark):
+    rows, small = benchmark.pedantic(run_bench, iterations=1, rounds=1)
+    check_bench(rows, small)
+    report(rows, small)
+
+
+if __name__ == "__main__":
+    is_small = "--smoke" in sys.argv[1:] or "--small" in sys.argv[1:]
+    bench_rows, bench_small = run_bench(small=is_small)
+    check_bench(bench_rows, bench_small)
+    report(bench_rows, bench_small)

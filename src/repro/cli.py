@@ -93,6 +93,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         for label, us in sorted(result.profile.items(), key=lambda kv: -kv[1]):
             share = 100.0 * us / max(result.elapsed_us, 1e-9)
             print(f"   {us/1e3:10.2f} ms  {share:5.1f}%  {label}")
+    if args.stats:
+        interp = prog.last_interpreter
+        assert interp is not None
+        print("-- execution stats:")
+        cache = getattr(interp, "plan_cache", None)
+        if cache is not None:
+            for key, value in sorted(cache.stats().items()):
+                print(f"   plan_cache.{key:12s} {value}")
+        tiers = interp.machine.clock.tier_counts
+        if tiers:
+            for tier in sorted(tiers):
+                print(f"   tier.{tier:18s} x{tiers[tier]}")
+        else:
+            print("   tier dispatches: none (no remote references)")
     return 0
 
 
@@ -164,6 +178,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="per-statement simulated-time profile",
+    )
+    p_run.add_argument(
+        "--stats",
+        action="store_true",
+        help="plan-cache and communication-tier dispatch counters",
     )
     p_run.set_defaults(func=cmd_run)
 

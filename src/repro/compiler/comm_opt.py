@@ -58,7 +58,7 @@ def analyze_communication(info: ProgramInfo, layouts: LayoutTable) -> CommReport
         roots.append(info.program.main)
     roots.extend(f.body for f in info.program.funcs)
     for root in roots:
-        _walk(root, [], info, layouts, report)
+        _walk(root, [], {}, info, layouts, report)
     _dedupe_suggestions(report)
     return report
 
@@ -66,41 +66,54 @@ def analyze_communication(info: ProgramInfo, layouts: LayoutTable) -> CommReport
 def _walk(
     node: ast.Node,
     elem_stack: List[Tuple[str, str]],  # (elem, set) in axis order
+    scalar_elems: Dict[str, str],  # seq-bound elements: scalars at run time
     info: ProgramInfo,
     layouts: LayoutTable,
     report: CommReport,
 ) -> None:
-    if isinstance(node, ast.UCStmt) and node.kind in ("par", "solve", "oneof"):
-        extended = list(elem_stack)
+    if isinstance(node, ast.UCStmt) and node.kind == "seq":
+        # a seq element is an ordinary scalar at run time: references
+        # subscripted by it are uniform across the grid, exactly as the
+        # runtime classifier sees them on each iteration
+        scalars = dict(scalar_elems)
+        trimmed = list(elem_stack)
         for set_name in node.index_sets:
             isv = info.index_sets.get(set_name)
             if isv is not None:
-                extended = [e for e in extended if e[0] != isv.elem_name]
-                extended.append((isv.elem_name, set_name))
+                trimmed = [e for e in trimmed if e[0] != isv.elem_name]
+                scalars[isv.elem_name] = set_name
         for child in ast.children(node):
-            _walk(child, extended, info, layouts, report)
+            _walk(child, trimmed, scalars, info, layouts, report)
         return
-    if isinstance(node, ast.Reduction):
+    if (isinstance(node, ast.UCStmt) and node.kind in ("par", "solve", "oneof")) or isinstance(
+        node, ast.Reduction
+    ):
         extended = list(elem_stack)
+        scalars = scalar_elems
         for set_name in node.index_sets:
             isv = info.index_sets.get(set_name)
             if isv is not None:
                 extended = [e for e in extended if e[0] != isv.elem_name]
                 extended.append((isv.elem_name, set_name))
+                if isv.elem_name in scalars:
+                    scalars = {
+                        k: v for k, v in scalars.items() if k != isv.elem_name
+                    }
         for child in ast.children(node):
-            _walk(child, extended, info, layouts, report)
+            _walk(child, extended, scalars, info, layouts, report)
         return
     if isinstance(node, ast.Index) and elem_stack and node.base in info.arrays:
         report.references.append(
-            _classify_static(node, elem_stack, info, layouts, report)
+            _classify_static(node, elem_stack, scalar_elems, info, layouts, report)
         )
     for child in ast.children(node):
-        _walk(child, elem_stack, info, layouts, report)
+        _walk(child, elem_stack, scalar_elems, info, layouts, report)
 
 
 def _classify_static(
     node: ast.Index,
     elem_stack: Sequence[Tuple[str, str]],
+    scalar_elems: Dict[str, str],
     info: ProgramInfo,
     layouts: LayoutTable,
     report: CommReport,
@@ -109,15 +122,21 @@ def _classify_static(
 
     text = expr_to_text(node)
     elems = {e: s for e, s in elem_stack}
+    elems.update(scalar_elems)
     elem_axis = {e: k for k, (e, _s) in enumerate(elem_stack)}
     layout = layouts.get(node.base) if node.base in layouts else None
 
     subs: List[Optional[AffineSub]] = []
     for sub in node.subs:
         try:
-            subs.append(affine_subscript(sub, elems, info.constants))
+            s = affine_subscript(sub, elems, info.constants)
         except UCSemanticError:
             subs.append(None)
+            continue
+        if s.elem is not None and s.elem in scalar_elems:
+            # seq-bound: a run-time scalar, hence uniform per iteration
+            s = AffineSub(None, 0, 0)
+        subs.append(s)
 
     if any(s is None for s in subs):
         return RefReport(

@@ -1,0 +1,146 @@
+"""The communication-tier dispatcher shared by both execution engines.
+
+The paper's central efficiency claim is that data mappings turn router
+traffic into cheap NEWS shifts, spreads and local references.  This
+module is the single place where a classified array reference
+(:class:`~repro.mapping.locality.RefClass`) is mapped to the
+communication tier the machine actually uses:
+
+``local``      ALU only — every VP reads its own memory;
+``news``       constant-offset grid shift, ``|offset|`` hops
+               (vectorised via :func:`repro.machine.news.shift_array`);
+``spread``     value constant along grid axes — one log-depth spread;
+``broadcast``  one element for everybody, from the front end;
+``permute``    axis-order transpose under an active ``permute`` map —
+               a precomputed bijective message schedule, charged the
+               cheaper ``router_permute`` cycle;
+``router``     everything else: the general router.
+
+Both the tree-walking oracle (:mod:`repro.interp.eval_expr`) and the
+compiled-plan engine (:mod:`repro.interp.plan`) call :func:`decide_tier`
+/ :func:`charge_tier`, which keeps their Clock fingerprints
+bit-identical by construction.  ``REPRO_NO_COMM_TIERS=1`` (or
+``UCProgram(comm_tiers=False)``) disables the dispatcher: every remote
+reference is serviced — and charged — through the general router, which
+is the pre-tier behaviour the benchmarks compare against.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence, Tuple
+
+from ..machine.config import CostTable
+from ..machine.scan import SPREAD_STEPS_PER_LEVEL
+from ..mapping.locality import RefClass
+
+#: every tier the dispatcher can choose
+TIERS = ("local", "news", "spread", "broadcast", "permute", "router")
+
+_ENV_FLAG = "REPRO_NO_COMM_TIERS"
+
+
+def tiers_disabled_by_env() -> bool:
+    """True when the ``REPRO_NO_COMM_TIERS`` escape hatch is set."""
+    return os.environ.get(_ENV_FLAG, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def decide_tier(rc: RefClass, costs: CostTable, *, write: bool, enabled: bool = True) -> str:
+    """Pick the communication tier for one classified reference.
+
+    With the dispatcher disabled, anything remote is a router cycle (the
+    pre-tier engine).  Otherwise the verdict's own kind is used, with two
+    adjustments the real compilers made:
+
+    * a long constant-offset shift whose hop count is dearer than one
+      router cycle is demoted to the router;
+    * a pure axis-order transpose under an active ``permute`` map is
+      promoted from the router to the precomputed-permutation tier
+      (reads only — scatters still need the router's combining).
+    """
+    if not enabled:
+        return "local" if rc.kind == "local" else "router"
+    if rc.kind == "news":
+        news_cost = costs.news * max(1, rc.news_distance)
+        router_cost = costs.router_send if write else costs.router_get
+        if news_cost > router_cost:
+            return "router"
+    if rc.kind == "router" and rc.permutable and not write:
+        return "permute"
+    return rc.kind
+
+
+def charge_tier(ip, ctx, tier: str, rc: RefClass, *, write: bool) -> None:
+    """Charge the machine clock for one reference serviced by ``tier``."""
+    vps = ip.grid_vpset(ctx.grid.shape)
+    clock = ip.machine.clock
+    clock.count_tier(tier)
+    if tier == "local":
+        clock.charge("alu", vp_ratio=vps.vp_ratio)
+    elif tier == "news":
+        clock.charge("news", count=max(1, rc.news_distance), vp_ratio=vps.vp_ratio)
+    elif tier == "spread":
+        clock.charge_scan(
+            rc.spread_extent,
+            vp_ratio=vps.vp_ratio,
+            steps_per_level=SPREAD_STEPS_PER_LEVEL,
+        )
+        if rc.news_distance:
+            clock.charge("news", count=rc.news_distance, vp_ratio=vps.vp_ratio)
+    elif tier == "broadcast":
+        clock.charge("host_cm_latency")
+        clock.charge("broadcast", vp_ratio=vps.vp_ratio)
+    elif tier == "permute":
+        clock.charge("router_permute", vp_ratio=vps.vp_ratio)
+    else:  # router
+        clock.charge("router_send" if write else "router_get", vp_ratio=vps.vp_ratio)
+
+
+def shift_descriptor(
+    rc: RefClass,
+    view_shape: Tuple[int, ...],
+    grid_shape: Tuple[int, ...],
+) -> Optional[Tuple[Tuple[int, int, int], ...]]:
+    """NEWS window recipe for a gather, or None when the fast path cannot
+    reproduce the general gather bit-identically.
+
+    Valid when every subscript is the identity on its own grid axis plus
+    a constant raw offset: the gather is ``data[clip(pos + offset)]``
+    with ``pos`` the 0-based grid coordinate along each axis, which
+    equals a chain of per-axis clamped window copies (per-axis clipping
+    is separable) — this covers interior-grid stencils, where the grid
+    is a strict sub-range of the array.  Returns ``(axis, start,
+    extent)`` triples for the axes that are not a full identity slice —
+    possibly empty, meaning a plain copy (a reference whose NEWS
+    distance comes entirely from layout offsets).
+    """
+    if rc.axes is None:
+        return None
+    if len(rc.axes) != len(grid_shape) or len(view_shape) != len(grid_shape):
+        return None
+    windows = []
+    for a, entry in enumerate(rc.axes):
+        if entry[0] != "i" or entry[1] != a:
+            return None
+        start = int(entry[2])
+        extent = int(grid_shape[a])
+        if start != 0 or extent != int(view_shape[a]):
+            windows.append((a, start, extent))
+    return tuple(windows)
+
+
+def run_shifts(data, windows: Sequence[Tuple[int, int, int]]):
+    """Apply a :func:`shift_descriptor` recipe: chained clamped windows.
+
+    Returns a fresh writable array even for an empty recipe, so callers
+    (notably the oracle's CSE cache, which stores values uncopied) can
+    hand the result out safely.
+    """
+    from ..machine.news import window_array
+
+    if not windows:
+        return data.copy()
+    out = data
+    for axis, start, extent in windows:
+        out = window_array(out, axis, start, extent)
+    return out

@@ -23,6 +23,7 @@ from ..lang import ast
 from ..lang.errors import UCMultipleAssignmentError, UCRuntimeError
 from ..machine.scan import INF, identity_of
 from ..mapping.locality import RefClass, classify_reference, classify_write
+from . import commtiers
 from .env import Env
 from .values import (
     ArrayVar,
@@ -91,35 +92,26 @@ def charge_grid_op(ip, ctx: ExecContext, count: int = 1) -> None:
         ip.machine.clock.charge("alu", count=count, vp_ratio=vps.vp_ratio)
 
 
-def charge_ref(ip, ctx: ExecContext, rc: RefClass, *, write: bool) -> None:
-    """Charge the machine for one classified array reference.
+def charge_ref(
+    ip, ctx: ExecContext, rc: RefClass, *, write: bool, node: Optional[ast.Index] = None
+) -> str:
+    """Dispatch one classified array reference to its communication tier,
+    charge the machine for that tier, and return the tier chosen.
 
-    A constant-offset shift is a NEWS transfer of ``distance`` hops; when
-    the hop count makes that dearer than one general-router operation the
-    compiler emits router code instead, so we charge whichever is cheaper
-    (the CM-2 compilers did exactly this for long-distance shifts).
+    The tier decision (:func:`repro.interp.commtiers.decide_tier`)
+    includes the NEWS/router trade-off the CM-2 compilers made for
+    long-distance shifts and the permutation tier for transposes under an
+    active ``permute`` map.  With the dispatcher disabled
+    (``REPRO_NO_COMM_TIERS=1``), every remote reference is a router
+    cycle — the pre-tier engine the benchmarks compare against.
     """
-    vps = ip.grid_vpset(ctx.grid.shape)
-    clock = ip.machine.clock
-    costs = clock.costs
-    if rc.kind == "news":
-        news_cost = costs.news * max(1, rc.news_distance)
-        router_cost = costs.router_send if write else costs.router_get
-        if news_cost > router_cost:
-            rc = RefClass("router", detail=f"long shift ({rc.news_distance} hops)")
-    if rc.kind == "local":
-        clock.charge("alu", vp_ratio=vps.vp_ratio)
-    elif rc.kind == "news":
-        clock.charge("news", count=max(1, rc.news_distance), vp_ratio=vps.vp_ratio)
-    elif rc.kind == "spread":
-        clock.charge_scan(rc.spread_extent, vp_ratio=vps.vp_ratio, steps_per_level=2)
-        if rc.news_distance:
-            clock.charge("news", count=rc.news_distance, vp_ratio=vps.vp_ratio)
-    elif rc.kind == "broadcast":
-        clock.charge("host_cm_latency")
-        clock.charge("broadcast", vp_ratio=vps.vp_ratio)
-    else:  # router
-        clock.charge("router_send" if write else "router_get", vp_ratio=vps.vp_ratio)
+    tier = commtiers.decide_tier(
+        rc, ip.machine.clock.costs, write=write, enabled=ip.comm_tiers_enabled
+    )
+    commtiers.charge_tier(ip, ctx, tier, rc, write=write)
+    if node is not None and ip.tier_log is not None:
+        ip.tier_log.setdefault((node.line, node.base), set()).add(tier)
+    return tier
 
 
 # ---------------------------------------------------------------------------
@@ -488,7 +480,14 @@ def eval_gather(ip, node: ast.Index, ctx: ExecContext) -> Value:
         arr.layout,
         positions=ctx.grid.positions(),
     )
-    charge_ref(ip, ctx, rc, write=False)
+    tier = charge_ref(ip, ctx, rc, write=False, node=node)
+
+    if tier == "news" and ip.comm_tiers_enabled:
+        shifts = commtiers.shift_descriptor(rc, view_shape, ctx.grid.shape)
+        if shifts is not None:
+            # vectorised NEWS shift: bit-identical to the clipped gather
+            # below, but without materialising grid-shaped index arrays
+            return commtiers.run_shifts(data, shifts)
 
     idx_arrays = []
     for a, s in enumerate(subs):
@@ -537,7 +536,7 @@ def eval_scatter(
         arr.layout,
         positions=ctx.grid.positions(),
     )
-    charge_ref(ip, ctx, rc, write=True)
+    charge_ref(ip, ctx, rc, write=True, node=node)
 
     idx_arrays = []
     for a, s in enumerate(subs):

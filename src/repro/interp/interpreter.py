@@ -20,6 +20,7 @@ from ..lang.semantics import ProgramInfo, _ConstEvaluator
 from ..machine import Machine
 from ..machine.vpset import VPSet
 from ..mapping.layout import Layout, LayoutTable
+from . import commtiers
 from .env import Env
 from .eval_expr import ExecContext, eval_expr
 from .plan_cache import PlanCache
@@ -42,6 +43,8 @@ class Interpreter:
         processor_opt: bool = True,
         cse: bool = True,
         plans: bool = True,
+        comm_tiers: bool = True,
+        log_tiers: bool = False,
     ) -> None:
         if solve_strategy not in ("auto", "scheduled", "guarded"):
             raise ValueError(f"unknown solve strategy {solve_strategy!r}")
@@ -62,6 +65,12 @@ class Interpreter:
         env_off = os.environ.get("REPRO_NO_PLANS", "").strip().lower()
         self.plans_enabled = bool(plans) and env_off not in ("1", "true", "yes", "on")
         self.plan_cache = PlanCache()
+        # communication-tier dispatch (NEWS/spread/broadcast/permute fast
+        # paths); comm_tiers=False or REPRO_NO_COMM_TIERS=1 restores the
+        # router-only servicing of remote references
+        self.comm_tiers_enabled = bool(comm_tiers) and not commtiers.tiers_disabled_by_env()
+        # (line, array) -> set of tiers dispatched, for the parity tests
+        self.tier_log: Optional[Dict[Tuple[int, str], set]] = {} if log_tiers else None
         self.rng = np.random.default_rng(seed)
         self._seed = seed
         self.solve_strategy = solve_strategy

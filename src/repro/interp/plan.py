@@ -46,6 +46,7 @@ from ..lang import ast
 from ..lang.errors import UCRuntimeError
 from ..machine.scan import INF
 from ..mapping.locality import classify_reference, classify_write
+from . import commtiers
 from . import eval_expr as E
 from .eval_expr import ExecContext
 from .values import ArrayVar, ElementBinding, ParallelLocal, ScalarVar
@@ -479,10 +480,15 @@ class _TernaryPlan:
         return np.where(cbool, then_v, else_v)
 
 
-class _GatherMemo:
-    __slots__ = ("axes", "sig", "arr", "oob", "rc", "idx", "recipe")
+def _log_tier(ip, node, tier: str) -> None:
+    if ip.tier_log is not None:
+        ip.tier_log.setdefault((node.line, node.base), set()).add(tier)
 
-    def __init__(self, axes, sig, arr, oob, rc, idx, recipe) -> None:
+
+class _GatherMemo:
+    __slots__ = ("axes", "sig", "arr", "oob", "rc", "idx", "recipe", "tier", "shift")
+
+    def __init__(self, axes, sig, arr, oob, rc, idx, recipe, tier, shift) -> None:
         self.axes = axes
         self.sig = sig
         self.arr = arr
@@ -490,6 +496,11 @@ class _GatherMemo:
         self.rc = rc
         self.idx = idx
         self.recipe = recipe
+        #: communication tier decided once at memo-build time
+        self.tier = tier
+        #: NEWS shift recipe ((axis, offset) pairs) when the tier dispatcher
+        #: can service this gather as chained clamped shifts
+        self.shift = shift
 
 
 class _GatherPlan:
@@ -542,7 +553,12 @@ class _GatherPlan:
                     for ob in m.oob:
                         if ob is not None and np.any(ob & mask):
                             E._bounds_check(node, subs, view_shape, mask)
-                E.charge_ref(ip, ctx, m.rc, write=False)
+                commtiers.charge_tier(ip, ctx, m.tier, m.rc, write=False)
+                _log_tier(ip, node, m.tier)
+                if m.shift is not None:
+                    # NEWS tier: chained clamped shifts, bit-identical to
+                    # the clipped gather (and always a fresh array)
+                    return commtiers.run_shifts(data, m.shift)
                 if m.recipe is not None:
                     out = m.recipe.take(data)
                     return out if self.view_ok else out.copy()
@@ -556,7 +572,7 @@ class _GatherPlan:
             arr.layout,
             positions=ctx.grid.positions(),
         )
-        E.charge_ref(ip, ctx, rc, write=False)
+        tier = E.charge_ref(ip, ctx, rc, write=False, node=node)
         idx_arrays = []
         for a, s in enumerate(subs):
             if isinstance(s, np.ndarray):
@@ -567,6 +583,11 @@ class _GatherPlan:
         result = data[tuple(idx_arrays)]
 
         if direct and self.names is not None:
+            if not ip.comm_tiers_enabled and tier != "local":
+                # router-only ablation: remote references are serviced by
+                # the full general gather every sweep, exactly as the
+                # tree-walker does — no recipe, no cached index arrays
+                return result
             sig = _binding_sig(self.names, ctx)
             if sig is not None:
                 recipe = _build_index_recipe(subs, view_shape, ctx.grid.shape)
@@ -576,6 +597,11 @@ class _GatherPlan:
                     and not np.array_equal(np.asarray(recipe.take(data)), result)
                 ):
                     recipe = None
+                shift = None
+                if tier == "news":
+                    shift = commtiers.shift_descriptor(
+                        rc, view_shape, ctx.grid.shape
+                    )
                 self._memo = _GatherMemo(
                     ctx.grid.axes,
                     sig,
@@ -584,14 +610,16 @@ class _GatherPlan:
                     rc,
                     tuple(idx_arrays),
                     recipe,
+                    tier,
+                    shift,
                 )
         return result
 
 
 class _ScatterMemo:
-    __slots__ = ("axes", "sig", "arr", "oob", "rc", "flat", "unique")
+    __slots__ = ("axes", "sig", "arr", "oob", "rc", "flat", "unique", "tier")
 
-    def __init__(self, axes, sig, arr, oob, rc, flat, unique) -> None:
+    def __init__(self, axes, sig, arr, oob, rc, flat, unique, tier) -> None:
         self.axes = axes
         self.sig = sig
         self.arr = arr
@@ -599,6 +627,8 @@ class _ScatterMemo:
         self.rc = rc
         self.flat = flat
         self.unique = unique
+        #: communication tier decided once at memo-build time
+        self.tier = tier
 
 
 class _ScatterPlan:
@@ -654,7 +684,8 @@ class _ScatterPlan:
                     for ob in m.oob:
                         if ob is not None and np.any(ob & mask):
                             E._bounds_check(node, subs, view_shape, mask)
-                E.charge_ref(ip, ctx, m.rc, write=True)
+                commtiers.charge_tier(ip, ctx, m.tier, m.rc, write=True)
+                _log_tier(ip, node, m.tier)
                 flat_mask = mask.reshape(-1)
                 flat_idx = m.flat[flat_mask]
                 if isinstance(value, np.ndarray):
@@ -678,7 +709,7 @@ class _ScatterPlan:
             arr.layout,
             positions=ctx.grid.positions(),
         )
-        E.charge_ref(ip, ctx, rc, write=True)
+        tier = E.charge_ref(ip, ctx, rc, write=True, node=node)
         idx_arrays = []
         for a, s in enumerate(subs):
             if isinstance(s, np.ndarray):
@@ -712,6 +743,7 @@ class _ScatterPlan:
                     rc,
                     full_flat,
                     unique,
+                    tier,
                 )
 
 

@@ -109,6 +109,17 @@ class UCProgram:
         recursive AST walks (see ``docs/PERFORMANCE.md``).  Semantics and
         simulated clock are identical either way; set False (or export
         ``REPRO_NO_PLANS=1``) to force the tree-walking oracle.
+    comm_tiers:
+        Dispatch each remote array reference to its cheapest communication
+        tier — NEWS shift, spread, broadcast, precomputed permutation or
+        general router (see "Communication tiers" in
+        ``docs/PERFORMANCE.md``).  Set False (or export
+        ``REPRO_NO_COMM_TIERS=1``) to service and charge every remote
+        reference through the general router.
+    log_tiers:
+        Record, per ``(line, array)`` reference site, the set of tiers
+        dispatched at run time (``last_interpreter.tier_log``) — used by
+        the static-vs-runtime parity tests.
     """
 
     def __init__(
@@ -122,6 +133,8 @@ class UCProgram:
         processor_opt: bool = True,
         cse: bool = True,
         plans: bool = True,
+        comm_tiers: bool = True,
+        log_tiers: bool = False,
         _ast=None,
     ) -> None:
         self.source = source
@@ -132,6 +145,8 @@ class UCProgram:
         self.processor_opt = processor_opt
         self.cse = cse
         self.plans = plans
+        self.comm_tiers = comm_tiers
+        self.log_tiers = log_tiers
         self.ast = _ast if _ast is not None else parse_program(source)
         self.info: ProgramInfo = analyze(self.ast, self.defines)
         self.layouts: LayoutTable = build_layouts(self.info, apply_maps=apply_maps)
@@ -165,6 +180,8 @@ class UCProgram:
             processor_opt=self.processor_opt,
             cse=self.cse,
             plans=self.plans,
+            comm_tiers=self.comm_tiers,
+            log_tiers=self.log_tiers,
         )
         if inputs:
             interp.load_inputs(inputs)

@@ -161,6 +161,7 @@ def try_send_reduce(ip, node: ast.Reduction, ctx) -> Optional[np.ndarray]:
     parent_vps = ip.grid_vpset(ctx.grid.shape)
     ratio = max(operand_vps.vp_ratio, parent_vps.vp_ratio)
     ip.machine.clock.charge("router_send", vp_ratio=ratio)
+    ip.machine.clock.count_tier("router")
 
     parent_values = np.asarray(ctx.grid.axes[0].values)
     ident = identity_of(node.op)

@@ -58,6 +58,11 @@ class CostTable:
     router_get: float = 2500.0
     #: one general-router send (remote store, with combining)
     router_send: float = 2000.0
+    #: one precomputed-permutation cycle: router traffic whose pattern is a
+    #: known bijection (e.g. a transpose under a ``permute`` map), so the
+    #: message schedule is compiled once and replayed congestion-free —
+    #: cheaper than a general get but dearer than NEWS
+    router_permute: float = 1200.0
     #: broadcast of one scalar from the front end to all processors
     broadcast: float = 150.0
     #: one step of a log-depth reduction / scan tree
@@ -85,6 +90,7 @@ class CostTable:
             news=self.news * factor,
             router_get=self.router_get * factor,
             router_send=self.router_send * factor,
+            router_permute=self.router_permute * factor,
             broadcast=self.broadcast * factor,
             scan_step=self.scan_step * factor,
             global_or=self.global_or * factor,
@@ -102,6 +108,7 @@ COST_KINDS = (
     "news",
     "router_get",
     "router_send",
+    "router_permute",
     "broadcast",
     "scan_step",
     "global_or",

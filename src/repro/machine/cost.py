@@ -40,6 +40,11 @@ class Clock:
         }
         self._region_stack: List[Tuple[str, float]] = []
         self.regions: Dict[str, float] = {}
+        #: communication-tier dispatch counters ('local'/'news'/'spread'/
+        #: 'broadcast'/'permute'/'router' -> times chosen).  Observability
+        #: only — deliberately excluded from :meth:`fingerprint` so both
+        #: engines stay comparable whatever their dispatch bookkeeping.
+        self.tier_counts: Dict[str, int] = {}
 
     # -- charging ----------------------------------------------------------
 
@@ -71,6 +76,10 @@ class Clock:
             drec.time_us += ddt
             dt += ddt
         return dt
+
+    def count_tier(self, tier: str) -> None:
+        """Record that one array reference was dispatched to ``tier``."""
+        self.tier_counts[tier] = self.tier_counts.get(tier, 0) + 1
 
     def charge_scan(self, n_vps: int, *, vp_ratio: int = 1, steps_per_level: int = 1) -> float:
         """Charge one log-depth scan/reduction over ``n_vps`` processors."""
@@ -163,6 +172,7 @@ class Clock:
             rec.time_us = 0.0
         self._region_stack.clear()
         self.regions.clear()
+        self.tier_counts.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Clock(t={self._time_us:.1f}us)"

@@ -18,30 +18,26 @@ from .errors import GeometryError
 from .field import Field, ScalarLike
 
 
-def news_shifted(
-    field: Field,
+def shift_array(
+    data: np.ndarray,
     axis: int,
     offset: int,
-    *,
     border: Union[str, ScalarLike] = 0,
 ) -> np.ndarray:
-    """Return the array of values each VP sees when it fetches from the VP
-    ``offset`` positions away along ``axis`` (positive = higher coordinate).
+    """The raw NEWS shift on an ndarray: position ``c`` receives the value
+    at ``c + offset`` along ``axis``, with ``border`` semantics at the edge
+    (scalar fill, ``"wrap"``, or ``"clamp"``).
 
-    ``border`` controls what VPs at the edge receive: a scalar fill value,
-    ``"wrap"`` for torus wraparound, or ``"clamp"`` to replicate the edge.
-    The machine clock is charged ``|offset|`` NEWS hops.
+    Always returns a fresh writable array (``offset == 0`` is a copy) and
+    charges nothing — callers account for the hops.  ``"clamp"`` reproduces
+    exactly the ``np.clip``-then-gather semantics of the interpreter's
+    general gather path, which is what lets the communication-tier
+    dispatcher substitute a shift for a router cycle bit-identically.
     """
-    vps = field.vpset
-    if not 0 <= axis < vps.rank:
-        raise GeometryError(f"axis {axis} out of range for rank {vps.rank}")
-    data = field.data
     if offset == 0:
         return data.copy()
 
     hops = abs(int(offset))
-    vps.machine.clock.charge("news", count=hops, vp_ratio=vps.vp_ratio)
-
     if border == "wrap":
         return np.roll(data, -offset, axis=axis)
 
@@ -77,6 +73,65 @@ def news_shifted(
     else:
         out[tuple(pad)] = np.asarray(border, dtype=data.dtype)
     return out
+
+
+def window_array(
+    data: np.ndarray,
+    axis: int,
+    start: int,
+    extent: int,
+) -> np.ndarray:
+    """A clamped window copy along one axis: output position ``k`` (for
+    ``k`` in ``0..extent-1``) receives ``data[clip(start + k, 0, n-1)]``.
+
+    This is :func:`shift_array` with ``"clamp"`` generalised to windows
+    whose extent differs from the axis extent — the shape an interior-grid
+    stencil gather takes (grid ``{1..N-2}`` over an ``N``-element array).
+    Always returns a fresh writable array and charges nothing.
+    """
+    n = data.shape[axis]
+    k0 = min(max(0, -start), extent)          # positions clamped to index 0
+    k1 = max(min(extent, n - start), k0)      # positions clamped to n - 1
+    sl = [slice(None)] * data.ndim
+    sl[axis] = slice(start + k0, start + k1)
+    if k0 == 0 and k1 == extent:
+        return data[tuple(sl)].copy()
+    parts = []
+    if k0 > 0:
+        first = [slice(None)] * data.ndim
+        first[axis] = slice(0, 1)
+        parts.append(np.repeat(data[tuple(first)], k0, axis=axis))
+    if k1 > k0:
+        parts.append(data[tuple(sl)])
+    if extent > k1:
+        last = [slice(None)] * data.ndim
+        last[axis] = slice(n - 1, n)
+        parts.append(np.repeat(data[tuple(last)], extent - k1, axis=axis))
+    return np.concatenate(parts, axis=axis)
+
+
+def news_shifted(
+    field: Field,
+    axis: int,
+    offset: int,
+    *,
+    border: Union[str, ScalarLike] = 0,
+) -> np.ndarray:
+    """Return the array of values each VP sees when it fetches from the VP
+    ``offset`` positions away along ``axis`` (positive = higher coordinate).
+
+    ``border`` controls what VPs at the edge receive: a scalar fill value,
+    ``"wrap"`` for torus wraparound, or ``"clamp"`` to replicate the edge.
+    The machine clock is charged ``|offset|`` NEWS hops.
+    """
+    vps = field.vpset
+    if not 0 <= axis < vps.rank:
+        raise GeometryError(f"axis {axis} out of range for rank {vps.rank}")
+    if offset != 0:
+        vps.machine.clock.charge(
+            "news", count=abs(int(offset)), vp_ratio=vps.vp_ratio
+        )
+    return shift_array(field.data, axis, offset, border)
 
 
 def get_from_news(

@@ -17,15 +17,38 @@ import numpy as np
 from .errors import RouterError, VPSetMismatchError
 from .field import Field
 
+def _logical_combiner(
+    ufunc: np.ufunc, name: str
+) -> Callable[[np.ndarray, np.ndarray, np.ndarray], None]:
+    """Logical combining that stays type-safe on integer fields.
+
+    ``np.logical_*.at`` on an int destination silently merges *bool*
+    results into int storage, so e.g. ``5 logor 2`` would come out as 1
+    while non-colliding lanes keep their raw values — a mixed-meaning
+    field.  We accept bool and integer destinations (values combined as
+    truth values, stored as 0/1) and reject anything else loudly.
+    """
+
+    def combine(tgt: np.ndarray, idx: np.ndarray, val: np.ndarray) -> None:
+        if tgt.dtype.kind not in "bi":
+            raise RouterError(
+                f"logical combiner {name!r} needs a bool or integer "
+                f"destination field, got dtype {tgt.dtype}"
+            )
+        ufunc.at(tgt, idx, val.astype(bool))
+
+    return combine
+
+
 #: combining operations the router supports (Paris send-with-*)
 COMBINERS: Dict[str, Callable[[np.ndarray, np.ndarray, np.ndarray], None]] = {
     "overwrite": lambda tgt, idx, val: tgt.__setitem__(idx, val),
     "add": lambda tgt, idx, val: np.add.at(tgt, idx, val),
     "min": lambda tgt, idx, val: np.minimum.at(tgt, idx, val),
     "max": lambda tgt, idx, val: np.maximum.at(tgt, idx, val),
-    "logand": lambda tgt, idx, val: np.logical_and.at(tgt, idx, val),
-    "logor": lambda tgt, idx, val: np.logical_or.at(tgt, idx, val),
-    "logxor": lambda tgt, idx, val: np.logical_xor.at(tgt, idx, val),
+    "logand": _logical_combiner(np.logical_and, "logand"),
+    "logor": _logical_combiner(np.logical_or, "logor"),
+    "logxor": _logical_combiner(np.logical_xor, "logxor"),
     "mul": lambda tgt, idx, val: np.multiply.at(tgt, idx, val),
 }
 

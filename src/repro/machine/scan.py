@@ -20,6 +20,11 @@ from .field import Field, ScalarLike
 #: a practical stand-in for the paper's INF constant
 INF = float(2**53)
 
+#: a spread is a reduce-then-broadcast along the same tree, so every level
+#: of the log-depth tree is traversed twice (down with the operator, up
+#: with the copy) — shared with the interpreter's spread-tier charging
+SPREAD_STEPS_PER_LEVEL = 2
+
 #: reduction operator table: name -> (numpy ufunc-ish reducer, identity)
 _REDUCERS: Dict[str, Tuple[Callable[[np.ndarray], ScalarLike], ScalarLike]] = {
     "add": (lambda v: v.sum(), 0),
@@ -168,7 +173,9 @@ def spread(dest: Field, source: Field, op: str, *, axis: int) -> None:
         raise ScanError(f"unknown spread op {op!r}")
     ufunc = _SCANNERS[op]
     ax = axis % vps.rank
-    vps.machine.clock.charge_scan(vps.shape[ax], vp_ratio=vps.vp_ratio, steps_per_level=2)
+    vps.machine.clock.charge_scan(
+        vps.shape[ax], vp_ratio=vps.vp_ratio, steps_per_level=SPREAD_STEPS_PER_LEVEL
+    )
 
     mask = vps.context
     ident = identity_of(op)

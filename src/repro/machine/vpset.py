@@ -40,6 +40,7 @@ class VPSet:
         self.n_vps: int = int(np.prod(shape))
         self.vp_ratio: int = max(1, math.ceil(self.n_vps / machine.config.n_pes))
         self._context_stack: List[np.ndarray] = []
+        self._self_addresses: Optional[np.ndarray] = None
 
     # -- geometry ----------------------------------------------------------
 
@@ -51,8 +52,17 @@ class VPSet:
         return self.shape[axis]
 
     def self_addresses(self) -> np.ndarray:
-        """The ``self-address`` of every VP: its row-major linear index."""
-        return np.arange(self.n_vps, dtype=np.int64).reshape(self.shape)
+        """The ``self-address`` of every VP: its row-major linear index.
+
+        Computed once per VP set and cached read-only — router-heavy inner
+        loops (e.g. APSP) ask for it on every get/send, and the geometry
+        never changes.  Callers needing a mutable copy must ``.copy()``.
+        """
+        if self._self_addresses is None:
+            addrs = np.arange(self.n_vps, dtype=np.int64).reshape(self.shape)
+            addrs.setflags(write=False)
+            self._self_addresses = addrs
+        return self._self_addresses
 
     def coordinates(self, axis: int) -> np.ndarray:
         """Per-VP coordinate along ``axis`` (Paris ``my-news-coordinate``)."""

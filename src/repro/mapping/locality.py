@@ -43,6 +43,16 @@ class RefClass:
     news_distance: int = 0
     spread_extent: int = 1  # product of extents the value must be spread over
     detail: str = ""
+    #: per-subscript structure, in subscript order — ``('u', value)`` for a
+    #: uniform subscript, ``('i', grid_axis, raw_shift)`` for an identity
+    #: match, ``('m', grid_axis, param)`` for a mirror.  ``None`` when the
+    #: access is data-dependent (no analytic structure exists).  The
+    #: communication-tier dispatcher uses this to build NEWS shift recipes.
+    axes: Optional[Tuple[Tuple, ...]] = None
+    #: True when the reference is a pure axis-order transpose under an
+    #: active ``permute`` map — eligible for the precomputed-permutation
+    #: tier instead of the general router.
+    permutable: bool = False
 
     @property
     def is_remote(self) -> bool:
@@ -126,19 +136,29 @@ def classify_reference(
     for sub in subs:
         v = _axis_verdict(sub, positions, used)
         if v.kind == "data":
-            return RefClass("router", detail="data-dependent subscript")
+            return RefClass("router", detail="data-dependent subscript", axes=None)
         if v.grid_axis >= 0:
             used[v.grid_axis] = True
         verdicts.append(v)
 
+    axes: Tuple[Tuple, ...] = tuple(
+        ("u", v.shift)
+        if v.kind == "uniform"
+        else ("m", v.grid_axis, v.mirror_param)
+        if v.kind == "mirror"
+        else ("i", v.grid_axis, v.shift)
+        for v in verdicts
+    )
+
     if all(v.kind == "uniform" for v in verdicts):
-        return RefClass("broadcast", detail="single element for all VPs")
+        return RefClass("broadcast", detail="single element for all VPs", axes=axes)
 
     perm = layout.axis_perm or tuple(range(layout.rank))
     fold = layout.fold
 
     news_distance = 0
     needs_router = False
+    mirror_router = False
     detail_bits: List[str] = []
     matched: List[Tuple[int, int]] = []  # (layout slot, grid axis)
 
@@ -157,6 +177,7 @@ def classify_reference(
                 matched.append((perm.index(a), v.grid_axis))
                 continue
             needs_router = True
+            mirror_router = True
             detail_bits.append(f"axis {a}: mirrored access")
             continue
         # identity with shift
@@ -177,7 +198,8 @@ def classify_reference(
     # to must increase — otherwise the access permutes data (router).
     by_slot = sorted(matched)
     grid_axes_in_slot_order = [g for _s, g in by_slot]
-    if grid_axes_in_slot_order != sorted(grid_axes_in_slot_order):
+    order_router = grid_axes_in_slot_order != sorted(grid_axes_in_slot_order)
+    if order_router:
         needs_router = True
         detail_bits.append(
             f"axis order {grid_axes_in_slot_order} permutes the grid alignment"
@@ -207,17 +229,28 @@ def classify_reference(
             detail_bits.append("slice read via spread")
 
     if needs_router:
-        return RefClass("router", detail="; ".join(detail_bits))
+        # a pure axis-order transpose under an active permute map can be
+        # serviced by a precomputed permutation recipe instead of the
+        # general router (the map proves the pattern is a bijection)
+        permutable = (
+            order_router and not mirror_router and layout.axis_perm is not None
+        )
+        return RefClass(
+            "router", detail="; ".join(detail_bits), axes=axes, permutable=permutable
+        )
     if spread_extent > 1:
         return RefClass(
             "spread",
             news_distance=news_distance,
             spread_extent=spread_extent,
             detail="; ".join(detail_bits) or "value constant along unused grid axes",
+            axes=axes,
         )
     if news_distance > 0:
-        return RefClass("news", news_distance=news_distance, detail="; ".join(detail_bits))
-    return RefClass("local", detail="; ".join(detail_bits))
+        return RefClass(
+            "news", news_distance=news_distance, detail="; ".join(detail_bits), axes=axes
+        )
+    return RefClass("local", detail="; ".join(detail_bits), axes=axes)
 
 
 def classify_write(
@@ -239,5 +272,5 @@ def classify_write(
     )
     if rc.kind in ("broadcast", "spread"):
         # a non-injective write pattern goes through the router
-        return RefClass("router", detail=f"write: {rc.detail}")
+        return RefClass("router", detail=f"write: {rc.detail}", axes=rc.axes)
     return rc

@@ -89,3 +89,44 @@ class TestClassification:
             "main { par (I) { a[i] = b[i + 2]; a[i] = b[i + 2]; } }"
         )
         assert len(rep.suggestions) == len(set(rep.suggestions))
+
+
+class TestSeqElements:
+    """seq-bound elements are run-time scalars: references subscripted by
+    them are uniform per iteration, and the static pass must agree with
+    the runtime tier dispatcher (the apsp inner loop is the motivating
+    case: d[i][k] is a spread, not data-dependent router traffic)."""
+
+    def test_seq_subscript_is_spread_not_router(self):
+        report = report_for(
+            "int N = 8;\n"
+            "index_set I:i = {0..N-1}, J:j = I, K:k = I;\n"
+            "int d[N][N], c[N][N];\n"
+            "main { seq (K) par (I, J) c[i][j] = d[i][k] + d[k][j]; }"
+        )
+        kinds = {r.text: r.kind for r in report.references}
+        assert kinds["d[i][k]"] == "spread"
+        assert kinds["d[k][j]"] == "spread"
+        assert report.count("router") == 0
+
+    def test_seq_only_subscripts_are_broadcast(self):
+        report = report_for(
+            "int N = 4;\n"
+            "index_set I:i = {0..N-1}, K:k = I;\n"
+            "int a[N], b[N];\n"
+            "main { seq (K) par (I) a[i] = b[k]; }"
+        )
+        kinds = {r.text: r.kind for r in report.references}
+        assert kinds["b[k]"] == "broadcast"
+
+    def test_par_rebinding_shadows_seq_scalar(self):
+        # the inner par re-binds k as a grid axis: b[k] is local again
+        report = report_for(
+            "int N = 4;\n"
+            "index_set K:k = {0..N-1};\n"
+            "int a[N], b[N];\n"
+            "main { seq (K) par (K) a[k] = b[k]; }"
+        )
+        kinds = {r.text: r.kind for r in report.references}
+        assert kinds["b[k]"] == "local"
+        assert kinds["a[k]"] == "local"

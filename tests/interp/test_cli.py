@@ -130,3 +130,17 @@ class TestAnalyze:
         out = capsys.readouterr().out
         assert "processor optimization" in out
         assert "64 VPs" in out
+
+
+class TestStats:
+    def test_run_stats_prints_counters(self, apsp_file, capsys):
+        assert main(["run", apsp_file, "-D", "N=4", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "execution stats" in out
+        assert "plan_cache." in out
+        assert "tier." in out
+
+    def test_run_without_stats_silent(self, apsp_file, capsys):
+        main(["run", apsp_file, "-D", "N=4"])
+        out = capsys.readouterr().out
+        assert "execution stats" not in out

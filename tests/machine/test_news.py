@@ -93,3 +93,65 @@ class TestGetFromNews:
         b = machine.field(machine.vpset((4,)))
         with pytest.raises(Exception):
             news.get_from_news(a, b, 0, 1)
+
+
+class TestShiftArray:
+    """The raw, charge-free core used by the communication-tier engine."""
+
+    def test_zero_offset_returns_fresh_copy(self):
+        data = np.arange(5)
+        out = news.shift_array(data, 0, 0)
+        assert out is not data
+        out[0] = 99
+        assert data[0] == 0
+
+    def test_wrap_beyond_extent(self):
+        data = np.arange(5)
+        assert list(news.shift_array(data, 0, 7, "wrap")) == [2, 3, 4, 0, 1]
+
+    def test_custom_fill_beyond_extent(self):
+        data = np.arange(5)
+        assert list(news.shift_array(data, 0, 9, -1)) == [-1] * 5
+
+    def test_clamp_matches_clip_gather(self):
+        data = np.arange(6) * 3
+        for offset in (-7, -2, 0, 3, 8):
+            got = news.shift_array(data, 0, offset, "clamp")
+            want = data[np.clip(np.arange(6) + offset, 0, 5)]
+            assert np.array_equal(got, want), offset
+
+
+class TestWindowArray:
+    """Clamped window copies: the interior-stencil gather fast path."""
+
+    def test_in_bounds_window_is_slice_copy(self):
+        data = np.arange(8)
+        out = news.window_array(data, 0, 2, 4)
+        assert list(out) == [2, 3, 4, 5]
+        out[0] = 99
+        assert data[2] == 2
+
+    def test_low_edge_clamps(self):
+        data = np.arange(8)
+        assert list(news.window_array(data, 0, -2, 5)) == [0, 0, 0, 1, 2]
+
+    def test_high_edge_clamps(self):
+        data = np.arange(8)
+        assert list(news.window_array(data, 0, 5, 5)) == [5, 6, 7, 7, 7]
+
+    def test_fully_out_of_range_window(self):
+        data = np.arange(4)
+        assert list(news.window_array(data, 0, 9, 3)) == [3, 3, 3]
+        assert list(news.window_array(data, 0, -9, 3)) == [0, 0, 0]
+
+    def test_matches_clip_gather_reference(self):
+        data = np.arange(7) * 2
+        for start, extent in ((-3, 5), (0, 7), (1, 5), (4, 6), (-8, 2)):
+            got = news.window_array(data, 0, start, extent)
+            want = data[np.clip(start + np.arange(extent), 0, 6)]
+            assert np.array_equal(got, want), (start, extent)
+
+    def test_second_axis(self):
+        data = np.arange(12).reshape(3, 4)
+        got = news.window_array(data, 1, 1, 2)
+        assert np.array_equal(got, data[:, 1:3])

@@ -151,3 +151,41 @@ class TestPermute:
         src, dst = machine.field(vps), machine.field(vps)
         with pytest.raises(RouterError):
             router.permute(dst, src, np.array([0, 0, 1, 2]))
+
+
+class TestLogicalCombinerDtypes:
+    """Logical combining must stay meaningful on non-bool destinations."""
+
+    def _setup(self, machine, dtype):
+        vps = machine.vpset((4,))
+        src = machine.field(vps)
+        dst = machine.field(vps, dtype=dtype)
+        return src, dst
+
+    def test_logor_on_int_destination_stores_truth_values(self, machine):
+        src, dst = self._setup(machine, np.int64)
+        dst.data[:] = [5, 0, 7, 0]
+        src.data[:] = [2, 0, 0, 4]
+        router.send(dst, src, np.arange(4), combiner="logor")
+        # 5 logor 2 must come out true (1), not a bitwise artefact
+        assert list(dst.data) == [1, 0, 1, 1]
+
+    def test_logand_on_int_destination(self, machine):
+        src, dst = self._setup(machine, np.int64)
+        dst.data[:] = [3, 1, 0, 2]
+        src.data[:] = [1, 0, 1, 8]
+        router.send(dst, src, np.arange(4), combiner="logand")
+        assert list(dst.data) == [1, 0, 0, 1]
+
+    def test_logxor_collisions_on_int_destination(self, machine):
+        src, dst = self._setup(machine, np.int64)
+        dst.data[:] = [0, 0, 0, 0]
+        src.data[:] = [1, 1, 1, 0]
+        router.send(dst, src, np.zeros(4, np.int64), combiner="logxor")
+        assert dst.data[0] == 1  # three true messages xor to true
+
+    def test_float_destination_rejected(self, machine):
+        src, dst = self._setup(machine, np.float64)
+        src.data[:] = [1, 0, 1, 0]
+        with pytest.raises(RouterError, match="bool or integer"):
+            router.send(dst, src, np.arange(4), combiner="logor")

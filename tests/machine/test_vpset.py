@@ -120,3 +120,21 @@ class TestMachineObject:
         machine.vpset((4,))
         assert machine.elapsed_us >= 0
         assert machine.elapsed_ms == machine.elapsed_us / 1000
+
+
+class TestSelfAddressCache:
+    def test_cached_and_read_only(self, machine):
+        vps = machine.vpset((4, 4))
+        first = vps.self_addresses()
+        assert vps.self_addresses() is first  # computed once per VP set
+        assert not first.flags.writeable
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            first[0, 0] = 99
+
+    def test_copy_is_mutable(self, machine):
+        vps = machine.vpset((3,))
+        mutable = vps.self_addresses().copy()
+        mutable[0] = 42
+        assert vps.self_addresses()[0] == 0
