@@ -1,0 +1,234 @@
+"""Fault-tolerance benchmark — checkpoint overhead and recovery latency.
+
+Two questions (see ``docs/ROBUSTNESS.md``):
+
+1. **Checkpoint overhead.**  ``UCProgram(checkpoints=True)`` snapshots
+   full execution state at every outermost ``par``/``solve`` boundary
+   with no fault plan installed.  On the repeated-squaring APSP workload
+   (``seq`` over ``par``, one checkpoint per squaring step) the
+   wall-clock overhead must stay under 5%, and the simulated Clock
+   fingerprint must be bit-identical to the un-checkpointed run —
+   checkpoints are host memory traffic, never simulated work.
+
+2. **Recovery latency vs fault rate.**  Injecting k transient router
+   faults into the ``*solve`` APSP run costs k backoff charges plus k
+   partial replays.  The simulated-time delta per fault is reported and
+   must grow monotonically with the fault count.
+
+Writes ``BENCH_faults.json`` at the repository root plus the usual text
+report under ``benchmarks/results/``.
+
+Run small (CI smoke): ``python benchmarks/bench_faults.py --smoke``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+import pytest
+
+from repro.algorithms.shortest_path import random_distance_matrix
+from repro.bench.report import format_table
+from repro.bench.workloads import APSP_N3_UC, APSP_SOLVE_UC, log2_ceil
+from repro.interp.program import UCProgram
+
+from _common import save_report
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: (checkpoint-overhead N, recovery N, wall-clock reps)
+FULL_SIZES = (96, 16, 7)
+SMOKE_SIZES = (32, 8, 3)
+
+#: wall-clock overhead ceilings: the 5% target needs runs long enough to
+#: dwarf timer noise, so the smoke sizes get a looser sanity bound
+OVERHEAD_LIMIT_FULL = 0.05
+OVERHEAD_LIMIT_SMOKE = 0.25
+
+FAULT_COUNTS = (0, 1, 2, 4)
+
+
+def _interleaved_best(progs, inputs, reps):
+    """Min-of-``reps`` wall clock per program, measured interleaved.
+
+    Back-to-back A/A*... B/B* loops see different CPU-frequency and cache
+    regimes and report phantom overheads bigger than the effect under
+    test; alternating A/B/A/B keeps both programs in the same regime.
+    """
+    best = [None] * len(progs)
+    results = [None] * len(progs)
+    for _ in range(reps):
+        for idx, prog in enumerate(progs):
+            payload = {k: v.copy() for k, v in inputs.items()}
+            t0 = time.perf_counter()
+            results[idx] = prog.run(payload)
+            dt = time.perf_counter() - t0
+            if best[idx] is None or dt < best[idx]:
+                best[idx] = dt
+    return best, results
+
+
+def bench_checkpoint_overhead(n, reps):
+    defines = {"N": n, "LOGN": log2_ceil(n)}
+    inputs = {"d": random_distance_matrix(n, seed=3)}
+    base_prog = UCProgram(APSP_N3_UC, defines=defines)
+    ck_prog = UCProgram(APSP_N3_UC, defines=defines, checkpoints=True)
+    # one unmeasured warm-up each: plan compilation happens per run but
+    # allocator and branch-predictor state settle after the first pass
+    base_prog.run({k: v.copy() for k, v in inputs.items()})
+    ck_prog.run({k: v.copy() for k, v in inputs.items()})
+    (t_base, t_ck), (r_base, r_ck) = _interleaved_best(
+        [base_prog, ck_prog], inputs, reps
+    )
+    assert np.array_equal(r_base["d"], r_ck["d"]), "checkpointing changed results"
+    assert r_base.fingerprint == r_ck.fingerprint, (
+        "checkpointing must not touch the simulated Clock"
+    )
+    return {
+        "workload": f"apsp seq/par n={n}",
+        "checkpoints_per_run": r_ck.recovery["checkpoints"],
+        "baseline_ms": t_base * 1e3,
+        "checkpointed_ms": t_ck * 1e3,
+        "overhead": t_ck / t_base - 1.0,
+    }
+
+
+def _drop_spec(k):
+    """k transient router-message drops, spread across the solve sweeps."""
+    return ";".join(f"drop@scan_step#{8 * (i + 1)}" for i in range(k))
+
+
+def bench_recovery_latency(n):
+    defines = {"N": n}
+    inputs = {"dist": random_distance_matrix(n, seed=3)}
+    rows = []
+    clean_us = None
+    for k in FAULT_COUNTS:
+        prog = UCProgram(
+            APSP_SOLVE_UC, defines=defines, faults=_drop_spec(k) or None
+        )
+        result = prog.run({key: v.copy() for key, v in inputs.items()})
+        if clean_us is None:
+            clean_us = result.elapsed_us
+            clean = result
+        else:
+            assert np.array_equal(result["dist"], clean["dist"]), (
+                f"{k} faults: recovery changed the answer"
+            )
+        retries = result.recovery.get("retries", 0)
+        assert retries == k, f"expected {k} retries, saw {retries}"
+        delta = result.elapsed_us - clean_us
+        rows.append(
+            {
+                "workload": f"apsp *solve n={n}",
+                "faults": k,
+                "elapsed_us": result.elapsed_us,
+                "delta_us": delta,
+                "delta_per_fault_us": delta / k if k else 0.0,
+                "recovery_cycles": result.recovery.get("recovery_cycles", 0),
+            }
+        )
+    return rows
+
+
+def run_bench(small: bool = False):
+    ck_n, rec_n, reps = SMOKE_SIZES if small else FULL_SIZES
+    overhead = bench_checkpoint_overhead(ck_n, reps)
+    recovery = bench_recovery_latency(rec_n)
+    return {"checkpoint_overhead": overhead, "recovery": recovery}, small
+
+
+def check_bench(payload, small: bool) -> None:
+    limit = OVERHEAD_LIMIT_SMOKE if small else OVERHEAD_LIMIT_FULL
+    over = payload["checkpoint_overhead"]
+    assert over["checkpoints_per_run"] > 1, (
+        "workload must checkpoint more than once for the overhead to mean "
+        "anything"
+    )
+    assert over["overhead"] < limit, (
+        f"checkpoint overhead {over['overhead']:.1%} exceeds the "
+        f"{limit:.0%} budget"
+    )
+    elapsed = [row["elapsed_us"] for row in payload["recovery"]]
+    assert elapsed == sorted(elapsed), (
+        "simulated time must grow monotonically with the fault count"
+    )
+    for row in payload["recovery"]:
+        if row["faults"]:
+            assert row["delta_us"] > 0, "a recovered fault must cost time"
+            assert row["recovery_cycles"] > 0
+
+
+def write_json(payload, small: bool) -> Path:
+    out = REPO_ROOT / "BENCH_faults.json"
+    out.write_text(
+        json.dumps(
+            {
+                "benchmark": "checkpoint overhead and fault-recovery latency",
+                "mode": "small" if small else "full",
+                "overhead_budget": (
+                    OVERHEAD_LIMIT_SMOKE if small else OVERHEAD_LIMIT_FULL
+                ),
+                **payload,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    return out
+
+
+def report(payload, small: bool) -> None:
+    over = payload["checkpoint_overhead"]
+    over_table = format_table(
+        ["workload", "checkpoints", "baseline (ms)", "checkpointed (ms)", "overhead"],
+        [
+            (
+                over["workload"],
+                over["checkpoints_per_run"],
+                over["baseline_ms"],
+                over["checkpointed_ms"],
+                f"{over['overhead']:+.1%}",
+            )
+        ],
+        title="Checkpoint overhead (identical results and Clock fingerprint)",
+    )
+    rec_table = format_table(
+        ["workload", "faults", "clock (us)", "delta (us)", "per fault (us)", "recovery cycles"],
+        [
+            (
+                row["workload"],
+                row["faults"],
+                row["elapsed_us"],
+                row["delta_us"],
+                row["delta_per_fault_us"],
+                row["recovery_cycles"],
+            )
+            for row in payload["recovery"]
+        ],
+        title="Recovery latency vs fault rate (transient router drops)",
+    )
+    save_report("bench_faults", over_table + "\n\n" + rec_table)
+    path = write_json(payload, small)
+    print(f"wrote {path}")
+
+
+@pytest.mark.benchmark(group="faults")
+def test_fault_tolerance_costs(benchmark):
+    payload, small = benchmark.pedantic(
+        run_bench, kwargs={"small": True}, iterations=1, rounds=1
+    )
+    check_bench(payload, small)
+    report(payload, small)
+
+
+if __name__ == "__main__":
+    is_small = "--smoke" in sys.argv[1:] or "--small" in sys.argv[1:]
+    bench_payload, bench_small = run_bench(small=is_small)
+    check_bench(bench_payload, bench_small)
+    report(bench_payload, bench_small)

@@ -34,8 +34,9 @@ array([ 0, 1, 4, ..., 81])
 
 __version__ = "1.0.0"
 
-from .machine import Machine, MachineConfig
+from .machine import FaultPlan, LinkFault, Machine, MachineConfig, ProcessorFault
 from .interp.program import UCProgram, RunResult
+from .interp.recovery import RecoveryPolicy
 from .ucdsl import UCBuilder
 
 __all__ = [
@@ -44,5 +45,9 @@ __all__ = [
     "UCProgram",
     "RunResult",
     "UCBuilder",
+    "FaultPlan",
+    "ProcessorFault",
+    "LinkFault",
+    "RecoveryPolicy",
     "__version__",
 ]

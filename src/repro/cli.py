@@ -26,7 +26,7 @@ from .compiler.cstar_gen import generate_cstar
 from .compiler.processor_opt import analyze_program as analyze_vp_plans
 from .interp.program import UCProgram
 from .lang.errors import UCError
-from .machine import MachineConfig
+from .machine import MachineConfig, MachineError
 
 
 def _parse_defines(items: Sequence[str]) -> Dict[str, int]:
@@ -56,8 +56,11 @@ def _load_program(args: argparse.Namespace) -> UCProgram:
             defines=_parse_defines(getattr(args, "define", []) or []),
             machine_config=config,
             apply_maps=not getattr(args, "no_maps", False),
+            faults=getattr(args, "faults", None),
         )
     except UCError as exc:
+        raise SystemExit(f"{args.file}: {exc}")
+    except ValueError as exc:
         raise SystemExit(f"{args.file}: {exc}")
 
 
@@ -67,6 +70,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         result = prog.run(seed=args.seed, profile=args.profile)
     except UCError as exc:
         raise SystemExit(f"{args.file}: runtime error: {exc}")
+    except MachineError as exc:
+        raise SystemExit(f"{args.file}: machine fault: {exc}")
     if result.stdout:
         sys.stdout.write(result.stdout)
     names = args.print or sorted(result.keys())
@@ -81,6 +86,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"{name} = {value}")
     print(f"-- simulated elapsed: {result.elapsed_us / 1e3:.3f} ms "
           f"({result.elapsed_us:.0f} us)")
+    if getattr(args, "fingerprint", False):
+        import hashlib
+
+        digest = hashlib.sha256(repr(result.fingerprint).encode()).hexdigest()
+        print(f"-- clock fingerprint: {digest[:16]}")
     if args.ledger:
         print("-- instruction ledger:")
         for kind in sorted(result.counts):
@@ -107,6 +117,13 @@ def cmd_run(args: argparse.Namespace) -> int:
                 print(f"   tier.{tier:18s} x{tiers[tier]}")
         else:
             print("   tier dispatches: none (no remote references)")
+        if result.recovery:
+            for key in sorted(result.recovery):
+                print(f"   recovery.{key:14s} {result.recovery[key]}")
+        for t_us, kind, op in result.fault_log:
+            print(f"   fault: {kind} during {op!r} at t={t_us:.0f}us")
+        if result.dead_pes:
+            print(f"   dead PEs: {result.dead_pes}")
     return 0
 
 
@@ -183,6 +200,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="plan-cache and communication-tier dispatch counters",
+    )
+    p_run.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="inject hardware faults, e.g. 'kill:3@alu#5;drop@router_send#2' "
+        "(see docs/ROBUSTNESS.md); recovery is automatic",
+    )
+    p_run.add_argument(
+        "--fingerprint",
+        action="store_true",
+        help="print a digest of the Clock cost fingerprint (for engine diffs)",
     )
     p_run.set_defaults(func=cmd_run)
 

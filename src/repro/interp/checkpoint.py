@@ -1,0 +1,140 @@
+"""Checkpoint/restore of the full execution state.
+
+A :class:`Checkpoint` captures everything a UC program can observe:
+field contents of every machine array, VP-set activity-context stacks,
+the values bound in the environment chain (scalars and parallel locals
+are mutable cells; restore writes the saved values back into the *same*
+cell objects so every live reference sees them), the complete Clock
+ledger, both RNG states (machine and interpreter), buffered ``print``
+output and the tier log.
+
+Deliberately **not** captured: the machine's dead-PE list and the fault
+plan's fired/counter state.  Hardware health is physical, not program,
+state — rolling it back would make the same fault fire again on every
+replay and recovery could never converge.
+
+Because the simulator charges the clock *before* mutating fields
+everywhere, a fault interrupts an attempt with no partial mutation in
+flight; restoring a checkpoint therefore reproduces the exact program
+state — and, crucially, the exact Clock fingerprint — that held when the
+checkpoint was taken.  The recovery tests assert bit-identity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .values import ParallelLocal, ScalarVar
+
+
+class Checkpoint:
+    """One captured execution state (build via :func:`take_checkpoint`)."""
+
+    __slots__ = (
+        "clock_state",
+        "machine_rng",
+        "interp_rng",
+        "fields",
+        "stacks",
+        "envs",
+        "stdout_len",
+        "tier_log",
+    )
+
+    def __init__(
+        self,
+        clock_state: dict,
+        machine_rng: dict,
+        interp_rng: dict,
+        fields: List[Tuple[Any, np.ndarray]],
+        stacks: List[Tuple[Any, List[np.ndarray]]],
+        envs: List[Tuple[Any, Dict[str, Tuple[str, Any, Any]]]],
+        stdout_len: int,
+        tier_log: Optional[Dict[Any, set]],
+    ) -> None:
+        self.clock_state = clock_state
+        self.machine_rng = machine_rng
+        self.interp_rng = interp_rng
+        self.fields = fields
+        self.stacks = stacks
+        self.envs = envs
+        self.stdout_len = stdout_len
+        self.tier_log = tier_log
+
+
+def take_checkpoint(ip, ctx) -> Checkpoint:
+    """Snapshot the interpreter/machine pair at a construct boundary."""
+    m = ip.machine
+    fields = [(f, f.data.copy()) for f in m.fields]
+    stacks = [(vps, list(vps._context_stack)) for vps in m.vpsets]
+    envs: List[Tuple[Any, Dict[str, Tuple[str, Any, Any]]]] = []
+    env = ctx.env
+    while env is not None:
+        saved: Dict[str, Tuple[str, Any, Any]] = {}
+        for name, binding in env.bindings.items():
+            if isinstance(binding, ScalarVar):
+                saved[name] = ("scalar", binding, binding.value)
+            elif isinstance(binding, ParallelLocal):
+                saved[name] = ("plocal", binding, binding.data.copy())
+            else:
+                # arrays restore through their field; index sets, element
+                # bindings, functions and constants are immutable
+                saved[name] = ("ref", binding, None)
+        envs.append((env, saved))
+        env = env.parent
+    tier_log = None
+    if ip.tier_log is not None:
+        tier_log = {key: set(val) for key, val in ip.tier_log.items()}
+    return Checkpoint(
+        clock_state=m.clock.dump_state(),
+        machine_rng=m.rng.bit_generator.state,
+        interp_rng=ip.rng.bit_generator.state,
+        fields=fields,
+        stacks=stacks,
+        envs=envs,
+        stdout_len=len(ip.stdout),
+        tier_log=tier_log,
+    )
+
+
+def restore_checkpoint(ip, cp: Checkpoint) -> None:
+    """Roll the interpreter/machine pair back to ``cp``.
+
+    A checkpoint may be restored any number of times (each retry of a
+    protected construct restores the same one); the saved arrays are
+    never handed out, only copied from.
+    """
+    m = ip.machine
+    m.clock.load_state(cp.clock_state)
+    m.rng.bit_generator.state = cp.machine_rng
+    ip.rng.bit_generator.state = cp.interp_rng
+    for f, data in cp.fields:
+        f.data[...] = data
+    known_vpsets = set()
+    for vps, stack in cp.stacks:
+        vps._context_stack = list(stack)
+        known_vpsets.add(id(vps))
+    # VP sets cached during the aborted attempt: drop any context state
+    for vps in m.vpsets:
+        if id(vps) not in known_vpsets:
+            vps._context_stack = []
+    for env, saved in cp.envs:
+        bindings: Dict[str, Any] = {}
+        for name, (tag, obj, value) in saved.items():
+            if tag == "scalar":
+                obj.value = value
+            elif tag == "plocal":
+                obj.data[...] = value
+            bindings[name] = obj
+        # rebuilding the dict also prunes names the aborted attempt declared
+        env.bindings = bindings
+    del ip.stdout[cp.stdout_len :]
+    if ip.tier_log is not None and cp.tier_log is not None:
+        ip.tier_log.clear()
+        for key, val in cp.tier_log.items():
+            ip.tier_log[key] = set(val)
+    # the aborted attempt may have cached subexpressions over rolled-back
+    # state; drop everything (the protected region re-arms its own cache)
+    ip.cse_invalidate()

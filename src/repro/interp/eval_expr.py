@@ -235,7 +235,11 @@ def _eval_uncached(ip, expr: ast.Expr, ctx: ExecContext) -> Value:
 
 
 def _eval_name(ip, expr: ast.Name, ctx: ExecContext) -> Value:
-    binding = ctx.env.lookup(expr.ident)
+    binding = ctx.env.try_lookup(expr.ident)
+    if binding is None:
+        raise UCRuntimeError(
+            f"undefined identifier {expr.ident!r} at run time", expr.line, expr.col
+        )
     if isinstance(binding, ElementBinding):
         if binding.kind == "scalar":
             return binding.value
@@ -405,7 +409,11 @@ def _eval_ternary(ip, expr: ast.Ternary, ctx: ExecContext) -> Value:
 
 def _resolve_array(ip, node: ast.Index, ctx: ExecContext) -> Tuple[ArrayVar, Tuple[int, ...], np.ndarray]:
     """Resolve the base name, returning (array, fixed-prefix, data view)."""
-    binding = ctx.env.lookup(node.base)
+    binding = ctx.env.try_lookup(node.base)
+    if binding is None:
+        raise UCRuntimeError(
+            f"undefined identifier {node.base!r} at run time", node.line, node.col
+        )
     if isinstance(binding, ArrayVar):
         return binding, (), binding.data
     if isinstance(binding, SliceParam):
@@ -609,7 +617,13 @@ def eval_assign(ip, node: ast.Assign, ctx: ExecContext) -> Value:
         eval_scatter(ip, target, value, ctx)
         return value
     assert isinstance(target, ast.Name)
-    binding = ctx.env.lookup(target.ident)
+    binding = ctx.env.try_lookup(target.ident)
+    if binding is None:
+        raise UCRuntimeError(
+            f"assignment to undefined identifier {target.ident!r}",
+            node.line,
+            node.col,
+        )
     if isinstance(binding, ScalarVar):
         _assign_scalar(ip, binding, value, ctx, node)
         return value
@@ -699,7 +713,7 @@ def eval_reduction(ip, node: ast.Reduction, ctx: ExecContext) -> Value:
         optimized = try_send_reduce(ip, node, ctx)
         if optimized is not None:
             return optimized
-    sets = [ip.resolve_index_set(name, ctx) for name in node.index_sets]
+    sets = [ip.resolve_index_set(name, ctx, at=node) for name in node.index_sets]
     inner_grid = ctx.grid.extend(sets)
     inner_env = ctx.env.child()
     for offset, isv in enumerate(sets):

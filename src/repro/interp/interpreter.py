@@ -29,6 +29,24 @@ from .values import ArrayVar, GridContext, ScalarVar, coerce_scalar, numpy_ctype
 from . import functions as _functions
 
 
+def _resolve_sweep_limit(value: Optional[int]) -> int:
+    """Effective solve/*solve sweep cap: explicit parameter, else the
+    ``REPRO_SOLVE_SWEEP_LIMIT`` environment variable, else the global
+    :data:`~repro.interp.statements.MAX_SWEEPS` backstop."""
+    if value is not None:
+        limit = int(value)
+    else:
+        text = os.environ.get("REPRO_SOLVE_SWEEP_LIMIT", "").strip()
+        if not text:
+            from .statements import MAX_SWEEPS
+
+            return MAX_SWEEPS
+        limit = int(text)
+    if limit <= 0:
+        raise ValueError(f"solve sweep limit must be positive, got {limit}")
+    return limit
+
+
 class Interpreter:
     """Executes one checked UC program on one machine."""
 
@@ -45,6 +63,9 @@ class Interpreter:
         plans: bool = True,
         comm_tiers: bool = True,
         log_tiers: bool = False,
+        checkpoints: bool = False,
+        recovery_policy=None,
+        solve_sweep_limit: Optional[int] = None,
     ) -> None:
         if solve_strategy not in ("auto", "scheduled", "guarded"):
             raise ValueError(f"unknown solve strategy {solve_strategy!r}")
@@ -74,6 +95,18 @@ class Interpreter:
         self.rng = np.random.default_rng(seed)
         self._seed = seed
         self.solve_strategy = solve_strategy
+        # configurable solve/*solve sweep cap (param > env > MAX_SWEEPS)
+        self.solve_sweep_limit = _resolve_sweep_limit(solve_sweep_limit)
+        # checkpoint/replay recovery: armed whenever the machine carries a
+        # fault plan, or explicitly (checkpoints=True, e.g. for the
+        # checkpoint-overhead benchmark)
+        self.recovery = None
+        if checkpoints or machine.faults is not None:
+            from .recovery import RecoveryManager, RecoveryPolicy
+
+            self.recovery = RecoveryManager(
+                self, recovery_policy or RecoveryPolicy()
+            )
         self.stdout: List[str] = []
         self.global_env = Env()
         self._vpsets: Dict[Tuple[int, ...], VPSet] = {}
@@ -165,13 +198,19 @@ class Interpreter:
 
     # -- name resolution ------------------------------------------------------------
 
-    def resolve_index_set(self, name: str, ctx: ExecContext) -> IndexSetValue:
+    def resolve_index_set(
+        self, name: str, ctx: ExecContext, at: Optional[ast.Node] = None
+    ) -> IndexSetValue:
         binding = ctx.env.try_lookup(name)
         if isinstance(binding, IndexSetValue):
             return binding
         isv = self.info.index_sets.get(name)
         if isv is None:
-            raise UCRuntimeError(f"unknown index set {name!r}")
+            raise UCRuntimeError(
+                f"unknown index set {name!r}",
+                at.line if at is not None else 0,
+                at.col if at is not None else 0,
+            )
         return isv
 
     def declare_index_set(self, decl: ast.IndexSetDecl, env: Env) -> None:

@@ -872,7 +872,7 @@ class _ReductionPlan:
             optimized = try_send_reduce(ip, node, ctx)
             if optimized is not None:
                 return optimized
-        sets = [ip.resolve_index_set(name, ctx) for name in node.index_sets]
+        sets = [ip.resolve_index_set(name, ctx, at=node) for name in node.index_sets]
         inner_grid = ctx.grid.extend(sets)
         inner_env = ctx.env.child()
         for offset, isv in enumerate(sets):
@@ -1301,7 +1301,7 @@ class _ReadyReduction:
 
     def __call__(self, ip, ctx: ExecContext, defined) -> np.ndarray:
         node = self.node
-        sets = [ip.resolve_index_set(name, ctx) for name in node.index_sets]
+        sets = [ip.resolve_index_set(name, ctx, at=node) for name in node.index_sets]
         inner_grid = ctx.grid.extend(sets)
         env = ctx.env.child()
         for off, isv in enumerate(sets):

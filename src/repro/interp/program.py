@@ -27,7 +27,7 @@ import numpy as np
 
 from ..lang import analyze, parse_program
 from ..lang.semantics import ProgramInfo
-from ..machine import Machine, MachineConfig
+from ..machine import FaultPlan, Machine, MachineConfig
 from ..mapping.maps import build_layouts
 from ..mapping.layout import LayoutTable
 from .interpreter import Interpreter
@@ -57,6 +57,20 @@ class RunResult:
         self.times: Dict[str, float] = {
             rec.kind: rec.time_us for rec in interp.machine.clock.ledger()
         }
+        #: hashable digest of the full cost state (see Clock.fingerprint)
+        self.fingerprint = interp.machine.clock.fingerprint()
+        #: checkpoint/fault/retry counters (empty when recovery is off)
+        self.recovery: Dict[str, int] = (
+            dict(interp.recovery.stats) if interp.recovery is not None else {}
+        )
+        #: (time_us, kind, op) per fault fired during the run
+        self.fault_log = (
+            list(interp.machine.faults.log)
+            if interp.machine.faults is not None
+            else []
+        )
+        #: physical PEs lost to injected faults during the run
+        self.dead_pes = sorted(interp.machine.dead_pes)
 
     def __getitem__(self, name: str) -> Union[int, float, np.ndarray]:
         return self._values[name]
@@ -120,6 +134,21 @@ class UCProgram:
         Record, per ``(line, array)`` reference site, the set of tiers
         dispatched at run time (``last_interpreter.tier_log``) — used by
         the static-vs-runtime parity tests.
+    faults:
+        A :class:`~repro.machine.faults.FaultPlan` (or a spec string for
+        :meth:`FaultPlan.parse <repro.machine.faults.FaultPlan.parse>`)
+        of hardware failures to inject.  Installing a plan automatically
+        arms checkpoint/replay recovery (see ``docs/ROBUSTNESS.md``).
+    recovery:
+        A :class:`~repro.interp.recovery.RecoveryPolicy` overriding the
+        default retry count / backoff.
+    checkpoints:
+        Take checkpoints at ``par``/``solve`` boundaries even with no
+        fault plan installed (the overhead benchmark's toggle).
+    solve_sweep_limit:
+        Cap on ``solve``/``*solve`` sweeps before the divergence error
+        (default: the global ``MAX_SWEEPS`` backstop; also settable via
+        ``REPRO_SOLVE_SWEEP_LIMIT``).
     """
 
     def __init__(
@@ -135,6 +164,10 @@ class UCProgram:
         plans: bool = True,
         comm_tiers: bool = True,
         log_tiers: bool = False,
+        faults: Optional[Union[str, FaultPlan]] = None,
+        recovery=None,
+        checkpoints: bool = False,
+        solve_sweep_limit: Optional[int] = None,
         _ast=None,
     ) -> None:
         self.source = source
@@ -147,6 +180,13 @@ class UCProgram:
         self.plans = plans
         self.comm_tiers = comm_tiers
         self.log_tiers = log_tiers
+        # parse eagerly: a bad spec should fail at construction, not mid-run
+        self.faults = (
+            FaultPlan.parse(faults) if isinstance(faults, str) else faults
+        )
+        self.recovery = recovery
+        self.checkpoints = checkpoints
+        self.solve_sweep_limit = solve_sweep_limit
         self.ast = _ast if _ast is not None else parse_program(source)
         self.info: ProgramInfo = analyze(self.ast, self.defines)
         self.layouts: LayoutTable = build_layouts(self.info, apply_maps=apply_maps)
@@ -171,6 +211,7 @@ class UCProgram:
         top-level statement of ``main`` to its simulated time.
         """
         m = machine if machine is not None else Machine(self.machine_config, seed=seed)
+        fault_plan = self.faults
         interp = Interpreter(
             self.info,
             m,
@@ -182,12 +223,24 @@ class UCProgram:
             plans=self.plans,
             comm_tiers=self.comm_tiers,
             log_tiers=self.log_tiers,
+            checkpoints=self.checkpoints or fault_plan is not None,
+            recovery_policy=self.recovery,
+            solve_sweep_limit=self.solve_sweep_limit,
         )
         if inputs:
             interp.load_inputs(inputs)
         # time the algorithm, not allocation / front-end input I/O — the
         # paper's measurements start with the data already on the machine
         m.clock.reset()
-        interp.run_main(profile=profile)
+        # arm faults only now: triggers count from the start of main, so a
+        # fault spec means the same thing whatever the setup traffic was
+        if fault_plan is not None:
+            m.install_faults(fault_plan)
+        try:
+            interp.run_main(profile=profile)
+        finally:
+            if fault_plan is not None:
+                # leave the machine reusable (and the plan's log readable)
+                m.clock.fault_hook = None
         self.last_interpreter = interp
         return RunResult(interp)

@@ -1,0 +1,124 @@
+"""Degraded-mode recovery: retry protected constructs across faults.
+
+The :class:`RecoveryManager` wraps every outermost ``par``/``solve``
+construct in a checkpoint (see :mod:`repro.interp.checkpoint`).  When a
+fault interrupts the construct:
+
+* the last checkpoint is restored (bit-identical program state),
+* a backoff of simulated Clock cycles is charged under the ``recovery``
+  cost kind (exponential in the attempt number — the front end widening
+  its retry window),
+* for a :class:`~repro.machine.errors.ProcessorFault`, the affected VP
+  sets are re-laid-out off the dead PE with
+  :func:`repro.mapping.remap.remap_off_dead` (one ``router_permute``
+  per moved field, the permute-mapping machinery's cost) before the
+  replay — the machine degrades gracefully to fewer physical PEs;
+* for a transient :class:`~repro.machine.errors.LinkFault`, the replay
+  simply re-issues the idempotent operation.
+
+The fault plan is suspended while recovery charges its own out-of-band
+traffic, so a handler cannot re-fault itself; restore deliberately does
+not roll back the plan's fired flags or the dead-PE list, so the same
+scheduled fault never fires twice.  Both execution engines run through
+this module at the same construct boundaries, which keeps their Clock
+fingerprints identical under faults.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Dict
+
+from ..lang.errors import UCRuntimeError
+from ..machine.errors import LinkFault, ProcessorFault
+from ..mapping.remap import remap_off_dead
+from .checkpoint import restore_checkpoint, take_checkpoint
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How hard to try before giving up.
+
+    ``max_attempts`` counts executions of the protected construct (so
+    ``max_attempts - 1`` faults are survivable per construct entry);
+    the ``attempt``-th retry waits ``backoff_base * backoff_factor **
+    (attempt - 1)`` simulated ``recovery`` cycles.
+    """
+
+    max_attempts: int = 8
+    backoff_base: int = 50
+    backoff_factor: float = 2.0
+
+    def backoff_cycles(self, attempt: int) -> int:
+        return max(1, int(self.backoff_base * self.backoff_factor ** (attempt - 1)))
+
+
+class RecoveryManager:
+    """Checkpoints and replays protected constructs for one interpreter."""
+
+    def __init__(self, ip, policy: RecoveryPolicy) -> None:
+        self.ip = ip
+        self.policy = policy
+        self.depth = 0
+        self.stats: Dict[str, int] = {
+            "checkpoints": 0,
+            "faults": 0,
+            "retries": 0,
+            "remaps": 0,
+            "recovery_cycles": 0,
+        }
+
+    def wants(self, stmt) -> bool:
+        """Protect outermost ``par``/``solve`` constructs only: an inner
+        construct is already covered by its enclosing checkpoint, and
+        per-ISSUE semantics ``seq``/``oneof`` iterations re-enter through
+        the protected constructs they contain."""
+        return self.depth == 0 and stmt.kind in ("par", "solve")
+
+    def run_protected(self, ip, stmt, ctx) -> None:
+        """Execute one construct under checkpoint protection."""
+        from .statements import dispatch_construct  # local import avoids a cycle
+
+        cp = take_checkpoint(ip, ctx)
+        self.stats["checkpoints"] += 1
+        attempt = 0
+        while True:
+            attempt += 1
+            self.depth += 1
+            try:
+                dispatch_construct(ip, stmt, ctx)
+                return
+            except (ProcessorFault, LinkFault) as fault:
+                self.stats["faults"] += 1
+                if attempt >= self.policy.max_attempts:
+                    raise UCRuntimeError(
+                        f"fault recovery exhausted after {attempt} attempts "
+                        f"of the {'*' if stmt.star else ''}{stmt.kind} "
+                        f"construct: {fault}",
+                        stmt.line,
+                        stmt.col,
+                    ) from fault
+                restore_checkpoint(ip, cp)
+                self._recover(fault, attempt)
+                self.stats["retries"] += 1
+            finally:
+                self.depth -= 1
+
+    def _recover(self, fault, attempt: int) -> None:
+        """Charge the backoff and, for a dead PE, re-lay-out VP sets.
+
+        Runs with the fault plan suspended: recovery traffic is the front
+        end's own bookkeeping and must not trigger further scheduled
+        events (which would refire forever after every restore).
+        """
+        machine = self.ip.machine
+        plan = machine.faults
+        guard = plan.suspended() if plan is not None else nullcontext()
+        with guard:
+            cycles = self.policy.backoff_cycles(attempt)
+            machine.clock.charge("recovery", count=cycles)
+            self.stats["recovery_cycles"] += cycles
+            if isinstance(fault, ProcessorFault):
+                remap_off_dead(machine)
+                self.stats["remaps"] += 1

@@ -103,7 +103,7 @@ def try_send_reduce(ip, node: ast.Reduction, ctx) -> Optional[np.ndarray]:
     if ctx.mask is not None and not bool(np.all(ctx.mask)):
         return None  # a partial parent context breaks the partition story
 
-    sets = [ip.resolve_index_set(name, ctx) for name in node.index_sets]
+    sets = [ip.resolve_index_set(name, ctx, at=node) for name in node.index_sets]
     red_elems = {s.elem_name for s in sets}
     parent_elems = set(ctx.grid.axis_elems) - red_elems
     if not parent_elems:

@@ -29,7 +29,6 @@ from .env import Env
 from .eval_expr import ExecContext, _truthy, eval_expr
 from .plan import compile_solve_assignments
 from .statements import (
-    MAX_SWEEPS,
     _plans_for,
     _run_blocks_once,
     enter_grid,
@@ -115,7 +114,7 @@ def _exec_solve_guarded(
     targets = target_arrays(assignments)
     defined: Dict[str, np.ndarray] = {}
     for name in targets:
-        binding = inner.env.lookup(name)
+        binding = inner.env.try_lookup(name)
         if isinstance(binding, ArrayVar):
             defined[name] = np.zeros(binding.shape, dtype=bool)
         elif isinstance(binding, ScalarVar):
@@ -191,8 +190,15 @@ def _exec_solve_guarded(
                 )
             return
         sweeps += 1
-        if sweeps > MAX_SWEEPS:
-            raise UCRuntimeError("solve exceeded the sweep limit", stmt.line, stmt.col)
+        if sweeps > ip.solve_sweep_limit:
+            raise UCRuntimeError(
+                f"solve exceeded the sweep limit ({ip.solve_sweep_limit}; "
+                "raise via UCProgram(solve_sweep_limit=...) or "
+                "REPRO_SOLVE_SWEEP_LIMIT); "
+                f"target variables: {', '.join(sorted(targets))}",
+                stmt.line,
+                stmt.col,
+            )
 
 
 def _mark_defined(ip, target: ast.Expr, ctx: ExecContext, defined: Dict[str, np.ndarray]) -> None:
@@ -256,7 +262,7 @@ def _readiness(
             out = out & _readiness(ip, a, ctx, defined)
         return out
     if isinstance(expr, ast.Reduction):
-        sets = [ip.resolve_index_set(name, ctx) for name in expr.index_sets]
+        sets = [ip.resolve_index_set(name, ctx, at=expr) for name in expr.index_sets]
         inner_grid = ctx.grid.extend(sets)
         env = ctx.env.child()
         for off, isv in enumerate(sets):
@@ -304,8 +310,15 @@ def _exec_solve_star(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
         if _snapshots_equal(before, after):
             return
         sweeps += 1
-        if sweeps > MAX_SWEEPS:
-            raise UCRuntimeError("*solve exceeded the sweep limit", stmt.line, stmt.col)
+        if sweeps > ip.solve_sweep_limit:
+            raise UCRuntimeError(
+                f"*solve exceeded the sweep limit ({ip.solve_sweep_limit}; "
+                "raise via UCProgram(solve_sweep_limit=...) or "
+                "REPRO_SOLVE_SWEEP_LIMIT); still changing each sweep: "
+                f"{_delta_summary(before, after)}",
+                stmt.line,
+                stmt.col,
+            )
 
 
 def _modified_names(stmt: ast.UCStmt) -> List[str]:
@@ -331,6 +344,27 @@ def _snapshot(ctx: ExecContext, names: List[str]):
         elif isinstance(binding, ParallelLocal):
             out[name] = binding.data.copy()
     return out
+
+
+def _delta_summary(before, after) -> str:
+    """Human-readable description of what still moved in the last sweep
+    (the divergence diagnostic of the *solve sweep-limit error)."""
+    parts = []
+    for name in sorted(before):
+        prev, curr = before[name], after[name]
+        if isinstance(prev, np.ndarray):
+            changed = prev != curr
+            n = int(np.count_nonzero(changed))
+            if not n:
+                continue
+            if np.issubdtype(prev.dtype, np.number):
+                width = np.abs(np.asarray(curr, dtype=np.float64) - prev).max()
+                parts.append(f"{name} ({n} elements, max |delta| {width:g})")
+            else:
+                parts.append(f"{name} ({n} elements)")
+        elif prev != curr:
+            parts.append(f"{name} ({prev!r} -> {curr!r})")
+    return "; ".join(parts) if parts else "nothing (oscillation across sweeps?)"
 
 
 def _snapshots_equal(a, b) -> bool:

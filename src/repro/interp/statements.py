@@ -115,24 +115,34 @@ def exec_stmt(ip, stmt: ast.Stmt, ctx: ExecContext) -> None:
         # a nested construct rebinds elements: run it outside any armed
         # CSE cache (it arms its own) and drop stale entries afterwards
         with ip.cse_suspend():
-            if stmt.kind == "par":
-                exec_par(ip, stmt, ctx)
-            elif stmt.kind == "seq":
-                exec_seq(ip, stmt, ctx)
-            elif stmt.kind == "oneof":
-                exec_oneof(ip, stmt, ctx)
-            elif stmt.kind == "solve":
-                from .solve import exec_solve  # local import avoids a cycle
-
-                exec_solve(ip, stmt, ctx)
-            else:  # pragma: no cover
-                raise UCRuntimeError(
-                    f"unknown construct {stmt.kind!r}", stmt.line, stmt.col
-                )
+            recovery = getattr(ip, "recovery", None)
+            if recovery is not None and recovery.wants(stmt):
+                recovery.run_protected(ip, stmt, ctx)
+            else:
+                dispatch_construct(ip, stmt, ctx)
         return
     raise UCRuntimeError(
         f"cannot execute {type(stmt).__name__}", stmt.line, stmt.col
     )
+
+
+def dispatch_construct(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
+    """Run one UC construct (the body of :func:`exec_stmt`'s UCStmt case;
+    also the replay entry point of the recovery manager)."""
+    if stmt.kind == "par":
+        exec_par(ip, stmt, ctx)
+    elif stmt.kind == "seq":
+        exec_seq(ip, stmt, ctx)
+    elif stmt.kind == "oneof":
+        exec_oneof(ip, stmt, ctx)
+    elif stmt.kind == "solve":
+        from .solve import exec_solve  # local import avoids a cycle
+
+        exec_solve(ip, stmt, ctx)
+    else:  # pragma: no cover
+        raise UCRuntimeError(
+            f"unknown construct {stmt.kind!r}", stmt.line, stmt.col
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -272,7 +282,7 @@ def _exec_for(ip, stmt: ast.For, ctx: ExecContext) -> None:
 
 def enter_grid(ip, stmt: ast.UCStmt, ctx: ExecContext) -> ExecContext:
     """Extend the grid with the construct's index sets and bind elements."""
-    sets = [ip.resolve_index_set(name, ctx) for name in stmt.index_sets]
+    sets = [ip.resolve_index_set(name, ctx, at=stmt) for name in stmt.index_sets]
     grid = ctx.grid.extend(sets)
     env = ctx.env.child()
     for offset, isv in enumerate(sets):
@@ -404,7 +414,7 @@ def _check_starred(stmt: ast.UCStmt) -> None:
 
 
 def exec_seq(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
-    sets = [ip.resolve_index_set(name, ctx) for name in stmt.index_sets]
+    sets = [ip.resolve_index_set(name, ctx, at=stmt) for name in stmt.index_sets]
     plans = _plans_for(ip, stmt, ctx.grid)
     sweeps = 0
     while True:

@@ -15,11 +15,14 @@ from .errors import (
     ContextError,
     FieldError,
     GeometryError,
+    LinkFault,
     MachineError,
+    ProcessorFault,
     RouterError,
     ScanError,
     VPSetMismatchError,
 )
+from .faults import FaultEvent, FaultPlan, fault_point
 from .field import Field
 from .machine import Machine
 from .scan import INF, identity_of
@@ -51,4 +54,9 @@ __all__ = [
     "FieldError",
     "RouterError",
     "ScanError",
+    "ProcessorFault",
+    "LinkFault",
+    "FaultPlan",
+    "FaultEvent",
+    "fault_point",
 ]

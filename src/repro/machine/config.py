@@ -77,6 +77,10 @@ class CostTable:
     alloc: float = 50.0
     #: front-end dispatch overhead charged once per issued instruction
     dispatch: float = 150.0
+    #: one cycle of fault-recovery backoff: the front end waiting out a
+    #: retry window after a detected hardware fault (host-side — the CM
+    #: proper is idle while the front end decides how to proceed)
+    recovery: float = 100.0
 
     def scaled(self, factor: float) -> "CostTable":
         """Return a copy with every CM-side cost multiplied by ``factor``.
@@ -98,6 +102,7 @@ class CostTable:
             host_cm_latency=self.host_cm_latency,
             alloc=self.alloc * factor,
             dispatch=self.dispatch * factor,
+            recovery=self.recovery,
         )
 
 
@@ -116,10 +121,11 @@ COST_KINDS = (
     "host_cm_latency",
     "alloc",
     "dispatch",
+    "recovery",
 )
 
 #: kinds executed by the front end: no VP-ratio scaling, no dispatch charge
-HOST_KINDS = frozenset({"host", "host_cm_latency"})
+HOST_KINDS = frozenset({"host", "host_cm_latency", "recovery"})
 
 
 @dataclass(frozen=True)

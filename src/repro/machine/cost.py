@@ -45,6 +45,11 @@ class Clock:
         #: only — deliberately excluded from :meth:`fingerprint` so both
         #: engines stay comparable whatever their dispatch bookkeeping.
         self.tier_counts: Dict[str, int] = {}
+        #: fault-injection observer, installed by
+        #: :meth:`repro.machine.machine.Machine.install_faults`; called as
+        #: ``hook(kind, count)`` before each charge is applied.  ``None``
+        #: (the default) costs one pointer test per charge.
+        self.fault_hook = None
 
     # -- charging ----------------------------------------------------------
 
@@ -59,6 +64,10 @@ class Clock:
         """
         if kind not in self._records:
             raise KeyError(f"unknown cost kind: {kind!r}")
+        if self.fault_hook is not None:
+            # observe before any accounting: a fault raised here leaves the
+            # clock (and the fields the caller was about to touch) untouched
+            self.fault_hook(kind, count)
         base = getattr(self.costs, kind)
         if kind in HOST_KINDS:
             dt = base * count
@@ -153,6 +162,32 @@ class Clock:
     def region(self, name: str) -> "_RegionCtx":
         """Context manager: ``with clock.region("iterate"): ...``"""
         return _RegionCtx(self, name)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def dump_state(self) -> dict:
+        """Full mutable state, for checkpoint/restore.  Unlike
+        :meth:`snapshot` this captures regions and tier counters too, so
+        a restored clock is indistinguishable from one that never ran the
+        rolled-back charges."""
+        return {
+            "time": self._time_us,
+            "records": {k: (r.count, r.time_us) for k, r in self._records.items()},
+            "region_stack": list(self._region_stack),
+            "regions": dict(self.regions),
+            "tier_counts": dict(self.tier_counts),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`dump_state`."""
+        self._time_us = state["time"]
+        for kind, rec in self._records.items():
+            count, time_us = state["records"].get(kind, (0, 0.0))
+            rec.count = count
+            rec.time_us = time_us
+        self._region_stack = list(state["region_stack"])
+        self.regions = dict(state["regions"])
+        self.tier_counts = dict(state["tier_counts"])
 
     # -- snapshots ---------------------------------------------------------
 

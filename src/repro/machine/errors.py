@@ -35,3 +35,31 @@ class RouterError(MachineError):
 
 class ScanError(MachineError):
     """Invalid scan/reduce request (unknown op, bad axis...)."""
+
+
+class ProcessorFault(MachineError):
+    """A physical processing element died (injected hardware fault).
+
+    Permanent: the PE stays on the machine's dead list until a cold boot.
+    Raised before the faulting operation mutates any field, so a recovery
+    layer that restores a checkpoint and re-lays-out VP sets off the dead
+    PE can replay the operation safely.
+    """
+
+    def __init__(self, message: str, *, pe: int = -1) -> None:
+        super().__init__(message)
+        self.pe = pe
+
+
+class LinkFault(MachineError):
+    """A communication link failed in transit (dropped or corrupted
+    router message, failed NEWS wire).
+
+    Transient: the hardware is healthy afterwards, so the idempotent
+    fix is simply to re-issue the operation.  Raised before any field
+    is mutated.
+    """
+
+    def __init__(self, message: str, *, op: str = "") -> None:
+        super().__init__(message)
+        self.op = op

@@ -20,12 +20,14 @@ True
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
 from .config import MachineConfig, default_config
 from .cost import Clock
+from .errors import GeometryError
+from .faults import FaultPlan
 from .field import Field
 from .vpset import VPSet
 
@@ -38,6 +40,7 @@ class Machine:
         config: Optional[MachineConfig] = None,
         *,
         seed: int = 0x5CA1AB1E,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.config = config or default_config()
         self.clock = Clock(self.config.costs)
@@ -45,6 +48,34 @@ class Machine:
         self._seed = seed
         self.vpsets: List[VPSet] = []
         self.fields: List[Field] = []
+        #: physical PEs taken down by injected faults; survives checkpoint
+        #: restore (hardware health is not program state)
+        self.dead_pes: Set[int] = set()
+        self.faults: Optional[FaultPlan] = None
+        if faults is not None:
+            self.install_faults(faults)
+
+    # -- fault injection ----------------------------------------------------
+
+    def install_faults(self, plan: FaultPlan) -> None:
+        """Arm a :class:`FaultPlan`: reset its counters and hook it into
+        the clock's charge stream.  Replaces any previous plan."""
+        plan.reset()
+        self.faults = plan
+        self.clock.fault_hook = lambda kind, count: plan.on_op(self, kind, count)
+
+    def remove_faults(self) -> None:
+        """Disarm fault injection (the zero-overhead state)."""
+        self.faults = None
+        self.clock.fault_hook = None
+
+    @property
+    def n_live_pes(self) -> int:
+        """Physical PEs still in service (total minus the dead list)."""
+        live = self.config.n_pes - len(self.dead_pes)
+        if live <= 0:
+            raise GeometryError("every physical processor has failed")
+        return live
 
     # -- allocation ---------------------------------------------------------
 
@@ -65,11 +96,16 @@ class Machine:
     # -- run control ---------------------------------------------------------
 
     def cold_boot(self) -> None:
-        """Reset the clock, the RNG and drop all allocations."""
+        """Reset the clock, the RNG and drop all allocations.  Dead PEs
+        come back (a cold boot is a service visit) and any fault plan is
+        re-armed from the start."""
         self.clock.reset()
         self.rng = np.random.default_rng(self._seed)
         self.vpsets.clear()
         self.fields.clear()
+        self.dead_pes.clear()
+        if self.faults is not None:
+            self.faults.reset()
 
     @property
     def elapsed_us(self) -> float:

@@ -15,6 +15,7 @@ from typing import Union
 import numpy as np
 
 from .errors import GeometryError
+from .faults import fault_point
 from .field import Field, ScalarLike
 
 
@@ -125,6 +126,7 @@ def news_shifted(
     The machine clock is charged ``|offset|`` NEWS hops.
     """
     vps = field.vpset
+    fault_point(vps.machine, "news.shift")
     if not 0 <= axis < vps.rank:
         raise GeometryError(f"axis {axis} out of range for rank {vps.rank}")
     if offset != 0:

@@ -17,6 +17,7 @@ from typing import Callable, Dict, Union
 import numpy as np
 
 from .errors import FieldError, VPSetMismatchError
+from .faults import fault_point
 from .field import Field, ScalarLike
 
 Operand = Union[Field, np.ndarray, int, float, bool]
@@ -99,6 +100,7 @@ def operand_array(x: Operand, vpset) -> np.ndarray:
 def binop(dest: Field, op: str, a: Operand, b: Operand) -> None:
     """``dest := a OP b`` under the current context (one ALU charge)."""
     vps = dest.vpset
+    fault_point(vps.machine, "paris.alu")
     try:
         fn = _BINOPS[op]
     except KeyError:
@@ -114,6 +116,7 @@ def binop(dest: Field, op: str, a: Operand, b: Operand) -> None:
 def unop(dest: Field, op: str, a: Operand) -> None:
     """``dest := OP a`` under the current context (one ALU charge)."""
     vps = dest.vpset
+    fault_point(vps.machine, "paris.alu")
     try:
         fn = _UNOPS[op]
     except KeyError:
@@ -127,6 +130,7 @@ def unop(dest: Field, op: str, a: Operand) -> None:
 def move(dest: Field, src: Operand) -> None:
     """``dest := src`` under the current context (one ALU charge)."""
     vps = dest.vpset
+    fault_point(vps.machine, "paris.alu")
     av = operand_array(src, vps)
     vps.machine.clock.charge("alu", vp_ratio=vps.vp_ratio)
     mask = vps.context
@@ -136,6 +140,7 @@ def move(dest: Field, src: Operand) -> None:
 def select(dest: Field, cond: Operand, a: Operand, b: Operand) -> None:
     """``dest := cond ? a : b`` under the current context."""
     vps = dest.vpset
+    fault_point(vps.machine, "paris.alu")
     cv = operand_array(cond, vps).astype(bool)
     av = operand_array(a, vps)
     bv = operand_array(b, vps)
@@ -150,6 +155,7 @@ def global_or(vpset, flag: Operand) -> bool:
     This is how the front end decides whether another ``*par`` iteration
     is needed — a single fast hardware line, not a full reduction.
     """
+    fault_point(vpset.machine, "paris.global_or")
     fv = operand_array(flag, vpset).astype(bool)
     vpset.machine.clock.charge("global_or", vp_ratio=vpset.vp_ratio)
     return bool(np.any(fv & vpset.context))

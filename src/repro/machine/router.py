@@ -15,6 +15,7 @@ from typing import Callable, Dict, Optional, Sequence
 import numpy as np
 
 from .errors import RouterError, VPSetMismatchError
+from .faults import fault_point
 from .field import Field
 
 def _logical_combiner(
@@ -73,6 +74,7 @@ def get(dest: Field, source: Field, address: np.ndarray) -> None:
     scaled by the larger VP ratio involved.
     """
     vps = dest.vpset
+    fault_point(vps.machine, "router.get")
     address = np.asarray(address, dtype=np.int64)
     if address.shape != vps.shape:
         raise RouterError(
@@ -101,6 +103,7 @@ def send(
     by ``rng`` (or the machine RNG) — the semantics of UC's ``$,``.
     """
     vps = source.vpset
+    fault_point(vps.machine, "router.send")
     address = np.asarray(address, dtype=np.int64)
     if address.shape != vps.shape:
         raise RouterError(

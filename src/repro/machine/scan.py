@@ -15,6 +15,7 @@ from typing import Callable, Dict, Optional, Tuple, Union
 import numpy as np
 
 from .errors import ScanError
+from .faults import fault_point
 from .field import Field, ScalarLike
 
 #: a practical stand-in for the paper's INF constant
@@ -71,6 +72,7 @@ def reduce(
     Charged as one log-depth tree plus the host read of the result.
     """
     vps = field.vpset
+    fault_point(vps.machine, "scan.reduce")
     mask = vps.context
     vals = field.data[mask]
     vps.machine.clock.charge_scan(vps.n_vps, vp_ratio=vps.vp_ratio)
@@ -105,6 +107,7 @@ def scan(
     """
     dest.same_vpset(source)
     vps = source.vpset
+    fault_point(vps.machine, "scan.scan")
     if op not in _SCANNERS:
         raise ScanError(f"unknown scan op {op!r}")
     ufunc = _SCANNERS[op]
@@ -169,6 +172,7 @@ def spread(dest: Field, source: Field, op: str, *, axis: int) -> None:
     """
     dest.same_vpset(source)
     vps = source.vpset
+    fault_point(vps.machine, "scan.spread")
     if op not in _SCANNERS:
         raise ScanError(f"unknown spread op {op!r}")
     ufunc = _SCANNERS[op]
@@ -192,6 +196,7 @@ def enumerate_active(field: Field) -> None:
     Used for packing and for processor allocation in the compiler.
     """
     vps = field.vpset
+    fault_point(vps.machine, "scan.enumerate")
     mask = vps.context
     vps.machine.clock.charge_scan(vps.n_vps, vp_ratio=vps.vp_ratio)
     flat_mask = mask.reshape(-1)

@@ -38,9 +38,18 @@ class VPSet:
         self.shape: Tuple[int, ...] = shape
         self.name = name or f"vpset{shape}"
         self.n_vps: int = int(np.prod(shape))
-        self.vp_ratio: int = max(1, math.ceil(self.n_vps / machine.config.n_pes))
+        self.vp_ratio: int = max(1, math.ceil(self.n_vps / machine.n_live_pes))
         self._context_stack: List[np.ndarray] = []
         self._self_addresses: Optional[np.ndarray] = None
+
+    def recompute_ratio(self) -> bool:
+        """Re-derive the VP ratio from the machine's current live-PE count
+        (degraded-mode relayout after a processor fault).  Returns whether
+        the ratio changed."""
+        new_ratio = max(1, math.ceil(self.n_vps / self.machine.n_live_pes))
+        changed = new_ratio != self.vp_ratio
+        self.vp_ratio = new_ratio
+        return changed
 
     # -- geometry ----------------------------------------------------------
 

@@ -21,9 +21,13 @@ from .layout import AxisFold, Layout, LayoutTable
 from .locality import RefClass, classify_reference, classify_write
 from .maps import apply_map_decl, build_layouts
 from .default import default_layouts
+from .remap import RemapReport, remap_off_dead, vpset_uses_pe
 from .transform import rewrite_program, rewrite_subscripts
 
 __all__ = [
+    "RemapReport",
+    "remap_off_dead",
+    "vpset_uses_pe",
     "Layout",
     "AxisFold",
     "LayoutTable",

@@ -1,0 +1,70 @@
+"""Degraded-mode relayout: move virtual processors off dead PEs.
+
+The paper's separation between logical references and physical placement
+(§4) is what makes recovery possible at all: a program addresses virtual
+processors, so when a physical PE dies the runtime may re-lay-out every
+VP set over the surviving PEs and replay — no program text changes.
+
+The simulator places VP ``v`` of a set cyclically on physical PE
+``v mod n_pes``.  After a :class:`~repro.machine.errors.ProcessorFault`
+the placement becomes ``v mod n_live`` over the live PEs, which is a
+bijective renumbering of the whole set — exactly the shape of traffic the
+``permute`` mapping machinery compiles to a precomputed congestion-free
+message schedule, so each field of an affected VP set is charged one
+``router_permute`` cycle at the set's *new* VP ratio.  Field data is a
+logical (VP-indexed) view in the simulator, so the relayout only updates
+VP ratios and charges the clock; the values stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import List, Set, Tuple
+
+
+@dataclass
+class RemapReport:
+    """What one degraded-mode relayout did."""
+
+    dead_pes: Tuple[int, ...]
+    #: names of VP sets that had VPs on a dead PE (their fields moved)
+    vpsets_moved: List[str] = dc_field(default_factory=list)
+    #: names of fields relocated (one ``router_permute`` charge each)
+    fields_moved: List[str] = dc_field(default_factory=list)
+    #: VP sets whose time-slicing ratio grew because fewer PEs remain
+    ratio_changes: List[Tuple[str, int]] = dc_field(default_factory=list)
+
+    @property
+    def permutes_charged(self) -> int:
+        return len(self.fields_moved)
+
+
+def vpset_uses_pe(vpset, pe: int, n_pes: int) -> bool:
+    """Does any VP of ``vpset`` live on physical PE ``pe`` under the
+    cyclic placement ``v mod n_pes``?  PE ``pe`` hosts VPs iff the set
+    has at least ``pe + 1`` VPs (VP ``pe`` itself is the first)."""
+    return 0 <= pe < n_pes and vpset.n_vps > pe
+
+
+def remap_off_dead(machine) -> RemapReport:
+    """Re-lay-out every VP set of ``machine`` over its live PEs.
+
+    Recomputes each set's VP ratio from the live-PE count and charges one
+    ``router_permute`` per field on each affected set (a precomputed
+    bijective renumbering).  Deterministic: sets and fields are visited
+    in allocation order, so both execution engines charge identically.
+    """
+    report = RemapReport(dead_pes=tuple(sorted(machine.dead_pes)))
+    n_pes = machine.config.n_pes
+    affected = set()
+    for vps in machine.vpsets:
+        if vps.recompute_ratio():
+            report.ratio_changes.append((vps.name, vps.vp_ratio))
+        if any(vpset_uses_pe(vps, pe, n_pes) for pe in machine.dead_pes):
+            affected.add(id(vps))
+            report.vpsets_moved.append(vps.name)
+    for f in machine.fields:
+        if id(f.vpset) in affected:
+            machine.clock.charge("router_permute", vp_ratio=f.vpset.vp_ratio)
+            report.fields_moved.append(f.name or f.vpset.name)
+    return report

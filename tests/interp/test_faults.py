@@ -1,0 +1,245 @@
+"""Fault injection, checkpoint/restore, and degraded-mode recovery.
+
+The acceptance bar (see ``docs/ROBUSTNESS.md``): a seeded fault run must
+recover via checkpoint restore (+ remap for processor kills) and finish
+with results equal to the fault-free run, in *both* engines, with
+identical Clock fingerprints between engines.  With faults disabled,
+fingerprints must stay bit-identical to a build without the fault layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.shortest_path import random_distance_matrix
+from repro.bench import workloads as W
+from repro.interp.program import UCProgram
+from repro.interp.recovery import RecoveryPolicy
+from repro.lang.errors import UCRuntimeError
+from repro.machine.faults import FaultEvent, FaultPlan
+
+N = 8
+DIST = random_distance_matrix(N, seed=3)
+APSP_DEFS = {"N": N}
+SEQPAR_DEFS = {"N": N, "LOGN": 3}
+
+# trigger choices are tied to the N=8 charge profiles:
+#   *solve APSP:  alu=9, scan_step=27   → alu#5 / scan_step#20 fire mid-run
+#   seq/par APSP: alu=6, scan_step=27   → alu#4 fires mid-run
+KILL_MID_SOLVE = "kill:2@alu#5"
+KILL_MID_SEQPAR = "kill:2@alu#4"
+TRANSIENT_DROP = "drop@scan_step#20"
+
+
+def run_apsp(src, defines, inputs, **kw):
+    prog = UCProgram(src, defines=defines, **kw)
+    return prog.run({k: v.copy() for k, v in inputs.items()})
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan parsing
+
+
+class TestFaultSpecParsing:
+    def test_parse_full_grammar(self):
+        plan = FaultPlan.parse("kill:3@alu#5; drop@router_send#2; link@news@2500")
+        assert [e.kind for e in plan.events] == ["kill", "drop", "link"]
+        kill, drop, link = plan.events
+        assert (kill.pe, kill.op, kill.at_count) == (3, "alu", 5)
+        assert (drop.op, drop.at_count) == ("router_send", 2)
+        assert (link.op, link.at_us) == ("news", 2500.0)
+
+    def test_parse_dotted_module_op(self):
+        (ev,) = FaultPlan.parse("drop@router.send#1").events
+        assert ev.op == "router.send"
+        assert ev.at_count == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["explode@alu#1", "kill@", "drop", "kill:x@alu#1", "drop@alu#0#0"],
+    )
+    def test_parse_rejects_bad_specs(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(bad)
+
+    def test_event_validates_kind(self):
+        with pytest.raises(ValueError):
+            FaultEvent(kind="meltdown")
+
+    def test_events_fire_once(self):
+        plan = FaultPlan.parse("drop@alu#1")
+        plan.reset()
+        assert plan.events[0].fired is False
+
+
+# ---------------------------------------------------------------------------
+# Recovery: results must match the fault-free run
+
+
+@pytest.mark.parametrize("plans", [True, False], ids=["plans", "oracle"])
+class TestRecovery:
+    def test_kill_mid_solve_recovers(self, plans):
+        clean = run_apsp(W.APSP_SOLVE_UC, APSP_DEFS, {"dist": DIST}, plans=plans)
+        faulty = run_apsp(
+            W.APSP_SOLVE_UC, APSP_DEFS, {"dist": DIST},
+            plans=plans, faults=KILL_MID_SOLVE,
+        )
+        assert np.array_equal(faulty["dist"], clean["dist"])
+        assert faulty.dead_pes == [2]
+        assert faulty.recovery["faults"] == 1
+        assert faulty.recovery["retries"] == 1
+        assert faulty.recovery["remaps"] == 1
+        assert faulty.recovery["checkpoints"] >= 1
+        assert [entry[1] for entry in faulty.fault_log] == ["kill"]
+
+    def test_kill_mid_seqpar_recovers(self, plans):
+        clean = run_apsp(W.APSP_N3_UC, SEQPAR_DEFS, {"d": DIST}, plans=plans)
+        faulty = run_apsp(
+            W.APSP_N3_UC, SEQPAR_DEFS, {"d": DIST},
+            plans=plans, faults=KILL_MID_SEQPAR,
+        )
+        assert np.array_equal(faulty["d"], clean["d"])
+        assert faulty.dead_pes == [2]
+        assert faulty.recovery["retries"] == 1
+
+    def test_transient_drop_retried(self, plans):
+        clean = run_apsp(W.APSP_SOLVE_UC, APSP_DEFS, {"dist": DIST}, plans=plans)
+        faulty = run_apsp(
+            W.APSP_SOLVE_UC, APSP_DEFS, {"dist": DIST},
+            plans=plans, faults=TRANSIENT_DROP,
+        )
+        assert np.array_equal(faulty["dist"], clean["dist"])
+        # a dropped message is transient: no processor dies, no remap
+        assert faulty.dead_pes == []
+        assert faulty.recovery["remaps"] == 0
+        assert faulty.recovery["retries"] == 1
+
+    def test_recovery_is_charged(self, plans):
+        clean = run_apsp(W.APSP_SOLVE_UC, APSP_DEFS, {"dist": DIST}, plans=plans)
+        faulty = run_apsp(
+            W.APSP_SOLVE_UC, APSP_DEFS, {"dist": DIST},
+            plans=plans, faults=KILL_MID_SOLVE,
+        )
+        assert "recovery" not in clean.counts
+        assert faulty.counts["recovery"] == faulty.recovery["recovery_cycles"] > 0
+        # the retried sweeps and the remap permutes cost simulated time too
+        assert faulty.elapsed_us > clean.elapsed_us
+
+    def test_multiple_faults_one_run(self, plans):
+        clean = run_apsp(W.APSP_SOLVE_UC, APSP_DEFS, {"dist": DIST}, plans=plans)
+        faulty = run_apsp(
+            W.APSP_SOLVE_UC, APSP_DEFS, {"dist": DIST},
+            plans=plans, faults=f"{KILL_MID_SOLVE};{TRANSIENT_DROP}",
+        )
+        assert np.array_equal(faulty["dist"], clean["dist"])
+        assert faulty.recovery["faults"] == 2
+        # exponential backoff: attempt 2 charges base * factor cycles
+        policy = RecoveryPolicy()
+        assert faulty.recovery["recovery_cycles"] == (
+            policy.backoff_cycles(1) + policy.backoff_cycles(2)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Engine parity and fingerprint stability
+
+
+def test_engine_parity_under_faults():
+    fps, results = [], []
+    for plans in (True, False):
+        r = run_apsp(
+            W.APSP_SOLVE_UC, APSP_DEFS, {"dist": DIST},
+            plans=plans, faults=f"{KILL_MID_SOLVE};{TRANSIENT_DROP}",
+        )
+        fps.append(r.fingerprint)
+        results.append(r)
+    assert fps[0] == fps[1], "cost ledgers diverge between engines under faults"
+    assert results[0].fault_log == results[1].fault_log
+    assert results[0].recovery == results[1].recovery
+    assert np.array_equal(results[0]["dist"], results[1]["dist"])
+
+
+def test_no_faults_fingerprint_is_baseline():
+    base = run_apsp(W.APSP_SOLVE_UC, APSP_DEFS, {"dist": DIST})
+    armed = run_apsp(
+        W.APSP_SOLVE_UC, APSP_DEFS, {"dist": DIST}, checkpoints=True
+    )
+    # checkpoints are host-side bookkeeping: zero simulated cost, and the
+    # zero-count 'recovery' kind never shows up in the fingerprint
+    assert armed.fingerprint == base.fingerprint
+    assert np.array_equal(armed["dist"], base["dist"])
+    assert armed.recovery["checkpoints"] >= 1
+    assert armed.recovery["faults"] == 0
+
+
+def test_never_firing_plan_is_invisible():
+    base = run_apsp(W.APSP_SOLVE_UC, APSP_DEFS, {"dist": DIST})
+    armed = run_apsp(
+        W.APSP_SOLVE_UC, APSP_DEFS, {"dist": DIST}, faults="kill:1@alu#100000"
+    )
+    assert armed.fingerprint == base.fingerprint
+    assert armed.fault_log == []
+    assert armed.dead_pes == []
+
+
+# ---------------------------------------------------------------------------
+# Recovery exhaustion
+
+
+def test_recovery_exhaustion_raises_located_error():
+    prog = UCProgram(
+        W.APSP_SOLVE_UC,
+        defines=APSP_DEFS,
+        faults="drop@alu#3;drop@alu#5",
+        recovery=RecoveryPolicy(max_attempts=2),
+    )
+    with pytest.raises(UCRuntimeError, match="recovery exhausted after 2 attempts"):
+        prog.run({"dist": DIST.copy()})
+
+
+def test_fault_without_recovery_manager_escapes(small_machine):
+    """Machine-level faults with no interpreter recovery kill the run."""
+    from repro.machine import ProcessorFault, paris
+
+    small_machine.install_faults(FaultPlan.parse("kill:0@alu#1"))
+    f = small_machine.field(small_machine.vpset((4,)))
+    with pytest.raises(ProcessorFault):
+        paris.move(f, 7)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: configurable solve sweep limit
+
+
+class TestSolveSweepLimit:
+    def test_param_caps_sweeps(self):
+        prog = UCProgram(
+            W.APSP_SOLVE_UC, defines=APSP_DEFS, solve_sweep_limit=1
+        )
+        with pytest.raises(UCRuntimeError) as ei:
+            prog.run({"dist": DIST.copy()})
+        msg = str(ei.value)
+        assert "sweep limit (1" in msg
+        assert "REPRO_SOLVE_SWEEP_LIMIT" in msg
+        # the diagnostic names what was still changing
+        assert "dist" in msg
+
+    def test_env_var_caps_sweeps(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVE_SWEEP_LIMIT", "1")
+        prog = UCProgram(W.APSP_SOLVE_UC, defines=APSP_DEFS)
+        with pytest.raises(UCRuntimeError, match="sweep limit"):
+            prog.run({"dist": DIST.copy()})
+
+    def test_param_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVE_SWEEP_LIMIT", "1")
+        prog = UCProgram(
+            W.APSP_SOLVE_UC, defines=APSP_DEFS, solve_sweep_limit=100
+        )
+        r = prog.run({"dist": DIST.copy()})  # converges well under 100
+        assert r["dist"].shape == (N, N)
+
+    def test_rejects_nonpositive_limit(self):
+        prog = UCProgram(
+            W.APSP_SOLVE_UC, defines=APSP_DEFS, solve_sweep_limit=0
+        )
+        with pytest.raises(ValueError, match="positive"):
+            prog.run({"dist": DIST.copy()})

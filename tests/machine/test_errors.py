@@ -1,0 +1,136 @@
+"""Negative-path coverage: every machine error class raises, is caught as
+:class:`MachineError`, and carries a message a user can act on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    ContextError,
+    FaultPlan,
+    FieldError,
+    GeometryError,
+    LinkFault,
+    MachineError,
+    ProcessorFault,
+    RouterError,
+    ScanError,
+    VPSetMismatchError,
+    news,
+    paris,
+    router,
+    scan,
+)
+from repro.machine.config import MachineConfig
+
+
+class TestGeometryError:
+    def test_empty_shape(self, machine):
+        with pytest.raises(GeometryError, match="at least one dimension"):
+            machine.vpset(())
+
+    def test_nonpositive_extent(self, machine):
+        with pytest.raises(GeometryError, match="must be positive"):
+            machine.vpset((4, 0))
+
+    def test_bad_machine_size(self):
+        with pytest.raises(GeometryError, match="n_pes must be positive"):
+            MachineConfig(n_pes=0)
+
+    def test_news_axis_out_of_range(self, machine):
+        f = machine.field(machine.vpset((8,)))
+        with pytest.raises(GeometryError, match="axis 2 out of range"):
+            news.news_shifted(f, 2, 1)
+
+    def test_is_machine_error(self, machine):
+        with pytest.raises(MachineError):
+            machine.vpset((-1,))
+
+
+class TestVPSetMismatchError:
+    def test_cross_vpset_operand(self, machine):
+        a = machine.field(machine.vpset((8,)))
+        b = machine.field(machine.vpset((8, 8)))
+        with pytest.raises(VPSetMismatchError, match="not on VP set"):
+            paris.binop(a, "add", a, b)
+
+
+class TestContextError:
+    def test_pop_empty_stack(self, machine):
+        vps = machine.vpset((8,))
+        with pytest.raises(ContextError, match="empty context stack"):
+            vps.pop_context()
+
+    def test_wrong_shape_mask(self, machine):
+        vps = machine.vpset((8,))
+        with pytest.raises(ContextError, match="mask shape"):
+            vps.push_context(np.ones((4,), dtype=bool))
+
+
+class TestFieldError:
+    def test_unknown_binop(self, machine):
+        f = machine.field(machine.vpset((8,)))
+        with pytest.raises(FieldError, match="unknown binary op"):
+            paris.binop(f, "frobnicate", f, 1)
+
+    def test_wrong_operand_shape(self, machine):
+        f = machine.field(machine.vpset((8,)))
+        with pytest.raises(FieldError, match="operand array shape"):
+            paris.move(f, np.zeros((4,)))
+
+
+class TestRouterError:
+    def test_address_out_of_range(self, machine):
+        vps = machine.vpset((8,))
+        a, b = machine.field(vps), machine.field(vps)
+        with pytest.raises(RouterError, match="address out of range"):
+            router.get(a, b, np.full((8,), 99, dtype=np.int64))
+
+    def test_unknown_combiner(self, machine):
+        vps = machine.vpset((8,))
+        a, b = machine.field(vps), machine.field(vps)
+        with pytest.raises(RouterError, match="unknown combiner"):
+            router.send(a, b, np.arange(8), combiner="median")
+
+    def test_permute_collision(self, machine):
+        vps = machine.vpset((8,))
+        a, b = machine.field(vps), machine.field(vps)
+        with pytest.raises(RouterError, match="colliding addresses"):
+            router.permute(a, b, np.zeros((8,), dtype=np.int64))
+
+
+class TestScanError:
+    def test_unknown_reduce_op(self, machine):
+        f = machine.field(machine.vpset((8,)))
+        with pytest.raises(ScanError, match="unknown reduction op"):
+            scan.reduce(f, "median")
+
+    def test_unknown_scan_op(self, machine):
+        vps = machine.vpset((8,))
+        a, b = machine.field(vps), machine.field(vps)
+        with pytest.raises(ScanError, match="unknown scan op"):
+            scan.scan(a, b, "median")
+
+
+class TestFaultErrors:
+    def test_processor_fault_carries_pe(self, machine):
+        machine.install_faults(FaultPlan.parse("kill:5@alu#1"))
+        f = machine.field(machine.vpset((8,)))
+        with pytest.raises(ProcessorFault, match="processor 5 failed") as ei:
+            paris.move(f, 1)
+        assert ei.value.pe == 5
+        assert 5 in machine.dead_pes
+        assert machine.n_live_pes == machine.config.n_pes - 1
+
+    def test_link_fault_carries_op(self, machine):
+        machine.install_faults(FaultPlan.parse("drop@router.send#1"))
+        vps = machine.vpset((8,))
+        a, b = machine.field(vps), machine.field(vps)
+        with pytest.raises(LinkFault, match="dropped in transit") as ei:
+            router.send(a, b, np.arange(8))
+        assert ei.value.op == "router.send"
+
+    def test_faults_are_machine_errors(self):
+        assert issubclass(ProcessorFault, MachineError)
+        assert issubclass(LinkFault, MachineError)
