@@ -1,0 +1,102 @@
+"""Benchmark regression gate — compare measured speedups to baselines.
+
+Reads the ``BENCH_*.json`` files the benchmark scripts just wrote and
+compares every row's ``speedup`` field against the committed floors in
+``benchmarks/baselines.json``.  A row regresses when its measured
+speedup drops more than ``TOLERANCE`` (20%) below its baseline; a
+baselined row that is missing from the measured file counts as a
+failure too (losing coverage must be loud, not silent).
+
+Baselines are keyed by benchmark file, then by the run mode recorded in
+the JSON (CI runs the small/smoke sizes, local full runs use the full
+sizes — wall-clock ratios differ a lot between the two), then by
+``workload[/engine]``.  The committed floors are deliberately
+conservative: smoke-size wall clocks on shared CI runners are noisy, so
+the gate is tuned to catch real regressions (an engine fast path
+silently disabled, a plan no longer cached) rather than scheduler
+jitter.  Extra measured rows are reported but never fail the gate, so
+adding a workload does not require touching the baselines in the same
+change.
+
+Usage: ``python benchmarks/check_regression.py`` (after running the
+benchmark scripts; exits non-zero on any regression).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINES = Path(__file__).resolve().parent / "baselines.json"
+
+#: a row fails when measured < baseline * (1 - TOLERANCE)
+TOLERANCE = 0.20
+
+#: benchmark JSON files covered by the gate (missing files are skipped
+#: with a note so the gate can run after any subset of the benchmarks)
+BENCH_FILES = ("BENCH_interp.json", "BENCH_comm.json", "BENCH_frontier.json")
+
+
+def _row_key(row: dict) -> str:
+    key = row["workload"]
+    if "engine" in row:
+        key += "/" + row["engine"]
+    return key
+
+
+def check(bench_name: str, data: dict, baselines: dict) -> list:
+    failures = []
+    mode = data.get("mode", "full")
+    floors = baselines.get(bench_name, {}).get(mode)
+    if floors is None:
+        print(f"  {bench_name}: no baselines for mode {mode!r}, skipping")
+        return failures
+    measured = {_row_key(row): row["speedup"] for row in data["rows"]}
+    for key, floor in floors.items():
+        gate = floor * (1.0 - TOLERANCE)
+        got = measured.get(key)
+        if got is None:
+            failures.append(f"{bench_name}: baselined row {key!r} not measured")
+            continue
+        verdict = "ok" if got >= gate else "REGRESSION"
+        print(
+            f"  {bench_name:20s} {key:38s} "
+            f"speedup {got:5.2f}x  floor {gate:5.2f}x  {verdict}"
+        )
+        if got < gate:
+            failures.append(
+                f"{bench_name}: {key} speedup {got:.2f}x fell below "
+                f"{gate:.2f}x (baseline {floor:.2f}x - {TOLERANCE:.0%})"
+            )
+    for key in sorted(set(measured) - set(floors)):
+        print(f"  {bench_name:20s} {key:38s} speedup {measured[key]:5.2f}x  (no baseline)")
+    return failures
+
+
+def main() -> int:
+    baselines = json.loads(BASELINES.read_text())
+    failures = []
+    seen = 0
+    for name in BENCH_FILES:
+        path = REPO_ROOT / name
+        if not path.exists():
+            print(f"  {name}: not found, skipping")
+            continue
+        seen += 1
+        failures.extend(check(name, json.loads(path.read_text()), baselines))
+    if not seen:
+        print("no benchmark output found — run the bench scripts first")
+        return 1
+    if failures:
+        print("\nbenchmark regressions:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nall benchmarked speedups within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

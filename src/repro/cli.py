@@ -117,6 +117,22 @@ def cmd_run(args: argparse.Namespace) -> int:
                 print(f"   tier.{tier:18s} x{tiers[tier]}")
         else:
             print("   tier dispatches: none (no remote references)")
+        if result.frontier:
+            for key in sorted(result.frontier):
+                print(f"   frontier.{key:18s} {result.frontier[key]}")
+            if result.frontier_trace:
+                shrinks = " ".join(
+                    f"{active}/{domain}"
+                    for active, domain in result.frontier_trace
+                )
+                total_a = sum(a for a, _d in result.frontier_trace)
+                total_d = sum(d for _a, d in result.frontier_trace)
+                print(f"   frontier.sweeps (active/domain VPs): {shrinks}")
+                if total_d:
+                    print(
+                        "   frontier.shrink "
+                        f"{100.0 * total_a / total_d:.1f}% of full-sweep VPs"
+                    )
         if result.recovery:
             for key in sorted(result.recovery):
                 print(f"   recovery.{key:14s} {result.recovery[key]}")
@@ -199,7 +215,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--stats",
         action="store_true",
-        help="plan-cache and communication-tier dispatch counters",
+        help="plan-cache, communication-tier dispatch and frontier-sweep "
+        "counters (incl. per-sweep active-VP shrink ratios)",
     )
     p_run.add_argument(
         "--faults",

@@ -133,6 +133,34 @@ class _NotSchedulable(Exception):
     pass
 
 
+def affine_ref_axes(
+    node: ast.Index,
+    elems: Dict[str, str],
+    constants: Dict[str, int],
+) -> Optional[Tuple[Tuple[Optional[str], int], ...]]:
+    """Per-subscript ``(elem, offset)`` pairs for an affine array reference.
+
+    One entry per subscript of ``node``: ``(elem_name, offset)`` where
+    ``elem_name`` is ``None`` for a compile-time-constant subscript (the
+    offset is then the constant's value).  Returns ``None`` when any
+    subscript is not affine ``elem + const`` with scale 1 — negated
+    elements, element products, or data-dependent subscripts.  Shared by
+    the static scheduler below and the frontier engine's change-mask
+    dilation (:mod:`repro.interp.frontier`), which both reason about
+    which grid points a reference can reach.
+    """
+    out: List[Tuple[Optional[str], int]] = []
+    for sub in node.subs:
+        try:
+            a = affine_subscript(sub, elems, constants)
+        except UCSemanticError:
+            return None
+        if a.elem is not None and a.scale != 1:
+            return None
+        out.append((a.elem, int(a.offset)))
+    return tuple(out)
+
+
 def _dependency_offsets(
     value: ast.Expr,
     pred: Optional[ast.Expr],
@@ -146,6 +174,7 @@ def _dependency_offsets(
     nodes: List[ast.Node] = [value]
     if pred is not None:
         nodes.append(pred)
+    grid_axis_of = {e: ax for ax, e in enumerate(elems)}
     for root in nodes:
         for node in ast.walk(root):
             if isinstance(node, ast.Reduction):
@@ -153,20 +182,17 @@ def _dependency_offsets(
                 if _references_targets(node, targets):
                     raise _NotSchedulable()
             if isinstance(node, ast.Index) and node.base in targets:
+                axes = affine_ref_axes(node, elems, constants)
+                if axes is None:
+                    raise _NotSchedulable()
                 offsets = [0] * grid_rank
                 nonzero = False
-                for k, sub in enumerate(node.subs):
-                    a = affine_subscript(sub, elems, constants)
-                    if a.elem is None or a.scale != 1:
+                for elem, off in axes:
+                    if elem is None:
                         raise _NotSchedulable()
-                    axis = axis_of_sub[k] if k < len(axis_of_sub) else None
-                    want_elem = None
-                    # the subscript's element decides which grid axis it moves on
-                    from_axis = {e: ax for e, ax in zip(elems, range(grid_rank))}
                     # elems preserves insertion order == grid axis order
-                    grid_axis = list(elems).index(a.elem)
-                    offsets[grid_axis] += a.offset
-                    if a.offset != 0:
+                    offsets[grid_axis_of[elem]] += off
+                    if off != 0:
                         nonzero = True
                 if any(o > 0 for o in offsets):
                     raise _NotSchedulable()

@@ -139,7 +139,7 @@ class Pvar:
             self.domain.shape,
             self.domain.axis_names,
             Layout(self.domain.name, self.domain.shape),
-            positions=self.domain.positions(),
+            positions=self.domain.positions,
         )
         self.domain.runtime.charge_ref(self.domain, rc)
         idx = []

@@ -106,7 +106,7 @@ class CStarRuntime:
             dest.shape,
             dest.axis_names,
             Layout(src.name, data.shape),
-            positions=dest.positions(),
+            positions=dest.positions,
         )
         self.charge_ref(dest, rc)
         idx = tuple(

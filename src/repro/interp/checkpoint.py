@@ -6,7 +6,12 @@ the values bound in the environment chain (scalars and parallel locals
 are mutable cells; restore writes the saved values back into the *same*
 cell objects so every live reference sees them), the complete Clock
 ledger, both RNG states (machine and interpreter), buffered ``print``
-output and the tier log.
+output and the tier log.  The Clock state rides through whole: the
+frontier-engine counters and per-sweep traces
+(``Clock.frontier_counts`` / ``Clock.frontier_trace``) are part of
+``dump_state``/``load_state``, so a replayed construct neither loses nor
+double-counts its active-set sweep statistics (they stay excluded from
+the cost fingerprint either way).
 
 Deliberately **not** captured: the machine's dead-PE list and the fault
 plan's fired/counter state.  Hardware health is physical, not program,

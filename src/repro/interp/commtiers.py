@@ -38,11 +38,22 @@ from ..mapping.locality import RefClass
 TIERS = ("local", "news", "spread", "broadcast", "permute", "router")
 
 _ENV_FLAG = "REPRO_NO_COMM_TIERS"
+_FRONTIER_ENV_FLAG = "REPRO_NO_FRONTIER"
 
 
 def tiers_disabled_by_env() -> bool:
     """True when the ``REPRO_NO_COMM_TIERS`` escape hatch is set."""
     return os.environ.get(_ENV_FLAG, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def frontier_disabled_by_env() -> bool:
+    """True when the ``REPRO_NO_FRONTIER`` escape hatch is set."""
+    return os.environ.get(_FRONTIER_ENV_FLAG, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
 
 
 def decide_tier(rc: RefClass, costs: CostTable, *, write: bool, enabled: bool = True) -> str:
@@ -73,27 +84,49 @@ def decide_tier(rc: RefClass, costs: CostTable, *, write: bool, enabled: bool = 
 def charge_tier(ip, ctx, tier: str, rc: RefClass, *, write: bool) -> None:
     """Charge the machine clock for one reference serviced by ``tier``."""
     vps = ip.grid_vpset(ctx.grid.shape)
-    clock = ip.machine.clock
+    charge_tier_at(ip.machine.clock, tier, rc, write=write, vp_ratio=vps.vp_ratio)
+
+
+def charge_tier_at(
+    clock,
+    tier: str,
+    rc: RefClass,
+    *,
+    write: bool,
+    vp_ratio: int,
+    spread_extent: Optional[int] = None,
+) -> None:
+    """Charge one reference serviced by ``tier`` at an explicit VP ratio.
+
+    The frontier engine's compressed sweeps pay for the active VP set
+    only, so they cannot derive the ratio from the grid's VP set; they
+    replay the same charge recipe here against either the real
+    :class:`~repro.machine.cost.Clock` or the frontier estimator (any
+    object with ``charge``/``charge_scan``/``count_tier``), which keeps
+    compressed estimates and compressed charges identical by
+    construction.  ``spread_extent`` overrides the classified extent
+    (delta reductions scan only the changed slice).
+    """
     clock.count_tier(tier)
     if tier == "local":
-        clock.charge("alu", vp_ratio=vps.vp_ratio)
+        clock.charge("alu", vp_ratio=vp_ratio)
     elif tier == "news":
-        clock.charge("news", count=max(1, rc.news_distance), vp_ratio=vps.vp_ratio)
+        clock.charge("news", count=max(1, rc.news_distance), vp_ratio=vp_ratio)
     elif tier == "spread":
         clock.charge_scan(
-            rc.spread_extent,
-            vp_ratio=vps.vp_ratio,
+            spread_extent if spread_extent is not None else rc.spread_extent,
+            vp_ratio=vp_ratio,
             steps_per_level=SPREAD_STEPS_PER_LEVEL,
         )
         if rc.news_distance:
-            clock.charge("news", count=rc.news_distance, vp_ratio=vps.vp_ratio)
+            clock.charge("news", count=rc.news_distance, vp_ratio=vp_ratio)
     elif tier == "broadcast":
         clock.charge("host_cm_latency")
-        clock.charge("broadcast", vp_ratio=vps.vp_ratio)
+        clock.charge("broadcast", vp_ratio=vp_ratio)
     elif tier == "permute":
-        clock.charge("router_permute", vp_ratio=vps.vp_ratio)
+        clock.charge("router_permute", vp_ratio=vp_ratio)
     else:  # router
-        clock.charge("router_send" if write else "router_get", vp_ratio=vps.vp_ratio)
+        clock.charge("router_send" if write else "router_get", vp_ratio=vp_ratio)
 
 
 def shift_descriptor(

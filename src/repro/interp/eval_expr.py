@@ -486,7 +486,7 @@ def eval_gather(ip, node: ast.Index, ctx: ExecContext) -> Value:
         ctx.grid.shape,
         ctx.grid.axis_elems,
         arr.layout,
-        positions=ctx.grid.positions(),
+        positions=ctx.grid.positions,
     )
     tier = charge_ref(ip, ctx, rc, write=False, node=node)
 
@@ -542,7 +542,7 @@ def eval_scatter(
         ctx.grid.shape,
         ctx.grid.axis_elems,
         arr.layout,
-        positions=ctx.grid.positions(),
+        positions=ctx.grid.positions,
     )
     charge_ref(ip, ctx, rc, write=True, node=node)
 

@@ -62,6 +62,7 @@ class Interpreter:
         cse: bool = True,
         plans: bool = True,
         comm_tiers: bool = True,
+        frontier: bool = True,
         log_tiers: bool = False,
         checkpoints: bool = False,
         recovery_policy=None,
@@ -90,6 +91,10 @@ class Interpreter:
         # paths); comm_tiers=False or REPRO_NO_COMM_TIERS=1 restores the
         # router-only servicing of remote references
         self.comm_tiers_enabled = bool(comm_tiers) and not commtiers.tiers_disabled_by_env()
+        # frontier (active-set) sweeps for solve/*solve/*par;
+        # frontier=False or REPRO_NO_FRONTIER=1 restores full sweeps with
+        # bit-identical fingerprints
+        self.frontier_enabled = bool(frontier) and not commtiers.frontier_disabled_by_env()
         # (line, array) -> set of tiers dispatched, for the parity tests
         self.tier_log: Optional[Dict[Tuple[int, str], set]] = {} if log_tiers else None
         self.rng = np.random.default_rng(seed)

@@ -564,55 +564,81 @@ class _GatherPlan:
                     return out if self.view_ok else out.copy()
                 return data[m.idx]
 
-        E._bounds_check(node, subs, view_shape, mask)
+        # compact out-of-bounds probe first: when every subscript is in
+        # range (the overwhelmingly common case) the O(grid) masked check
+        # is provably a no-op and can be skipped on this first execution
+        oob = _oob_masks(subs, view_shape, ctx.grid.shape)
+        scalar_bad = any(
+            not isinstance(s, np.ndarray)
+            and not 0 <= int(s) < view_shape[a]
+            for a, s in enumerate(subs)
+        )
+        if oob is not None or scalar_bad:
+            E._bounds_check(node, subs, view_shape, mask)
         rc = classify_reference(
             subs,
             ctx.grid.shape,
             ctx.grid.axis_elems,
             arr.layout,
-            positions=ctx.grid.positions(),
+            positions=ctx.grid.positions,
         )
         tier = E.charge_ref(ip, ctx, rc, write=False, node=node)
-        idx_arrays = []
-        for a, s in enumerate(subs):
-            if isinstance(s, np.ndarray):
-                clipped = np.clip(s, 0, view_shape[a] - 1)
-            else:
-                clipped = np.full(ctx.grid.shape, int(s), dtype=np.int64)
-            idx_arrays.append(np.broadcast_to(clipped, ctx.grid.shape))
-        result = data[tuple(idx_arrays)]
 
-        if direct and self.names is not None:
-            if not ip.comm_tiers_enabled and tier != "local":
-                # router-only ablation: remote references are serviced by
-                # the full general gather every sweep, exactly as the
-                # tree-walker does — no recipe, no cached index arrays
-                return result
-            sig = _binding_sig(self.names, ctx)
-            if sig is not None:
-                recipe = _build_index_recipe(subs, view_shape, ctx.grid.shape)
-                if (
-                    recipe is not None
-                    and result.size <= _VERIFY_LIMIT
-                    and not np.array_equal(np.asarray(recipe.take(data)), result)
-                ):
-                    recipe = None
-                shift = None
-                if tier == "news":
-                    shift = commtiers.shift_descriptor(
-                        rc, view_shape, ctx.grid.shape
-                    )
-                self._memo = _GatherMemo(
-                    ctx.grid.axes,
-                    sig,
-                    arr,
-                    _oob_masks(subs, view_shape, ctx.grid.shape),
-                    rc,
-                    tuple(idx_arrays),
-                    recipe,
-                    tier,
-                    shift,
+        memo_ok = direct and self.names is not None and (
+            ip.comm_tiers_enabled or tier == "local"
+        )
+        sig = _binding_sig(self.names, ctx) if memo_ok else None
+        recipe = (
+            _build_index_recipe(subs, view_shape, ctx.grid.shape)
+            if sig is not None
+            else None
+        )
+        grid_size = int(np.prod(ctx.grid.shape))
+        idx_tuple: Optional[Tuple[np.ndarray, ...]] = None
+        if recipe is not None and grid_size > _VERIFY_LIMIT:
+            # big grid: serve the first sweep from the recipe too — the
+            # construction is size-independent and verified differentially
+            # on small grids, so materialising full index arrays here
+            # would only duplicate what every later sweep avoids
+            out = recipe.take(data)
+            result = out if self.view_ok else out.copy()
+        else:
+            idx_arrays = []
+            for a, s in enumerate(subs):
+                if isinstance(s, np.ndarray):
+                    clipped = np.clip(s, 0, view_shape[a] - 1)
+                else:
+                    clipped = np.full(ctx.grid.shape, int(s), dtype=np.int64)
+                idx_arrays.append(np.broadcast_to(clipped, ctx.grid.shape))
+            idx_tuple = tuple(idx_arrays)
+            result = data[idx_tuple]
+            if recipe is not None and not np.array_equal(
+                np.asarray(recipe.take(data)), result
+            ):
+                recipe = None
+
+        if direct and self.names is not None and not memo_ok:
+            # router-only ablation: remote references are serviced by
+            # the full general gather every sweep, exactly as the
+            # tree-walker does — no recipe, no cached index arrays
+            return result
+        if sig is not None:
+            shift = None
+            if tier == "news":
+                shift = commtiers.shift_descriptor(
+                    rc, view_shape, ctx.grid.shape
                 )
+            self._memo = _GatherMemo(
+                ctx.grid.axes,
+                sig,
+                arr,
+                oob,
+                rc,
+                idx_tuple,
+                recipe,
+                tier,
+                shift,
+            )
         return result
 
 
@@ -707,7 +733,7 @@ class _ScatterPlan:
             ctx.grid.shape,
             ctx.grid.axis_elems,
             arr.layout,
-            positions=ctx.grid.positions(),
+            positions=ctx.grid.positions,
         )
         tier = E.charge_ref(ip, ctx, rc, write=True, node=node)
         idx_arrays = []
@@ -1491,3 +1517,84 @@ def compile_sched_steps(assignments):
         )
         for pred, assign in assignments
     ]
+
+
+# ---------------------------------------------------------------------------
+# frontier-restricted recipes
+# ---------------------------------------------------------------------------
+#
+# The frontier engine (:mod:`repro.interp.frontier`) evaluates compressed
+# sweeps over *lane vectors* — the active subset of the grid — instead of
+# grid-shaped arrays.  These two helpers are the lane-space analogues of
+# the ``np.ix_`` take recipes above: same bounds-check messages, same
+# clipped-gather semantics, same value casting, but indexed by the active
+# lanes only, so a sweep touching L of N lanes moves O(L) data.
+
+
+def lane_gather(data: np.ndarray, subs, node: ast.Index, live: np.ndarray) -> np.ndarray:
+    """Gather ``data`` at per-lane subscripts (ints or lane arrays).
+
+    Mirrors :func:`repro.interp.eval_expr.eval_gather`'s bounds checking
+    (array subscripts are checked under the ``live`` refinement mask,
+    scalar subscripts unconditionally — identical messages) and its
+    clip-then-index semantics for guarded out-of-range lanes.
+    """
+    idx = []
+    for a, s in enumerate(subs):
+        extent = data.shape[a]
+        if isinstance(s, np.ndarray):
+            bad = ((s < 0) | (s >= extent)) & np.broadcast_to(live, np.broadcast(s, live).shape)
+            if np.any(bad):
+                sb = np.broadcast_to(s, bad.shape)[bad]
+                val = int(sb[0]) if sb.size else -1
+                raise UCRuntimeError(
+                    f"subscript {a} of {node.base!r} out of range "
+                    f"(value {val}, extent {extent})",
+                    node.line,
+                    node.col,
+                )
+            idx.append(np.clip(s, 0, extent - 1))
+        else:
+            if not 0 <= int(s) < extent:
+                raise UCRuntimeError(
+                    f"subscript {a} of {node.base!r} out of range "
+                    f"(value {int(s)}, extent {extent})",
+                    node.line,
+                    node.col,
+                )
+            idx.append(int(s))
+    return data[tuple(idx)]
+
+
+def lane_scatter(data: np.ndarray, subs, value, node: ast.Index):
+    """Scatter ``value`` into ``data`` at per-lane subscripts.
+
+    All lanes are active writers (the frontier engine has already applied
+    the predicate), and the caller guarantees distinct slots (identity
+    target subscripts over distinct axis values), so the §3.4
+    single-assignment collision check is vacuous and skipped.  Returns
+    ``(changed, old, new)`` lane vectors — the change mask seeds the next
+    sweep's frontier and the old/new pair tracks reduction direction.
+    """
+    n = int(subs[0].size) if subs else 0
+    for a, s in enumerate(subs):
+        extent = data.shape[a]
+        bad = (s < 0) | (s >= extent)
+        if np.any(bad):
+            val = int(s[bad][0])
+            raise UCRuntimeError(
+                f"subscript {a} of {node.base!r} out of range "
+                f"(value {val}, extent {extent})",
+                node.line,
+                node.col,
+            )
+    if isinstance(value, np.ndarray):
+        vals = np.broadcast_to(value, (n,))
+    else:
+        vals = np.full(n, value)
+    new = E._cast_array(vals, data.dtype)
+    where = tuple(subs)
+    old = data[where].copy()
+    data[where] = new
+    changed = old != new
+    return changed, old, new

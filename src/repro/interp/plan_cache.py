@@ -7,7 +7,10 @@ index vectors, out-of-bounds masks), so they are cached per
 ``(kind, id(node), grid signature)``:
 
 * ``kind`` separates the compilation entry points ("construct",
-  "solve", "sched", ...);
+  "solve", "sched", ..., plus "frontier" for the active-set sweep
+  analyses of :mod:`repro.interp.frontier` — those cache the compiled
+  charge entries and lane evaluators of an iterated construct, or the
+  fallback sentinel when the body is not frontier-eligible);
 * ``id(node)`` identifies the AST node — each cache entry keeps a strong
   reference to the node so the id cannot be recycled while the entry is
   alive, and a hit re-checks node identity so a recycled id after an
@@ -66,10 +69,16 @@ class PlanCache:
         self._entries.clear()
 
     def stats(self) -> dict:
-        return {
+        out = {
             "size": len(self._entries),
             "capacity": self.capacity,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
         }
+        by_kind: dict = {}
+        for kind, _nid, _sig in self._entries:
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        for kind in sorted(by_kind):
+            out[f"size.{kind}"] = by_kind[kind]
+        return out

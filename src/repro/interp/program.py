@@ -71,6 +71,11 @@ class RunResult:
         )
         #: physical PEs lost to injected faults during the run
         self.dead_pes = sorted(interp.machine.dead_pes)
+        #: frontier-engine counters (constructs, fallbacks, full/compressed
+        #: sweeps, active vs domain lane totals; empty when frontier off)
+        self.frontier: Dict[str, int] = dict(interp.machine.clock.frontier_counts)
+        #: per-compressed-sweep (active, domain) lane counts
+        self.frontier_trace = list(interp.machine.clock.frontier_trace)
 
     def __getitem__(self, name: str) -> Union[int, float, np.ndarray]:
         return self._values[name]
@@ -130,6 +135,15 @@ class UCProgram:
         ``docs/PERFORMANCE.md``).  Set False (or export
         ``REPRO_NO_COMM_TIERS=1``) to service and charge every remote
         reference through the general router.
+    frontier:
+        Run iterated constructs (``solve``/``*solve``/``*par``) with
+        active-set ("frontier") sweeps: after the first full sweep, only
+        the lanes reachable from last sweep's change masks are evaluated
+        and only the active VP set is charged (see "Frontier execution"
+        in ``docs/PERFORMANCE.md``).  Results are bit-identical and the
+        simulated Clock is never higher than with full sweeps.  Set False
+        (or export ``REPRO_NO_FRONTIER=1``) to restore full sweeps with
+        bit-identical fingerprints to the non-frontier build.
     log_tiers:
         Record, per ``(line, array)`` reference site, the set of tiers
         dispatched at run time (``last_interpreter.tier_log``) — used by
@@ -163,6 +177,7 @@ class UCProgram:
         cse: bool = True,
         plans: bool = True,
         comm_tiers: bool = True,
+        frontier: bool = True,
         log_tiers: bool = False,
         faults: Optional[Union[str, FaultPlan]] = None,
         recovery=None,
@@ -179,6 +194,7 @@ class UCProgram:
         self.cse = cse
         self.plans = plans
         self.comm_tiers = comm_tiers
+        self.frontier = frontier
         self.log_tiers = log_tiers
         # parse eagerly: a bad spec should fail at construction, not mid-run
         self.faults = (
@@ -222,6 +238,7 @@ class UCProgram:
             cse=self.cse,
             plans=self.plans,
             comm_tiers=self.comm_tiers,
+            frontier=self.frontier,
             log_tiers=self.log_tiers,
             checkpoints=self.checkpoints or fault_plan is not None,
             recovery_policy=self.recovery,

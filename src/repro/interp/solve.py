@@ -25,6 +25,7 @@ import numpy as np
 
 from ..lang import ast
 from ..lang.errors import UCRuntimeError
+from . import frontier
 from .env import Env
 from .eval_expr import ExecContext, _truthy, eval_expr
 from .plan import compile_solve_assignments
@@ -139,14 +140,39 @@ def _exec_solve_guarded(
             lambda: compile_solve_assignments(assignments),
         )
 
+    # frontier worklist: a lane's readiness (or predicate) can only have
+    # changed if something newly defined since last sweep reaches it
+    # through one of the assignment's affine references into the targets
+    gf = frontier.guarded_frontier(ip, stmt, assignments, inner)
+    enabled_cache: List[Optional[np.ndarray]] = [None] * len(assignments)
+    prev_defined: Optional[Dict[str, np.ndarray]] = None
+
     sweeps = 0
     while True:
         ip.machine.clock.charge("global_or", vp_ratio=vps.vp_ratio)
         ip.machine.clock.charge("host_cm_latency")
+        newly: Optional[Dict[str, np.ndarray]] = None
+        if gf is not None:
+            if prev_defined is not None:
+                newly = {
+                    name: flags & ~prev_defined[name]
+                    for name, flags in defined.items()
+                }
+            prev_defined = {name: flags.copy() for name, flags in defined.items()}
         progress = False
         pending = False
         for k, (pred, assign) in enumerate(assignments):
             ap = plans[k] if plans is not None else None
+            if newly is not None and enabled_cache[k] is not None:
+                # nothing newly defined reaches this assignment: its
+                # predicate, readiness and values are all unchanged, so
+                # no lane can fire that did not fire last sweep
+                cand = gf.candidates(k, newly) & base & ~done[k]
+                if not np.any(cand):
+                    if np.any(enabled_cache[k] & ~done[k]):
+                        pending = True
+                    ip.machine.clock.count_frontier("guarded_skips")
+                    continue
             enabled = base.copy()
             if pred is not None:
                 if ap is not None:
@@ -154,6 +180,7 @@ def _exec_solve_guarded(
                 else:
                     pv = eval_expr(ip, pred, inner)
                 enabled &= np.broadcast_to(np.asarray(_truthy(pv)), inner.grid.shape)
+            enabled_cache[k] = enabled
             remaining = enabled & ~done[k]
             if not np.any(remaining):
                 continue
@@ -180,6 +207,13 @@ def _exec_solve_guarded(
                 )
                 _mark_defined(ip, assign.target, sub, defined)
             done[k] |= ready
+            if newly is not None:
+                # make intra-sweep definitions visible to the remaining
+                # assignments' candidate sets, matching full-sweep order
+                # (an element defined by an earlier assignment can enable
+                # a later one within the same sweep)
+                name = assign.target.base
+                newly[name] = defined[name] & ~prev_defined[name]
         if not progress:
             if pending:
                 raise UCRuntimeError(
@@ -297,25 +331,40 @@ def _exec_solve_star(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
     plans = _plans_for(ip, stmt, inner.grid)
     modified = _modified_names(stmt)
     vps = ip.grid_vpset(inner.grid.shape)
+    sess = frontier.star_session(ip, stmt, inner, "solve")
     sweeps = 0
     while True:
-        before = _snapshot(inner, modified)
-        # the compiler saves intermediate state each sweep to detect the
-        # fixed point — charge one extra ALU pass for the temporaries (§3.6)
-        ip.machine.clock.charge("alu", count=len(modified) or 1, vp_ratio=vps.vp_ratio)
-        _run_blocks_once(ip, stmt, inner, plans)
-        ip.machine.clock.charge("global_or", vp_ratio=vps.vp_ratio)
-        ip.machine.clock.charge("host_cm_latency")
-        after = _snapshot(inner, modified)
-        if _snapshots_equal(before, after):
-            return
+        states = sess.plan_compressed() if sess is not None else None
+        if states is not None:
+            # compressed sweep: evaluate only the lanes whose inputs
+            # changed, charge only the active VP set (guarded to cost
+            # strictly less than the measured full sweep)
+            if not sess.run_compressed(states):
+                return
+            summary = sess.delta_summary()
+        else:
+            before = _snapshot(inner, modified)
+            if sess is not None:
+                sess.full_begin()
+            # the compiler saves intermediate state each sweep to detect the
+            # fixed point — charge one extra ALU pass for the temporaries (§3.6)
+            ip.machine.clock.charge("alu", count=len(modified) or 1, vp_ratio=vps.vp_ratio)
+            _run_blocks_once(ip, stmt, inner, plans)
+            ip.machine.clock.charge("global_or", vp_ratio=vps.vp_ratio)
+            ip.machine.clock.charge("host_cm_latency")
+            after = _snapshot(inner, modified)
+            if sess is not None:
+                sess.full_end()
+            if _snapshots_equal(before, after):
+                return
+            summary = _delta_summary(before, after)
         sweeps += 1
         if sweeps > ip.solve_sweep_limit:
             raise UCRuntimeError(
                 f"*solve exceeded the sweep limit ({ip.solve_sweep_limit}; "
                 "raise via UCProgram(solve_sweep_limit=...) or "
                 "REPRO_SOLVE_SWEEP_LIMIT); still changing each sweep: "
-                f"{_delta_summary(before, after)}",
+                f"{summary}",
                 stmt.line,
                 stmt.col,
             )
@@ -348,7 +397,10 @@ def _snapshot(ctx: ExecContext, names: List[str]):
 
 def _delta_summary(before, after) -> str:
     """Human-readable description of what still moved in the last sweep
-    (the divergence diagnostic of the *solve sweep-limit error)."""
+    (the divergence diagnostic of the *solve sweep-limit error).  Reports
+    the *frontier* of each variable — how many of its elements are still
+    changing — rather than a bare element count, so a diverging solve
+    shows at a glance whether the instability is local or global."""
     parts = []
     for name in sorted(before):
         prev, curr = before[name], after[name]
@@ -358,10 +410,16 @@ def _delta_summary(before, after) -> str:
             if not n:
                 continue
             if np.issubdtype(prev.dtype, np.number):
-                width = np.abs(np.asarray(curr, dtype=np.float64) - prev).max()
-                parts.append(f"{name} ({n} elements, max |delta| {width:g})")
+                width = np.abs(
+                    np.asarray(curr, dtype=np.float64)
+                    - np.asarray(prev, dtype=np.float64)
+                ).max()
+                parts.append(
+                    f"{name} (frontier {n} of {prev.size} elements, "
+                    f"max |delta| {width:g})"
+                )
             else:
-                parts.append(f"{name} ({n} elements)")
+                parts.append(f"{name} (frontier {n} of {prev.size} elements)")
         elif prev != curr:
             parts.append(f"{name} ({prev!r} -> {curr!r})")
     return "; ".join(parts) if parts else "nothing (oscillation across sweeps?)"

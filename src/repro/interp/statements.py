@@ -369,22 +369,38 @@ def exec_par(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
         _run_blocks_once(ip, stmt, inner, plans)
         return
     _check_starred(stmt)
+    from . import frontier
+
+    sess = frontier.star_session(ip, stmt, inner, "par")
     sweeps = 0
     vps = ip.grid_vpset(inner.grid.shape)
     while True:
-        with ip.cse_arm():
-            masks, _ = _block_masks(ip, stmt, inner, plans)
-            ip.machine.clock.charge("global_or", vp_ratio=vps.vp_ratio)
-            ip.machine.clock.charge("host_cm_latency")
-            if not any(np.any(m) for m in masks):
+        states = sess.plan_compressed() if sess is not None else None
+        if states is not None:
+            # compressed sweep over the active lanes only; the cached
+            # per-arm predicate masks (refreshed where re-evaluated)
+            # decide termination exactly as the full union would
+            if not sess.run_compressed(states):
                 return
-            for k, (block, mask) in enumerate(zip(stmt.blocks, masks)):
-                if np.any(mask):
-                    sub = inner.with_mask(mask)
-                    if plans is not None:
-                        plans.stmts[k](ip, sub)
-                    else:
-                        exec_stmt(ip, block.stmt, sub)
+        else:
+            if sess is not None:
+                sess.full_begin()
+            with ip.cse_arm():
+                masks, _ = _block_masks(ip, stmt, inner, plans)
+                ip.machine.clock.charge("global_or", vp_ratio=vps.vp_ratio)
+                ip.machine.clock.charge("host_cm_latency")
+                if not any(np.any(m) for m in masks):
+                    return
+                for k, (block, mask) in enumerate(zip(stmt.blocks, masks)):
+                    if np.any(mask):
+                        sub = inner.with_mask(mask)
+                        if plans is not None:
+                            plans.stmts[k](ip, sub)
+                        else:
+                            exec_stmt(ip, block.stmt, sub)
+            if sess is not None:
+                sess.full_end()
+                sess.note_par_masks(masks)
         sweeps += 1
         if sweeps > MAX_SWEEPS:
             raise UCRuntimeError(

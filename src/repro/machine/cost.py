@@ -45,6 +45,15 @@ class Clock:
         #: only — deliberately excluded from :meth:`fingerprint` so both
         #: engines stay comparable whatever their dispatch bookkeeping.
         self.tier_counts: Dict[str, int] = {}
+        #: frontier-engine counters ('constructs'/'fallbacks'/'full_sweeps'/
+        #: 'compressed_sweeps'/'active_lanes'/'domain_lanes'/...).  Like
+        #: ``tier_counts`` these are observability only and excluded from
+        #: :meth:`fingerprint`, but they checkpoint/restore with the clock
+        #: so replayed sweeps are not double-counted.
+        self.frontier_counts: Dict[str, int] = {}
+        #: per-compressed-sweep ``(active, domain)`` lane counts, in
+        #: execution order — the --stats shrink-ratio report reads this.
+        self.frontier_trace: List[Tuple[int, int]] = []
         #: fault-injection observer, installed by
         #: :meth:`repro.machine.machine.Machine.install_faults`; called as
         #: ``hook(kind, count)`` before each charge is applied.  ``None``
@@ -89,6 +98,17 @@ class Clock:
     def count_tier(self, tier: str) -> None:
         """Record that one array reference was dispatched to ``tier``."""
         self.tier_counts[tier] = self.tier_counts.get(tier, 0) + 1
+
+    def count_frontier(self, key: str, n: int = 1) -> None:
+        """Bump one frontier-engine counter (observability only)."""
+        self.frontier_counts[key] = self.frontier_counts.get(key, 0) + n
+
+    def trace_frontier(self, active: int, domain: int) -> None:
+        """Record one compressed sweep's active-set size vs its domain."""
+        self.frontier_trace.append((int(active), int(domain)))
+        self.count_frontier("compressed_sweeps")
+        self.count_frontier("active_lanes", int(active))
+        self.count_frontier("domain_lanes", int(domain))
 
     def charge_scan(self, n_vps: int, *, vp_ratio: int = 1, steps_per_level: int = 1) -> float:
         """Charge one log-depth scan/reduction over ``n_vps`` processors."""
@@ -176,6 +196,8 @@ class Clock:
             "region_stack": list(self._region_stack),
             "regions": dict(self.regions),
             "tier_counts": dict(self.tier_counts),
+            "frontier_counts": dict(self.frontier_counts),
+            "frontier_trace": list(self.frontier_trace),
         }
 
     def load_state(self, state: dict) -> None:
@@ -188,6 +210,8 @@ class Clock:
         self._region_stack = list(state["region_stack"])
         self.regions = dict(state["regions"])
         self.tier_counts = dict(state["tier_counts"])
+        self.frontier_counts = dict(state.get("frontier_counts", {}))
+        self.frontier_trace = list(state.get("frontier_trace", []))
 
     # -- snapshots ---------------------------------------------------------
 
@@ -208,6 +232,8 @@ class Clock:
         self._region_stack.clear()
         self.regions.clear()
         self.tier_counts.clear()
+        self.frontier_counts.clear()
+        self.frontier_trace.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Clock(t={self._time_us:.1f}us)"

@@ -21,6 +21,17 @@ if TYPE_CHECKING:  # pragma: no cover
     from .machine import Machine
 
 
+def ratio_for(n_vps: int, machine: "Machine") -> int:
+    """VP ratio a set of ``n_vps`` virtual processors would run at,
+    without allocating (or charging for) an actual VP set.
+
+    The frontier engine charges compressed sweeps by the *active* VP
+    count; going through :meth:`Machine.vpset` would charge a spurious
+    ``alloc`` per distinct active-set size.
+    """
+    return max(1, math.ceil(max(1, int(n_vps)) / machine.n_live_pes))
+
+
 class VPSet:
     """An n-dimensional grid of virtual processors on a machine.
 

@@ -80,16 +80,55 @@ def _constant_of(arr: np.ndarray) -> Optional[int]:
 
 def _axis_verdict(
     sub: Subscript,
-    positions: Sequence[np.ndarray],
+    positions,
     used: List[bool],
+    grid_shape: Tuple[int, ...],
 ) -> _AxisVerdict:
-    """Classify one subscript against the grid position coordinates."""
+    """Classify one subscript against the grid position coordinates.
+
+    ``positions`` is a zero-argument callable yielding the coordinate
+    grids (``np.indices``) — only the slow path below materialises them.
+    """
     if not isinstance(sub, np.ndarray):
         return _AxisVerdict("uniform", shift=int(sub))
+    # Stride fast path: a broadcast view varying along at most one grid
+    # axis (axis_values grids, and anything sliced from them) answers the
+    # full-grid constancy probes from its 1-D underlying vector.  For any
+    # other axis g' the probe ``sub - pos[g']`` varies along the view's
+    # own axis, so only the varying axis can match — the verdict is
+    # identical to the materialised comparison at O(extent) cost.
+    if sub.ndim == len(grid_shape) and sub.shape == tuple(grid_shape):
+        varying = [
+            g
+            for g, st in enumerate(sub.strides)
+            if st != 0 and sub.shape[g] > 1
+        ]
+        if len(varying) <= 1:
+            line = sub[
+                tuple(
+                    slice(None) if g in varying else 0
+                    for g in range(sub.ndim)
+                )
+            ].reshape(-1)
+            const = _constant_of(line)
+            if const is not None:
+                return _AxisVerdict("uniform", shift=const)
+            g = varying[0]
+            if not used[g]:
+                coords = np.arange(line.size, dtype=np.int64)
+                diff = _constant_of(line - coords)
+                if diff is not None:
+                    return _AxisVerdict("identity", grid_axis=g, shift=diff)
+                summ = _constant_of(line + coords)
+                if summ is not None:
+                    return _AxisVerdict(
+                        "mirror", grid_axis=g, mirror_param=summ
+                    )
+            return _AxisVerdict("data")
     const = _constant_of(sub)
     if const is not None:
         return _AxisVerdict("uniform", shift=const)
-    for g, pos in enumerate(positions):
+    for g, pos in enumerate(positions()):
         if used[g]:
             continue
         diff = _constant_of(sub - pos)
@@ -107,7 +146,7 @@ def classify_reference(
     axis_elems: Sequence[str],
     layout: Layout,
     *,
-    positions: Optional[Sequence[np.ndarray]] = None,
+    positions=None,
 ) -> RefClass:
     """Classify an array read.
 
@@ -122,25 +161,53 @@ def classify_reference(
     layout:
         The referenced array's layout.
     positions:
-        Pre-computed ``np.indices(grid_shape)`` (optional, cached by the
-        interpreter).
+        Pre-computed ``np.indices(grid_shape)`` — either the list itself
+        or a zero-argument callable returning it (e.g. the grid context's
+        cached ``positions`` method).  Passing the callable keeps the
+        O(grid) coordinate arrays unmaterialised when every subscript
+        takes the stride fast path, which is the common case.
     """
     if not grid_shape:
         # host (scalar) context: the front end reads one element
         return RefClass("broadcast", detail="host read")
-    if positions is None:
-        positions = list(np.indices(grid_shape))
+    _pos_cache: List = []
+
+    def pos_fn():
+        if not _pos_cache:
+            if positions is None:
+                _pos_cache.append(list(np.indices(grid_shape)))
+            elif callable(positions):
+                _pos_cache.append(list(positions()))
+            else:
+                _pos_cache.append(list(positions))
+        return _pos_cache[0]
 
     used = [False] * len(grid_shape)
     verdicts: List[_AxisVerdict] = []
     for sub in subs:
-        v = _axis_verdict(sub, positions, used)
+        v = _axis_verdict(sub, pos_fn, used, grid_shape)
         if v.kind == "data":
             return RefClass("router", detail="data-dependent subscript", axes=None)
         if v.grid_axis >= 0:
             used[v.grid_axis] = True
         verdicts.append(v)
 
+    return _from_verdicts(verdicts, used, grid_shape, axis_elems, layout)
+
+
+def _from_verdicts(
+    verdicts: List[_AxisVerdict],
+    used: List[bool],
+    grid_shape: Tuple[int, ...],
+    axis_elems: Sequence[str],
+    layout: Layout,
+) -> RefClass:
+    """Turn per-subscript axis verdicts into the final :class:`RefClass`.
+
+    Shared between the numeric classifier above and the analytic
+    :func:`classify_affine` fast path below — both produce the same
+    verdict structures, so the tier decision is identical.
+    """
     axes: Tuple[Tuple, ...] = tuple(
         ("u", v.shift)
         if v.kind == "uniform"
@@ -259,7 +326,7 @@ def classify_write(
     axis_elems: Sequence[str],
     layout: Layout,
     *,
-    positions: Optional[Sequence[np.ndarray]] = None,
+    positions=None,
 ) -> RefClass:
     """Classify an array write.
 
@@ -272,5 +339,77 @@ def classify_write(
     )
     if rc.kind in ("broadcast", "spread"):
         # a non-injective write pattern goes through the router
+        return RefClass("router", detail=f"write: {rc.detail}", axes=rc.axes)
+    return rc
+
+
+def classify_affine(
+    descs: Sequence[Tuple],
+    grid_shape: Tuple[int, ...],
+    axis_elems: Sequence[str],
+    layout: Layout,
+) -> RefClass:
+    """Classify a reference whose subscripts are *known* single-axis affine.
+
+    ``descs`` holds one entry per subscript:
+
+    * ``('u', value)`` — a uniform (grid-constant) subscript;
+    * ``('a', grid_axis, values)`` — the subscript equals ``values[k]`` at
+      coordinate ``k`` of ``grid_axis`` and is constant along every other
+      grid axis (``values`` is the 1-D int array of realised values, any
+      offset already applied).
+
+    This is the O(extent) analogue of :func:`classify_reference`: because
+    each subscript varies along at most one grid axis, the full-grid
+    constancy probes (``sub - pos[g]`` / ``sub + pos[g]``) collapse to 1-D
+    comparisons against ``arange`` — a subscript varying along axis ``g``
+    cannot be constant relative to any other axis, and a grid-constant one
+    is uniform outright.  The verdicts are therefore *identical* to what
+    the numeric classifier would return on the materialised subscript
+    arrays, at a fraction of the cost.  The frontier engine's sweep
+    analysis uses this to price references without building full-grid
+    subscripts (see ``repro.interp.frontier``).
+    """
+    if not grid_shape:
+        return RefClass("broadcast", detail="host read")
+    used = [False] * len(grid_shape)
+    verdicts: List[_AxisVerdict] = []
+    for desc in descs:
+        if desc[0] == "u":
+            verdicts.append(_AxisVerdict("uniform", shift=int(desc[1])))
+            continue
+        _tag, g, vals = desc
+        arr = np.asarray(vals)
+        const = _constant_of(arr)
+        if const is not None:
+            verdicts.append(_AxisVerdict("uniform", shift=const))
+            continue
+        v = _AxisVerdict("data")
+        if not used[g]:
+            coords = np.arange(arr.size, dtype=arr.dtype)
+            diff = _constant_of(arr - coords)
+            if diff is not None:
+                v = _AxisVerdict("identity", grid_axis=g, shift=diff)
+            else:
+                summ = _constant_of(arr + coords)
+                if summ is not None:
+                    v = _AxisVerdict("mirror", grid_axis=g, mirror_param=summ)
+        if v.kind == "data":
+            return RefClass("router", detail="data-dependent subscript", axes=None)
+        used[g] = True
+        verdicts.append(v)
+
+    return _from_verdicts(verdicts, used, grid_shape, axis_elems, layout)
+
+
+def classify_write_affine(
+    descs: Sequence[Tuple],
+    grid_shape: Tuple[int, ...],
+    axis_elems: Sequence[str],
+    layout: Layout,
+) -> RefClass:
+    """Write-side :func:`classify_affine` (same remap as classify_write)."""
+    rc = classify_affine(descs, grid_shape, axis_elems, layout)
+    if rc.kind in ("broadcast", "spread"):
         return RefClass("router", detail=f"write: {rc.detail}", axes=rc.axes)
     return rc
