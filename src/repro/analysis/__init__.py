@@ -1,0 +1,25 @@
+"""Whole-program static analysis for UC programs (``repro lint``).
+
+The analyzer proves — ahead of any run — the properties the paper's
+runtime enforces dynamically: single assignment under ``par`` (§3.4),
+properness of ``solve`` equation sets (§3.6), and the communication
+tier every remote reference will be serviced by (§4).  Verdicts are
+surfaced as :class:`Diagnostic` objects with stable codes (UC1xx races,
+UC2xx solve, UC3xx communication, UC4xx hygiene), and the exact subset
+doubles as the claim set the runtime sanitizer
+(:class:`~repro.analysis.sanitize.Sanitizer`, ``REPRO_SANITIZE=1``)
+holds both engines to.
+"""
+
+from .diagnostics import CODES, Diagnostic, LintReport
+from .linter import build_verdicts, lint_program
+from .sanitize import Sanitizer
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "LintReport",
+    "Sanitizer",
+    "build_verdicts",
+    "lint_program",
+]

@@ -1,0 +1,152 @@
+"""UC3xx: predicted communication tiers and the maps that improve them.
+
+Every statically-classified reference is pushed through the *same*
+:func:`repro.interp.commtiers.decide_tier` the engines use, so the lint
+names the tier the machine will actually charge:
+
+* ``router`` traffic is a warning (UC301) — with a concrete map
+  suggestion when the pattern is a transpose or a constant shift;
+* ``spread`` (UC302), ``news`` (UC303) and ``broadcast`` (UC304) are
+  informational: cheap, but each has a map that makes it cheaper.
+
+References already demoted to ``local`` — or promoted to the
+precomputed ``permute`` tier by an active map — produce no diagnostic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from ..machine.config import CostTable
+from .context import AnalysisModel
+from .diagnostics import Diagnostic
+from .staticref import A, SiteVerdict
+
+
+def _text(node) -> str:
+    from ..compiler.cstar_gen import expr_to_text  # lazy: avoid import cycle
+
+    return expr_to_text(node)
+
+
+def analyze_comm(
+    model: AnalysisModel,
+    verdicts: Sequence[SiteVerdict],
+    costs: CostTable,
+    file: str,
+) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    seen: Set[Tuple[int, int, str, str, bool]] = set()
+    for v in verdicts:
+        for write in (False, True):
+            if write and not v.ref.write:
+                continue
+            if not write and not v.ref.read:
+                continue
+            tier = v.tier(costs, write=write)
+            if tier in (None, "local", "permute"):
+                continue
+            d = _diag_for(model, v, tier, write, file)
+            if d is None:
+                continue
+            key = (d.line, d.col, v.ref.node.base, d.code, write)
+            if key in seen:
+                continue
+            seen.add(key)
+            diags.append(d)
+    return diags
+
+
+def _diag_for(
+    model: AnalysisModel, v: SiteVerdict, tier: str, write: bool, file: str
+):
+    node = v.ref.node
+    rc = v.rc_write if write else v.rc
+    text = _text(node)
+    role = "written through" if write else "serviced by"
+    if tier == "router":
+        hint = ""
+        if rc is not None and rc.axes is None:
+            hint = (
+                "data-dependent subscripts need the general router; index "
+                "with affine expressions of the construct elements to enable "
+                "a cheaper tier"
+            )
+        elif rc is not None and "permutes the grid alignment" in rc.detail:
+            hint = (
+                f"add a transposing permute map for {node.base!r} so {text} "
+                "becomes a precomputed permutation (docs/LANGUAGE.md, map "
+                "sections)"
+            )
+        elif rc is not None and rc.kind == "news":
+            hint = (
+                f"the constant shift is longer than one router cycle; a "
+                f"permute map storing {text} locally removes it entirely"
+            )
+        return Diagnostic(
+            code="UC301",
+            severity="warning",
+            message=(
+                f"{text} is {role} the general router"
+                + (f" ({rc.detail})" if rc is not None and rc.detail else "")
+            ),
+            line=node.line,
+            col=node.col,
+            file=file,
+            hint=hint,
+        )
+    if tier == "spread":
+        unused = _unused_elems(model, v)
+        which = ", ".join(unused) if unused else "a fixed row/column"
+        return Diagnostic(
+            code="UC302",
+            severity="info",
+            message=(
+                f"{text} is constant along {which}: serviced by a log-depth "
+                "spread"
+            ),
+            line=node.line,
+            col=node.col,
+            file=file,
+            hint=f"copy {node.base!r} along {which} to avoid spreading {text}",
+        )
+    if tier == "news":
+        dist = rc.news_distance if rc is not None else 0
+        return Diagnostic(
+            code="UC303",
+            severity="info",
+            message=f"{text} is a NEWS shift of {dist} hop(s)",
+            line=node.line,
+            col=node.col,
+            file=file,
+            hint=(
+                f"permute {node.base!r} with offset {dist} so that {text} is "
+                "stored locally"
+            ),
+        )
+    if tier == "broadcast":
+        return Diagnostic(
+            code="UC304",
+            severity="info",
+            message=f"{text} is uniform across the grid (front-end broadcast)",
+            line=node.line,
+            col=node.col,
+            file=file,
+            hint="",
+        )
+    return None
+
+
+def _unused_elems(model: AnalysisModel, v: SiteVerdict) -> List[str]:
+    used = {s.g for s in v.subvals if s.kind == A}
+    layout = (
+        model.layouts.get(v.ref.node.base) if v.ref.node.base in model.layouts else None
+    )
+    out: List[str] = []
+    for g, axis in enumerate(v.ref.axes):
+        if g in used or axis.extent <= 1:
+            continue
+        if layout is not None and layout.copy_elem == axis.elem:
+            continue
+        out.append(axis.elem)
+    return out

@@ -1,0 +1,383 @@
+"""The analysis walker: one traversal, one model, many passes.
+
+Walks a checked program exactly the way the interpreter executes it —
+``par``/``solve``/``oneof`` (and reductions) append grid axes, ``seq``
+binds its elements as run-time scalars, inner bindings shadow outer ones
+— and records every array reference, every assignment inside a parallel
+construct and every construct site together with the grid context in
+force at that point.  The race / solve / communication / hygiene passes
+all consume this one :class:`AnalysisModel`, so they agree with each
+other and with the runtime classifiers about what the grid looks like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lang import ast
+from ..lang.errors import UCSemanticError
+from ..lang.scope import IndexSetValue
+from ..lang.semantics import ProgramInfo, _ConstEvaluator
+from ..mapping.layout import LayoutTable
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One grid axis: the bound element, its set and the element values."""
+
+    elem: str
+    set_name: str
+    values: Tuple[int, ...]
+
+    @property
+    def extent(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class _State:
+    """Walker state at one point of the program."""
+
+    axes: Tuple[Axis, ...] = ()
+    #: element identifier -> grid axis it is currently bound to
+    bind: Dict[str, int] = field(default_factory=dict)
+    #: seq-bound elements (run-time scalars): element -> set name
+    scalars: Dict[str, str] = field(default_factory=dict)
+    #: True when a mask / condition / iteration count may exclude lanes
+    guarded: bool = False
+    construct: Optional["ConstructSite"] = None
+    #: grid rank at entry of the outermost enclosing reduction (None when
+    #: not inside one) — the processor optimization (§4) may re-evaluate
+    #: reduction operands on the reduction axes alone
+    red_base: Optional[int] = None
+
+
+@dataclass
+class RefSite:
+    """One array reference inside a parallel grid."""
+
+    node: ast.Index
+    write: bool
+    read: bool  # op-assign targets are read *and* written
+    axes: Tuple[Axis, ...]
+    bind: Dict[str, int]
+    scalars: Dict[str, str]
+    guarded: bool
+    construct: Optional["ConstructSite"]
+    #: see _State.red_base
+    red_base: Optional[int] = None
+
+
+@dataclass
+class AssignSite:
+    """One assignment expression inside a parallel construct."""
+
+    assign: ast.Assign
+    axes: Tuple[Axis, ...]
+    bind: Dict[str, int]
+    scalars: Dict[str, str]
+    guarded: bool
+    construct: "ConstructSite"
+
+
+@dataclass
+class ConstructSite:
+    """One ``par``/``solve``/``oneof`` construct with its full grid."""
+
+    stmt: ast.UCStmt
+    axes: Tuple[Axis, ...]  # outer axes + this construct's own
+    bind: Dict[str, int]
+    scalars: Dict[str, str]
+    guarded: bool
+    assigns: List[AssignSite] = field(default_factory=list)
+
+    @property
+    def kind(self) -> str:
+        return self.stmt.kind
+
+
+@dataclass
+class AnalysisModel:
+    """Everything the lint passes need, gathered in one walk."""
+
+    info: ProgramInfo
+    layouts: LayoutTable
+    refs: List[RefSite] = field(default_factory=list)
+    constructs: List[ConstructSite] = field(default_factory=list)
+    #: every index-set declaration seen (top-level and block-local)
+    set_decls: List[ast.IndexSetDecl] = field(default_factory=list)
+    used_sets: Set[str] = field(default_factory=set)
+    #: (construct stmt, element) pairs where a binding hid an outer one
+    shadows: List[Tuple[ast.UCStmt, str]] = field(default_factory=list)
+    #: block-local arrays with constant dims (lookups fall back here)
+    local_arrays: Dict[str, Tuple[str, Tuple[int, ...]]] = field(default_factory=dict)
+    #: scalar variables declared in host context (grid-uniform at run time)
+    host_scalars: Set[str] = field(default_factory=set)
+    #: scalar variables declared inside a grid (per-VP parallel locals)
+    vp_locals: Set[str] = field(default_factory=set)
+
+    def array_dims(self, name: str) -> Optional[Tuple[int, ...]]:
+        entry = self.info.arrays.get(name) or self.local_arrays.get(name)
+        return entry[1] if entry is not None else None
+
+    def is_array(self, name: str) -> bool:
+        return name in self.info.arrays or name in self.local_arrays
+
+
+def build_model(info: ProgramInfo, layouts: LayoutTable) -> AnalysisModel:
+    """Walk the program once and return the shared analysis model."""
+    model = AnalysisModel(info=info, layouts=layouts)
+    walker = _Walker(model)
+    program = info.program
+    for decl in program.decls:
+        if isinstance(decl, ast.IndexSetDecl):
+            model.set_decls.append(decl)
+            if decl.spec is not None and decl.spec.kind == "alias":
+                model.used_sets.add(decl.spec.alias)
+    for section in program.maps:
+        model.used_sets.update(section.index_sets)
+        for mdecl in section.decls:
+            model.used_sets.update(mdecl.index_sets)
+    host = _State()
+    if program.main is not None:
+        walker.stmt(program.main, host)
+    for func in program.funcs:
+        walker.stmt(func.body, host)
+    return model
+
+
+class _Walker:
+    def __init__(self, model: AnalysisModel) -> None:
+        self.model = model
+        self.info = model.info
+        #: index sets in scope (top-level + block-local declarations)
+        self.sets: Dict[str, IndexSetValue] = dict(model.info.index_sets)
+        self.consts = _ConstEvaluator(model.info.constants)
+
+    # -- statements ------------------------------------------------------------
+
+    def stmt(self, s: ast.Stmt, st: _State) -> None:
+        if isinstance(s, ast.Block):
+            for child in s.stmts:
+                self.stmt(child, st)
+        elif isinstance(s, ast.DeclGroup):
+            for child in s.decls:
+                self.stmt(child, st)
+        elif isinstance(s, ast.VarDecl):
+            self._var_decl(s, st)
+        elif isinstance(s, ast.IndexSetDecl):
+            self._set_decl(s)
+        elif isinstance(s, ast.ExprStmt):
+            self.expr(s.expr, st)
+        elif isinstance(s, ast.If):
+            self.expr(s.cond, st)
+            inner = replace(st, guarded=True)
+            self.stmt(s.then, inner)
+            if s.els is not None:
+                self.stmt(s.els, inner)
+        elif isinstance(s, ast.While):
+            self.expr(s.cond, st)
+            self.stmt(s.body, replace(st, guarded=True))
+        elif isinstance(s, ast.DoWhile):
+            # a do-while body runs at least once: keep the outer guard
+            self.stmt(s.body, st)
+            self.expr(s.cond, st)
+        elif isinstance(s, ast.For):
+            for e in (s.init, s.cond, s.step):
+                if e is not None:
+                    self.expr(e, st)
+            self.stmt(s.body, replace(st, guarded=True))
+        elif isinstance(s, ast.Return):
+            if s.value is not None:
+                self.expr(s.value, st)
+        elif isinstance(s, ast.UCStmt):
+            self._construct(s, st)
+        # EmptyStmt / Break / Continue: nothing to record
+
+    def _var_decl(self, s: ast.VarDecl, st: _State) -> None:
+        if not s.dims:
+            (self.model.vp_locals if st.axes else self.model.host_scalars).add(s.name)
+        if s.dims:
+            try:
+                dims = tuple(self.consts.eval(d) for d in s.dims)
+            except UCSemanticError:
+                dims = None
+            if dims is not None and s.name not in self.info.arrays:
+                self.model.local_arrays[s.name] = (s.ctype, dims)
+        if s.init is not None:
+            self.expr(s.init, st)
+
+    def _set_decl(self, s: ast.IndexSetDecl) -> None:
+        self.model.set_decls.append(s)
+        spec = s.spec
+        try:
+            if spec.kind == "range":
+                lo, hi = self.consts.eval(spec.lo), self.consts.eval(spec.hi)
+                values: Tuple[int, ...] = tuple(range(lo, hi + 1))
+            elif spec.kind == "listing":
+                values = tuple(self.consts.eval(item) for item in spec.items)
+            else:
+                self.model.used_sets.add(spec.alias)
+                base = self.sets.get(spec.alias)
+                if base is None:
+                    return
+                values = base.values
+        except UCSemanticError:
+            return
+        self.sets[s.set_name] = IndexSetValue(s.set_name, s.elem_name, values)
+
+    def _construct(self, stmt: ast.UCStmt, st: _State) -> None:
+        self.model.used_sets.update(stmt.index_sets)
+        if stmt.kind == "seq":
+            bind = dict(st.bind)
+            scalars = dict(st.scalars)
+            for name in stmt.index_sets:
+                isv = self.sets.get(name)
+                if isv is None:
+                    continue
+                if isv.elem_name in bind or isv.elem_name in scalars:
+                    self.model.shadows.append((stmt, isv.elem_name))
+                scalars[isv.elem_name] = name
+                bind.pop(isv.elem_name, None)
+            inner = replace(st, bind=bind, scalars=scalars)
+            self._arms(stmt, inner, arm_guard=lambda blk: blk.pred is not None)
+            return
+
+        # par / solve / oneof (and the iterating * variants): the grid is
+        # extended exactly like GridContext.extend — axes are appended and
+        # a rebound element simply points at its newest axis
+        axes = list(st.axes)
+        bind = dict(st.bind)
+        scalars = dict(st.scalars)
+        for name in stmt.index_sets:
+            isv = self.sets.get(name)
+            if isv is None:
+                continue
+            if isv.elem_name in bind or isv.elem_name in scalars:
+                self.model.shadows.append((stmt, isv.elem_name))
+            bind[isv.elem_name] = len(axes)
+            axes.append(Axis(isv.elem_name, name, tuple(isv.values)))
+            scalars.pop(isv.elem_name, None)
+        site = ConstructSite(
+            stmt=stmt,
+            axes=tuple(axes),
+            bind=bind,
+            scalars=scalars,
+            guarded=st.guarded,
+        )
+        self.model.constructs.append(site)
+        inner = _State(tuple(axes), bind, scalars, st.guarded, site)
+        # only a plain par's unconditional arm runs unmasked: solve masks
+        # by readiness, oneof runs one random arm, * variants iterate
+        always_masked = stmt.star or stmt.kind in ("solve", "oneof")
+        self._arms(
+            stmt, inner, arm_guard=lambda blk: always_masked or blk.pred is not None
+        )
+
+    def _arms(self, stmt: ast.UCStmt, inner: _State, arm_guard) -> None:
+        for block in stmt.blocks:
+            if block.pred is not None:
+                self.expr(block.pred, inner)
+            guarded = inner.guarded or arm_guard(block)
+            self.stmt(block.stmt, replace(inner, guarded=guarded))
+        if stmt.others is not None:
+            self.stmt(stmt.others, replace(inner, guarded=True))
+
+    # -- expressions -----------------------------------------------------------
+
+    def expr(self, e: ast.Expr, st: _State) -> None:
+        if isinstance(e, ast.Index):
+            self._ref(e, st, write=False, read=True)
+            for sub in e.subs:
+                self.expr(sub, st)
+        elif isinstance(e, ast.Unary):
+            self.expr(e.operand, st)
+        elif isinstance(e, ast.Binary):
+            self.expr(e.left, st)
+            if e.op in ("&&", "||"):
+                # the right side only evaluates where the left leaves it live
+                self.expr(e.right, replace(st, guarded=True))
+            else:
+                self.expr(e.right, st)
+        elif isinstance(e, ast.Ternary):
+            self.expr(e.cond, st)
+            inner = replace(st, guarded=True)
+            self.expr(e.then, inner)
+            self.expr(e.els, inner)
+        elif isinstance(e, ast.Call):
+            for a in e.args:
+                self.expr(a, st)
+        elif isinstance(e, ast.Assign):
+            self._assign(e, st)
+        elif isinstance(e, ast.IncDec):
+            one = ast.IntLit(line=e.line, col=e.col, value=1)
+            op = "+" if e.op == "++" else "-"
+            self._assign(
+                ast.Assign(line=e.line, col=e.col, target=e.target, op=op, value=one),
+                st,
+            )
+        elif isinstance(e, ast.Reduction):
+            self._reduction(e, st)
+        # literals / names carry no reference structure
+
+    def _assign(self, e: ast.Assign, st: _State) -> None:
+        if st.construct is not None and st.axes:
+            st.construct.assigns.append(
+                AssignSite(
+                    assign=e,
+                    axes=st.axes,
+                    bind=dict(st.bind),
+                    scalars=dict(st.scalars),
+                    guarded=st.guarded,
+                    construct=st.construct,
+                )
+            )
+        if isinstance(e.target, ast.Index):
+            self._ref(e.target, st, write=True, read=bool(e.op))
+            for sub in e.target.subs:
+                self.expr(sub, st)
+        self.expr(e.value, st)
+
+    def _reduction(self, e: ast.Reduction, st: _State) -> None:
+        self.model.used_sets.update(e.index_sets)
+        axes = list(st.axes)
+        bind = dict(st.bind)
+        scalars = dict(st.scalars)
+        for name in e.index_sets:
+            isv = self.sets.get(name)
+            if isv is None:
+                continue
+            if isv.elem_name in bind or isv.elem_name in scalars:
+                self.model.shadows.append((e, isv.elem_name))  # type: ignore[arg-type]
+            bind[isv.elem_name] = len(axes)
+            axes.append(Axis(isv.elem_name, name, tuple(isv.values)))
+            scalars.pop(isv.elem_name, None)
+        red_base = st.red_base if st.red_base is not None else len(st.axes)
+        inner = _State(
+            tuple(axes), bind, scalars, st.guarded, st.construct, red_base
+        )
+        for arm in e.arms:
+            if arm.pred is not None:
+                self.expr(arm.pred, inner)
+            guarded = inner.guarded or arm.pred is not None
+            self.expr(arm.expr, replace(inner, guarded=guarded))
+        if e.others is not None:
+            self.expr(e.others, replace(inner, guarded=True))
+
+    def _ref(self, node: ast.Index, st: _State, *, write: bool, read: bool) -> None:
+        if not st.axes or not self.model.is_array(node.base):
+            return
+        self.model.refs.append(
+            RefSite(
+                node=node,
+                write=write,
+                read=read,
+                axes=st.axes,
+                bind=dict(st.bind),
+                scalars=dict(st.scalars),
+                guarded=st.guarded,
+                construct=st.construct,
+                red_base=st.red_base,
+            )
+        )

@@ -1,0 +1,150 @@
+"""The structured diagnostic model behind ``repro lint``.
+
+Every finding the analyzer can produce is a :class:`Diagnostic` with a
+stable code, a severity, a source position and (where the analysis can
+compute one) a concrete fix-it hint.  Codes are grouped by area:
+
+========  ==================================================================
+UC0xx     front-end failures surfaced as diagnostics (syntax / semantics)
+UC1xx     par races — violations of the single-assignment rule (§3.4)
+UC2xx     solve convergence — proper-equation checks (§3.6)
+UC3xx     communication tiers — references the router must service (§4)
+UC4xx     hygiene — unused index sets, shadowing, dead branches
+========  ==================================================================
+
+The full table lives in ``docs/ANALYSIS.md``.  :class:`LintReport`
+aggregates the diagnostics of one program and knows how to render itself
+as human-readable text or JSON and how to map onto a process exit code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: severity order, least to most severe
+SEVERITIES = ("info", "warning", "error")
+
+#: code -> short title (the one-line meaning; details in docs/ANALYSIS.md)
+CODES = {
+    "UC001": "syntax error",
+    "UC002": "semantic error",
+    "UC101": "par write-write race (distinct values proven)",
+    "UC102": "possible par write-write race",
+    "UC103": "overlapping writes from distinct par statements",
+    "UC104": "subscript provably out of range",
+    "UC201": "solve dependence cycle (not forward-substitutable)",
+    "UC202": "unreachable 'others' arm",
+    "UC203": "statically-constant 'st' predicate in solve",
+    "UC301": "router-tier reference",
+    "UC302": "spread-tier reference",
+    "UC303": "NEWS-shift reference",
+    "UC304": "broadcast reference",
+    "UC401": "unused index set",
+    "UC402": "element binding shadows an outer binding",
+    "UC403": "dead construct arm (predicate constant false)",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding."""
+
+    code: str  # stable code, e.g. 'UC101'
+    severity: str  # 'error' | 'warning' | 'info'
+    message: str
+    line: int = 0
+    col: int = 0
+    file: str = "<program>"
+    hint: str = ""  # fix-it suggestion, empty when none applies
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:  # pragma: no cover - programmer error
+            raise ValueError(f"bad severity {self.severity!r}")
+        if self.code not in CODES:  # pragma: no cover - programmer error
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    def render(self) -> str:
+        text = (
+            f"{self.file}:{self.line}:{self.col}: "
+            f"{self.severity}: {self.code}: {self.message}"
+        )
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_json(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class LintReport:
+    """All diagnostics for one linted program."""
+
+    file: str = "<program>"
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, diags) -> None:
+        self.diagnostics.extend(diags)
+
+    def sort(self) -> None:
+        """Stable source order: position first, then code."""
+        self.diagnostics.sort(key=lambda d: (d.line, d.col, d.code))
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def has(self, code: str) -> bool:
+        return any(d.code == code for d in self.diagnostics)
+
+    def exit_code(self, *, werror: bool = False) -> int:
+        """CLI convention: 1 when errors (or warnings under --werror)."""
+        if self.errors:
+            return 1
+        if werror and self.warnings:
+            return 1
+        return 0
+
+    # -- rendering -------------------------------------------------------------
+
+    def render_text(self) -> str:
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(
+            f"{self.file}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), "
+            f"{len(self.diagnostics) - len(self.errors) - len(self.warnings)} note(s)"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "file": self.file,
+                "diagnostics": [d.to_json() for d in self.diagnostics],
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+            },
+            indent=2,
+        )

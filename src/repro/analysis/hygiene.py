@@ -1,0 +1,88 @@
+"""UC4xx: hygiene — unused index sets, shadowed elements, dead arms."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang import ast
+from ..lang.semantics import _ConstEvaluator
+from .context import AnalysisModel
+from .diagnostics import Diagnostic
+
+
+def analyze_hygiene(model: AnalysisModel, file: str) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    _unused_sets(model, file, diags)
+    _shadows(model, file, diags)
+    _dead_arms(model, file, diags)
+    return diags
+
+
+def _unused_sets(model: AnalysisModel, file: str, diags: List[Diagnostic]) -> None:
+    for decl in model.set_decls:
+        if decl.set_name in model.used_sets:
+            continue
+        diags.append(
+            Diagnostic(
+                code="UC401",
+                severity="warning",
+                message=(
+                    f"index set {decl.set_name!r} (element "
+                    f"{decl.elem_name!r}) is never used"
+                ),
+                line=decl.line,
+                col=decl.col,
+                file=file,
+                hint="remove the declaration, or use the set in a construct",
+            )
+        )
+
+
+def _shadows(model: AnalysisModel, file: str, diags: List[Diagnostic]) -> None:
+    for stmt, elem in model.shadows:
+        diags.append(
+            Diagnostic(
+                code="UC402",
+                severity="info",
+                message=(
+                    f"element {elem!r} re-binds a name already bound in an "
+                    "enclosing construct"
+                ),
+                line=stmt.line,
+                col=stmt.col,
+                file=file,
+                hint=(
+                    "the inner binding wins inside this construct; rename "
+                    "one of the elements if both values are needed"
+                ),
+            )
+        )
+
+
+def _dead_arms(model: AnalysisModel, file: str, diags: List[Diagnostic]) -> None:
+    consts = _ConstEvaluator(model.info.constants)
+    for site in model.constructs:
+        if site.kind == "solve":
+            continue  # constant solve predicates are UC203
+        for block in site.stmt.blocks:
+            if block.pred is None:
+                continue
+            try:
+                value = consts.eval(block.pred)
+            except Exception:
+                continue
+            if value == 0:
+                diags.append(
+                    Diagnostic(
+                        code="UC403",
+                        severity="warning",
+                        message=(
+                            f"'{site.kind}' arm is dead: its st predicate is "
+                            "constantly false"
+                        ),
+                        line=block.pred.line,
+                        col=block.pred.col,
+                        file=file,
+                        hint="remove the arm or fix the predicate",
+                    )
+                )

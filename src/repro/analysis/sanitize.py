@@ -1,0 +1,163 @@
+"""Runtime sanitizer: cross-check engine behaviour against static verdicts.
+
+With ``REPRO_SANITIZE=1`` (or ``UCProgram(sanitize=True)``) both engines
+record, per statement, the scatter index sets they build and the
+communication tiers they dispatch.  This module turns the analyzer's
+*exact* verdicts into claims about that record:
+
+* a write site :func:`repro.analysis.races.injectivity` proved
+  ``injective`` must never produce a duplicate flat index;
+* a reference site whose every subscript realised exactly must be
+  serviced only by tiers in the static verdict set — the same
+  :func:`repro.interp.commtiers.decide_tier` call, fed the machine's own
+  cost table, so the comparison is decision-for-decision.
+
+A contradiction means the analyzer and an engine disagree about the
+program — a bug in one of them, never a property of the user's code —
+and raises :class:`~repro.lang.errors.UCSanitizerError` as a hard
+failure.
+
+One deliberate widening: operands of reductions may be evaluated on the
+*operand* grid when the processor optimization (paper §4) collapses the
+parent axes (``interp/sendreduce.py``), so for in-reduction references
+the claim is the union of the product-grid and operand-grid verdicts.
+Inexact sites (data-dependent or value-unknown subscripts) claim
+nothing: the analyzer only holds the engines to what it proved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..interp.commtiers import decide_tier
+from ..lang import ast
+from ..lang.errors import UCSanitizerError
+from ..mapping.locality import RefClass
+from .races import write_claims
+
+#: tier claim key, matching the interpreter's ``tier_log`` keying
+TierKey = Tuple[int, str]  # (line, array base)
+#: write claim key: line, col, array base
+WriteKey = Tuple[int, int, str]
+
+
+class Sanitizer:
+    """Static claims plus the counters the runtime checks them against.
+
+    One instance is shared by a program run (both engines consult the
+    interpreter's ``sanitizer`` attribute), so the summary counts every
+    scatter and every cross-checked tier site of the run.
+    """
+
+    def __init__(self, info, layouts) -> None:
+        from .linter import build_verdicts  # lazy: linter imports races
+
+        model, verdicts = build_verdicts(info, layouts)
+        self.model = model
+        self.tier_claims: Dict[TierKey, List[Tuple[RefClass, bool]]] = _tier_claims(
+            verdicts
+        )
+        self.write_claims: Dict[WriteKey, str] = write_claims(verdicts)
+        self.writes_checked = 0
+        self.duplicate_writes = 0
+
+    # -- write-side claims --------------------------------------------------
+
+    def record_write(self, node: ast.Index, has_dup: bool) -> None:
+        """Called by both scatter paths after the single-assignment check.
+
+        ``has_dup`` says whether the flat index vector contained a
+        duplicate (benign duplicates — equal values — included: the
+        injectivity claim is about the index map, not the values).
+        """
+        self.writes_checked += 1
+        if not has_dup:
+            return
+        self.duplicate_writes += 1
+        key = (node.line, node.col, node.base)
+        if self.write_claims.get(key) == "injective":
+            raise UCSanitizerError(
+                f"sanitizer: scatter to {node.base!r} produced a duplicate "
+                "element index at a site the analyzer proved injective "
+                "(static race analysis and the engine disagree)",
+                node.line,
+                node.col,
+            )
+
+    # -- tier claims --------------------------------------------------------
+
+    def cross_check(self, ip) -> Dict[str, int]:
+        """Compare the run's observed tiers against the static claims.
+
+        Raises on any contradiction; returns the summary statistics that
+        ``repro run --stats`` prints.
+        """
+        log = getattr(ip, "tier_log", None) or {}
+        costs = ip.machine.clock.costs
+        enabled = ip.comm_tiers_enabled
+        observed_sites = 0
+        verified = 0
+        contradictions: List[str] = []
+        for key, observed in sorted(log.items()):
+            claim = self.tier_claims.get(key)
+            if claim is None:
+                continue  # inexact or unclaimed site: advisory lints only
+            observed_sites += 1
+            expected = {
+                decide_tier(rc, costs, write=w, enabled=enabled) for rc, w in claim
+            }
+            extra = set(observed) - expected
+            if extra:
+                line, base = key
+                contradictions.append(
+                    f"line {line}: reference to {base!r} used tier(s) "
+                    f"{sorted(extra)} but the analyzer proved "
+                    f"{sorted(expected)}"
+                )
+            else:
+                verified += 1
+        if contradictions:
+            raise UCSanitizerError(
+                "sanitizer: observed communication tiers contradict the "
+                "static verdicts:\n  " + "\n  ".join(contradictions)
+            )
+        return {
+            "writes_checked": self.writes_checked,
+            "duplicate_writes": self.duplicate_writes,
+            "write_sites_claimed": len(self.write_claims),
+            "tier_sites_claimed": len(self.tier_claims),
+            "tier_sites_observed": observed_sites,
+            "tier_sites_verified": verified,
+        }
+
+
+def _tier_claims(verdicts) -> Dict[TierKey, List[Tuple[RefClass, bool]]]:
+    """Exact static verdicts per ``tier_log`` key.
+
+    ``tier_log`` keys by (line, base), which can merge several source
+    references; a single inexact contributor poisons the whole key, so
+    those keys claim nothing.  DSL-built nodes without positions (line 0)
+    are skipped for the same reason — the key cannot identify a site.
+    """
+    claims: Dict[TierKey, List[Tuple[RefClass, bool]]] = {}
+    poisoned = set()
+    for v in verdicts:
+        node = v.ref.node
+        if node.line <= 0:
+            continue
+        key = (node.line, node.base)
+        if not v.exact or v.rc is None or v.rc.axes is None:
+            poisoned.add(key)
+            continue
+        pairs = claims.setdefault(key, [])
+        if v.ref.read or not v.ref.write:
+            pairs.append((v.rc, False))
+        if v.ref.write and v.rc_write is not None:
+            pairs.append((v.rc_write, True))
+        if v.rc_operand is not None:
+            # the processor optimization may service this reference on
+            # the operand grid instead
+            pairs.append((v.rc_operand, False))
+    for key in poisoned:
+        claims.pop(key, None)
+    return claims

@@ -6,6 +6,7 @@ Usage (also via ``python -m repro``):
     repro check program.uc
     repro cstar program.uc            # emit C* source (paper appendix style)
     repro analyze program.uc          # communication report + map suggestions
+    repro lint program.uc             # whole-program static analyzer (uclint)
 
 ``run`` executes ``main`` on the simulated CM-2 and reports the final
 variables and simulated elapsed time; ``--no-maps`` ignores the program's
@@ -57,6 +58,7 @@ def _load_program(args: argparse.Namespace) -> UCProgram:
             machine_config=config,
             apply_maps=not getattr(args, "no_maps", False),
             faults=getattr(args, "faults", None),
+            sanitize=getattr(args, "sanitize", False),
         )
     except UCError as exc:
         raise SystemExit(f"{args.file}: {exc}")
@@ -136,6 +138,15 @@ def cmd_run(args: argparse.Namespace) -> int:
         if result.recovery:
             for key in sorted(result.recovery):
                 print(f"   recovery.{key:14s} {result.recovery[key]}")
+        if result.sanitizer:
+            s = result.sanitizer
+            print(
+                "   sanitizer: "
+                f"{s['writes_checked']} scatters checked "
+                f"({s['duplicate_writes']} benign duplicates), "
+                f"{s['tier_sites_verified']}/{s['tier_sites_observed']} "
+                "tier sites verified, 0 contradictions"
+            )
         for t_us, kind, op in result.fault_log:
             print(f"   fault: {kind} during {op!r} at t={t_us:.0f}us")
         if result.dead_pes:
@@ -179,6 +190,36 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             f"{p.optimized_vps} VPs (naive: {p.naive_vps})"
         )
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import lint_program
+
+    defines = _parse_defines(args.define or [])
+    worst = 0
+    json_reports: List[str] = []
+    for path in args.files:
+        try:
+            source = open(path).read()
+        except OSError as exc:
+            raise SystemExit(f"cannot read {path}: {exc}")
+        report = lint_program(
+            source,
+            defines=defines,
+            apply_maps=not args.no_maps,
+            filename=path,
+        )
+        if args.format == "json":
+            json_reports.append(report.render_json())
+        else:
+            print(report.render_text())
+        worst = max(worst, report.exit_code(werror=args.werror))
+    if args.format == "json":
+        if len(json_reports) == 1:
+            print(json_reports[0])
+        else:
+            print("[" + ",\n".join(json_reports) + "]")
+    return worst
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -229,6 +270,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a digest of the Clock cost fingerprint (for engine diffs)",
     )
+    p_run.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="cross-check the run against the static analyzer's verdicts "
+        "(also via REPRO_SANITIZE=1; see docs/ANALYSIS.md)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_check = sub.add_parser("check", help="parse + semantic analysis only")
@@ -242,6 +289,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_an = sub.add_parser("analyze", help="communication report + map suggestions")
     common(p_an)
     p_an.set_defaults(func=cmd_analyze)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="whole-program static analyzer: par races, solve convergence, "
+        "communication tiers, hygiene (see docs/ANALYSIS.md)",
+    )
+    p_lint.add_argument("files", nargs="+", help="UC source file(s)")
+    p_lint.add_argument(
+        "-D",
+        "--define",
+        action="append",
+        metavar="NAME=VALUE",
+        help="compile-time constant (repeatable)",
+    )
+    p_lint.add_argument("--no-maps", action="store_true", help="ignore map sections")
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format",
+    )
+    p_lint.add_argument(
+        "--werror",
+        action="store_true",
+        help="exit non-zero on warnings too",
+    )
+    p_lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -1,11 +1,13 @@
 """Communication analysis: classify references at compile time, suggest maps.
 
-The run-time classifier (:mod:`repro.mapping.locality`) is exact; this
-pass is its static counterpart, used for reporting and for suggesting map
-sections: it walks every parallel construct, canonicalises each array
-subscript to ``elem ± const`` where possible, and predicts the
-communication tier under the active layouts.  References it cannot
-canonicalise (data-dependent subscripts) are reported as router traffic.
+This pass is now a thin reporting layer over the whole-program analyzer
+(:mod:`repro.analysis`): each reference inside a parallel construct is
+realised symbolically (:mod:`repro.analysis.staticref`), classified by
+the *same* affine classifier both engines use at run time
+(:func:`repro.mapping.locality.classify_affine`) and assigned its tier
+by the same dispatcher (:func:`repro.interp.commtiers.decide_tier`).
+Compile-time reports, ``repro lint``'s UC3xx diagnostics and the runtime
+tier log therefore agree decision-for-decision.
 
 For each non-local reference the pass emits a concrete suggestion:
 
@@ -17,13 +19,12 @@ For each non-local reference the pass emits a concrete suggestion:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set
 
-from ..lang import ast
-from ..lang.errors import UCSemanticError
+from ..interp.commtiers import decide_tier
 from ..lang.semantics import ProgramInfo
+from ..machine.config import CostTable
 from ..mapping.layout import LayoutTable
-from ..mapping.maps import AffineSub, affine_subscript
 
 
 @dataclass(frozen=True)
@@ -32,7 +33,7 @@ class RefReport:
 
     text: str
     array: str
-    kind: str  # local | news | spread | broadcast | router
+    kind: str  # local | news | spread | broadcast | permute | router
     note: str = ""
     line: int = 0
 
@@ -50,175 +51,60 @@ class CommReport:
         return sum(1 for r in self.references if r.kind != "local")
 
 
-def analyze_communication(info: ProgramInfo, layouts: LayoutTable) -> CommReport:
+def analyze_communication(
+    info: ProgramInfo, layouts: LayoutTable, costs: Optional[CostTable] = None
+) -> CommReport:
     """Classify every array reference inside parallel constructs."""
-    report = CommReport()
-    roots: List[ast.Node] = []
-    if info.program.main is not None:
-        roots.append(info.program.main)
-    roots.extend(f.body for f in info.program.funcs)
-    for root in roots:
-        _walk(root, [], {}, info, layouts, report)
-    _dedupe_suggestions(report)
-    return report
-
-
-def _walk(
-    node: ast.Node,
-    elem_stack: List[Tuple[str, str]],  # (elem, set) in axis order
-    scalar_elems: Dict[str, str],  # seq-bound elements: scalars at run time
-    info: ProgramInfo,
-    layouts: LayoutTable,
-    report: CommReport,
-) -> None:
-    if isinstance(node, ast.UCStmt) and node.kind == "seq":
-        # a seq element is an ordinary scalar at run time: references
-        # subscripted by it are uniform across the grid, exactly as the
-        # runtime classifier sees them on each iteration
-        scalars = dict(scalar_elems)
-        trimmed = list(elem_stack)
-        for set_name in node.index_sets:
-            isv = info.index_sets.get(set_name)
-            if isv is not None:
-                trimmed = [e for e in trimmed if e[0] != isv.elem_name]
-                scalars[isv.elem_name] = set_name
-        for child in ast.children(node):
-            _walk(child, trimmed, scalars, info, layouts, report)
-        return
-    if (isinstance(node, ast.UCStmt) and node.kind in ("par", "solve", "oneof")) or isinstance(
-        node, ast.Reduction
-    ):
-        extended = list(elem_stack)
-        scalars = scalar_elems
-        for set_name in node.index_sets:
-            isv = info.index_sets.get(set_name)
-            if isv is not None:
-                extended = [e for e in extended if e[0] != isv.elem_name]
-                extended.append((isv.elem_name, set_name))
-                if isv.elem_name in scalars:
-                    scalars = {
-                        k: v for k, v in scalars.items() if k != isv.elem_name
-                    }
-        for child in ast.children(node):
-            _walk(child, extended, scalars, info, layouts, report)
-        return
-    if isinstance(node, ast.Index) and elem_stack and node.base in info.arrays:
-        report.references.append(
-            _classify_static(node, elem_stack, scalar_elems, info, layouts, report)
-        )
-    for child in ast.children(node):
-        _walk(child, elem_stack, scalar_elems, info, layouts, report)
-
-
-def _classify_static(
-    node: ast.Index,
-    elem_stack: Sequence[Tuple[str, str]],
-    scalar_elems: Dict[str, str],
-    info: ProgramInfo,
-    layouts: LayoutTable,
-    report: CommReport,
-) -> RefReport:
+    from ..analysis.linter import build_verdicts
+    from ..analysis.staticref import A, default_costs
     from .cstar_gen import expr_to_text
 
-    text = expr_to_text(node)
-    elems = {e: s for e, s in elem_stack}
-    elems.update(scalar_elems)
-    elem_axis = {e: k for k, (e, _s) in enumerate(elem_stack)}
-    layout = layouts.get(node.base) if node.base in layouts else None
-
-    subs: List[Optional[AffineSub]] = []
-    for sub in node.subs:
-        try:
-            s = affine_subscript(sub, elems, info.constants)
-        except UCSemanticError:
-            subs.append(None)
-            continue
-        if s.elem is not None and s.elem in scalar_elems:
-            # seq-bound: a run-time scalar, hence uniform per iteration
-            s = AffineSub(None, 0, 0)
-        subs.append(s)
-
-    if any(s is None for s in subs):
-        return RefReport(
-            text, node.base, "router", "data-dependent subscript", node.line
-        )
-
-    perm = (
-        layout.axis_perm if layout is not None and layout.axis_perm else None
-    )
-    offsets = layout.offsets if layout is not None else (0,) * len(subs)
-    used_elems: List[Optional[str]] = []
-    total_shift = 0
-    transposed = False
-    for a, s in enumerate(subs):
-        assert s is not None
-        if s.elem is None:
-            used_elems.append(None)
-            continue
-        used_elems.append(s.elem)
-        if s.scale != 1:
-            transposed = True  # mirrored: router unless a fold absorbs it
-            continue
-        eff = s.offset + (offsets[a] if a < len(offsets) else 0)
-        if layout is not None and layout.fold is not None and layout.fold.axis == a:
-            if layout.fold.kind == "wrap" and s.offset == layout.fold.param:
-                eff = offsets[a] if a < len(offsets) else 0
-        expected_axis = perm.index(a) if perm is not None else a
-        axis_here = elem_axis.get(s.elem, -1)
-        # relative order among construct axes must match array axis order
-        want = _nth_axis(elem_stack, expected_axis, subs)
-        if want is not None and s.elem != want:
-            transposed = True
-        total_shift += abs(eff)
-
-    uniform_axes = [a for a, e in enumerate(used_elems) if e is None]
-    unused = [
-        e
-        for e, _s in elem_stack
-        if e not in {u for u in used_elems if u is not None}
-    ]
-    if layout is not None and layout.copy_elem is not None:
-        unused = [e for e in unused if e != layout.copy_elem]
-
-    if transposed:
-        report.suggestions.append(
-            f"permute {node.base!r} so that {text} is stored locally "
-            f"(transposed element order)"
-        )
-        return RefReport(text, node.base, "router", "transposed element order", node.line)
-    if not any(e is not None for e in used_elems):
-        return RefReport(text, node.base, "broadcast", "uniform across the grid", node.line)
-    if unused or uniform_axes:
-        which = ", ".join(unused) if unused else "a fixed row/column"
-        report.suggestions.append(
-            f"copy {node.base!r} along {which} to avoid spreading {text}"
-        )
-        return RefReport(
-            text, node.base, "spread", f"constant along {which}", node.line
-        )
-    if total_shift > 0:
-        report.suggestions.append(
-            f"permute {node.base!r} with offset {total_shift} so that {text} "
-            "is stored locally"
-        )
-        return RefReport(
-            text, node.base, "news", f"constant shift of {total_shift}", node.line
-        )
-    return RefReport(text, node.base, "local", "", node.line)
-
-
-def _nth_axis(
-    elem_stack: Sequence[Tuple[str, str]],
-    expected: int,
-    subs: Sequence[Optional[AffineSub]],
-) -> Optional[str]:
-    """Which construct element 'should' sit on array axis ``expected``
-    under the canonical alignment: the elements used by this reference, in
-    construct-axis order, assigned to array axes left to right."""
-    order = [e for e, _s in elem_stack if any(s is not None and s.elem == e for s in subs)]
-    if expected < len(order):
-        return order[expected]
-    return None
+    table = costs if costs is not None else default_costs()
+    report = CommReport()
+    _model, verdicts = build_verdicts(info, layouts)
+    for v in verdicts:
+        node = v.ref.node
+        text = expr_to_text(node)
+        rc = v.rc_write if (v.ref.write and not v.ref.read) else v.rc
+        if rc is None:
+            continue  # rank mismatch: the semantic analyzer reports it
+        tier = decide_tier(rc, table, write=v.ref.write and not v.ref.read)
+        note = rc.detail
+        if tier == "local":
+            note = ""
+        elif rc.axes is None:
+            note = "data-dependent subscript"
+        elif "permutes the grid alignment" in rc.detail:
+            note = "transposed element order"
+            report.suggestions.append(
+                f"permute {node.base!r} so that {text} is stored locally "
+                f"(transposed element order)"
+            )
+        elif tier == "spread":
+            layout = (
+                _model.layouts.get(node.base) if node.base in _model.layouts else None
+            )
+            copy_elem = layout.copy_elem if layout is not None else None
+            used = {s.g for s in v.subvals if s.kind == A}
+            unused = [
+                axis.elem
+                for g, axis in enumerate(v.ref.axes)
+                if g not in used and axis.elem != copy_elem
+            ]
+            which = ", ".join(unused) if unused else "a fixed row/column"
+            note = f"constant along {which}"
+            report.suggestions.append(
+                f"copy {node.base!r} along {which} to avoid spreading {text}"
+            )
+        elif tier == "news":
+            note = f"constant shift of {rc.news_distance}"
+            report.suggestions.append(
+                f"permute {node.base!r} with offset {rc.news_distance} "
+                f"so that {text} is stored locally"
+            )
+        report.references.append(RefReport(text, node.base, tier, note, node.line))
+    _dedupe_suggestions(report)
+    return report
 
 
 def _dedupe_suggestions(report: CommReport) -> None:

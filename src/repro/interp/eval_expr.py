@@ -564,28 +564,76 @@ def eval_scatter(
         vals = np.full(int(flat_mask.sum()), value)
     vals = _cast_array(vals, data.dtype)
 
-    _check_single_assignment(node, flat_idx, vals)
+    _check_single_assignment(
+        node,
+        flat_idx,
+        vals,
+        grid_shape=ctx.grid.shape,
+        flat_mask=flat_mask,
+        view_shape=view_shape,
+        construct=getattr(ip, "current_construct", None),
+    )
+    if getattr(ip, "sanitizer", None) is not None:
+        ip.sanitizer.record_write(
+            node, bool(np.unique(flat_idx).size < flat_idx.size)
+        )
     data.reshape(-1)[flat_idx] = vals
     ip.cse_invalidate(node.base)
 
 
-def _check_single_assignment(node: ast.Index, flat_idx: np.ndarray, vals: np.ndarray) -> None:
-    """The paper's §3.4 rule: colliding writes must carry identical values."""
+def _check_single_assignment(
+    node: ast.Index,
+    flat_idx: np.ndarray,
+    vals: np.ndarray,
+    *,
+    grid_shape=None,
+    flat_mask=None,
+    view_shape=None,
+    construct=None,
+) -> None:
+    """The paper's §3.4 rule: colliding writes must carry identical values.
+
+    The optional keywords only enrich the error message: ``view_shape``
+    names the written element by its multi-index, ``grid_shape`` +
+    ``flat_mask`` recover the two colliding VP coordinates, and
+    ``construct`` points back at the enclosing ``par``.
+    """
     if flat_idx.size < 2:
         return
     order = np.argsort(flat_idx, kind="stable")
     si = flat_idx[order]
     sv = vals[order]
-    same = si[1:] == si[:-1]
-    if np.any(same & (sv[1:] != sv[:-1])):
-        where = int(si[1:][same & (sv[1:] != sv[:-1])][0])
-        raise UCMultipleAssignmentError(
-            f"par assigns multiple distinct values to {node.base!r} "
-            f"(flat element {where}); make the non-determinism explicit "
-            "with the $, operator (paper §3.4)",
-            node.line,
-            node.col,
+    bad = (si[1:] == si[:-1]) & (sv[1:] != sv[:-1])
+    if not np.any(bad):
+        return
+    j = int(np.flatnonzero(bad)[0])
+    where = int(si[j + 1])
+    if view_shape is not None:
+        elem = "".join(
+            f"[{int(c)}]" for c in np.unravel_index(where, view_shape)
         )
+        place = f"element {node.base}{elem}"
+    else:
+        place = f"flat element {where}"
+    detail = f"values {sv[j].item()!r} and {sv[j + 1].item()!r}"
+    if grid_shape is not None and flat_mask is not None:
+        active = np.flatnonzero(flat_mask)
+        vp_a = np.unravel_index(int(active[order[j]]), grid_shape)
+        vp_b = np.unravel_index(int(active[order[j + 1]]), grid_shape)
+        detail += (
+            f" from VPs {tuple(int(c) for c in vp_a)} and "
+            f"{tuple(int(c) for c in vp_b)}"
+        )
+    at = ""
+    if construct is not None and getattr(construct, "line", 0):
+        at = f" in the '{construct.kind}' at line {construct.line}"
+    raise UCMultipleAssignmentError(
+        f"[UC101] par assigns multiple distinct values to {node.base!r} "
+        f"({place}: {detail}){at}; make the non-determinism explicit "
+        "with the $, operator (paper §3.4)",
+        node.line,
+        node.col,
+    )
 
 
 def _coerce_to_dtype(value: Value, dtype: np.dtype):
@@ -658,8 +706,13 @@ def _assign_scalar(ip, var: ScalarVar, value: Value, ctx: ExecContext, node: ast
     if vals.size == 0:
         return
     if np.any(vals != vals.reshape(-1)[0]):
+        flat = vals.reshape(-1)
+        other = flat[flat != flat[0]][0]
         raise UCMultipleAssignmentError(
-            f"par assigns multiple distinct values to scalar {var.name!r}",
+            f"[UC101] par assigns multiple distinct values to scalar "
+            f"{var.name!r} (values {flat[0].item()!r} and {other.item()!r}); "
+            "reduce the grid value first ($+, $min, ...) or make the choice "
+            "explicit with the $, operator (paper §3.4)",
             node.line,
             node.col,
         )
@@ -692,7 +745,9 @@ def _assign_parallel_local(
     mx = np.where(mask, arr, np.asarray(-np.inf)).max(axis=extra)
     if np.any(any_mask & (mn != mx)):
         raise UCMultipleAssignmentError(
-            f"par assigns multiple distinct values to {var.name!r}",
+            f"[UC101] par assigns multiple distinct values to {var.name!r} "
+            "(the extended axes disagree); make the non-determinism "
+            "explicit with the $, operator (paper §3.4)",
             node.line,
             node.col,
         )

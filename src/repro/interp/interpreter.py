@@ -29,6 +29,16 @@ from .values import ArrayVar, GridContext, ScalarVar, coerce_scalar, numpy_ctype
 from . import functions as _functions
 
 
+def _sanitize_enabled_by_env() -> bool:
+    """True when ``REPRO_SANITIZE=1`` arms the runtime sanitizer."""
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
 def _resolve_sweep_limit(value: Optional[int]) -> int:
     """Effective solve/*solve sweep cap: explicit parameter, else the
     ``REPRO_SOLVE_SWEEP_LIMIT`` environment variable, else the global
@@ -64,6 +74,7 @@ class Interpreter:
         comm_tiers: bool = True,
         frontier: bool = True,
         log_tiers: bool = False,
+        sanitize: bool = False,
         checkpoints: bool = False,
         recovery_policy=None,
         solve_sweep_limit: Optional[int] = None,
@@ -95,8 +106,20 @@ class Interpreter:
         # frontier=False or REPRO_NO_FRONTIER=1 restores full sweeps with
         # bit-identical fingerprints
         self.frontier_enabled = bool(frontier) and not commtiers.frontier_disabled_by_env()
+        # runtime sanitizer (REPRO_SANITIZE=1 / sanitize=True): static
+        # claims from the analyzer, cross-checked against observed
+        # behaviour after the run — it needs the tier log armed
+        sanitize = bool(sanitize) or _sanitize_enabled_by_env()
+        self.sanitizer = None
+        if sanitize:
+            from ..analysis.sanitize import Sanitizer
+
+            self.sanitizer = Sanitizer(info, layouts)
+            log_tiers = True
         # (line, array) -> set of tiers dispatched, for the parity tests
         self.tier_log: Optional[Dict[Tuple[int, str], set]] = {} if log_tiers else None
+        # innermost construct being executed (error-message context)
+        self.current_construct: Optional[ast.UCStmt] = None
         self.rng = np.random.default_rng(seed)
         self._seed = seed
         self.solve_strategy = solve_strategy

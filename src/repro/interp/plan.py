@@ -722,7 +722,21 @@ class _ScatterPlan:
                     vals = np.full(int(flat_mask.sum()), value)
                 vals = E._cast_array(vals, data.dtype)
                 if not m.unique:
-                    E._check_single_assignment(node, flat_idx, vals)
+                    E._check_single_assignment(
+                        node,
+                        flat_idx,
+                        vals,
+                        grid_shape=ctx.grid.shape,
+                        flat_mask=flat_mask,
+                        view_shape=view_shape,
+                        construct=getattr(ip, "current_construct", None),
+                    )
+                if getattr(ip, "sanitizer", None) is not None:
+                    ip.sanitizer.record_write(
+                        node,
+                        (not m.unique)
+                        and bool(np.unique(flat_idx).size < flat_idx.size),
+                    )
                 data.reshape(-1)[flat_idx] = vals
                 ip.cse_invalidate(node.base)
                 return
@@ -752,7 +766,19 @@ class _ScatterPlan:
         else:
             vals = np.full(int(flat_mask.sum()), value)
         vals = E._cast_array(vals, data.dtype)
-        E._check_single_assignment(node, flat_idx, vals)
+        E._check_single_assignment(
+            node,
+            flat_idx,
+            vals,
+            grid_shape=ctx.grid.shape,
+            flat_mask=flat_mask,
+            view_shape=view_shape,
+            construct=getattr(ip, "current_construct", None),
+        )
+        if getattr(ip, "sanitizer", None) is not None:
+            ip.sanitizer.record_write(
+                node, bool(np.unique(flat_idx).size < flat_idx.size)
+            )
         data.reshape(-1)[flat_idx] = vals
         ip.cse_invalidate(node.base)
 

@@ -76,6 +76,9 @@ class RunResult:
         self.frontier: Dict[str, int] = dict(interp.machine.clock.frontier_counts)
         #: per-compressed-sweep (active, domain) lane counts
         self.frontier_trace = list(interp.machine.clock.frontier_trace)
+        #: sanitizer summary (claims checked/verified; empty when off) —
+        #: filled in by UCProgram.run after the cross-check passes
+        self.sanitizer: Dict[str, int] = {}
 
     def __getitem__(self, name: str) -> Union[int, float, np.ndarray]:
         return self._values[name]
@@ -148,6 +151,16 @@ class UCProgram:
         Record, per ``(line, array)`` reference site, the set of tiers
         dispatched at run time (``last_interpreter.tier_log``) — used by
         the static-vs-runtime parity tests.
+    sanitize:
+        Arm the runtime sanitizer (also via ``REPRO_SANITIZE=1``): both
+        engines record per-statement scatter duplicates and dispatched
+        communication tiers, which are cross-checked against the static
+        analyzer's exact verdicts (``repro lint``).  A contradiction
+        raises :class:`~repro.lang.errors.UCSanitizerError` — it means an
+        analyzer or engine bug, never a property of the program.  Implies
+        ``log_tiers`` (which disables the frontier engine, so sanitized
+        fingerprints differ from unsanitized ones when frontier sweeps
+        would have fired).  See ``docs/ANALYSIS.md``.
     faults:
         A :class:`~repro.machine.faults.FaultPlan` (or a spec string for
         :meth:`FaultPlan.parse <repro.machine.faults.FaultPlan.parse>`)
@@ -179,6 +192,7 @@ class UCProgram:
         comm_tiers: bool = True,
         frontier: bool = True,
         log_tiers: bool = False,
+        sanitize: bool = False,
         faults: Optional[Union[str, FaultPlan]] = None,
         recovery=None,
         checkpoints: bool = False,
@@ -196,6 +210,7 @@ class UCProgram:
         self.comm_tiers = comm_tiers
         self.frontier = frontier
         self.log_tiers = log_tiers
+        self.sanitize = sanitize
         # parse eagerly: a bad spec should fail at construction, not mid-run
         self.faults = (
             FaultPlan.parse(faults) if isinstance(faults, str) else faults
@@ -240,6 +255,7 @@ class UCProgram:
             comm_tiers=self.comm_tiers,
             frontier=self.frontier,
             log_tiers=self.log_tiers,
+            sanitize=self.sanitize,
             checkpoints=self.checkpoints or fault_plan is not None,
             recovery_policy=self.recovery,
             solve_sweep_limit=self.solve_sweep_limit,
@@ -260,4 +276,8 @@ class UCProgram:
                 # leave the machine reusable (and the plan's log readable)
                 m.clock.fault_hook = None
         self.last_interpreter = interp
-        return RunResult(interp)
+        result = RunResult(interp)
+        if interp.sanitizer is not None:
+            # hard failure on any contradiction; the summary feeds --stats
+            result.sanitizer = interp.sanitizer.cross_check(interp)
+        return result

@@ -129,20 +129,27 @@ def exec_stmt(ip, stmt: ast.Stmt, ctx: ExecContext) -> None:
 def dispatch_construct(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
     """Run one UC construct (the body of :func:`exec_stmt`'s UCStmt case;
     also the replay entry point of the recovery manager)."""
-    if stmt.kind == "par":
-        exec_par(ip, stmt, ctx)
-    elif stmt.kind == "seq":
-        exec_seq(ip, stmt, ctx)
-    elif stmt.kind == "oneof":
-        exec_oneof(ip, stmt, ctx)
-    elif stmt.kind == "solve":
-        from .solve import exec_solve  # local import avoids a cycle
+    # remembered so a §3.4 violation deep in the body can name the
+    # construct it happened under
+    prev = getattr(ip, "current_construct", None)
+    ip.current_construct = stmt
+    try:
+        if stmt.kind == "par":
+            exec_par(ip, stmt, ctx)
+        elif stmt.kind == "seq":
+            exec_seq(ip, stmt, ctx)
+        elif stmt.kind == "oneof":
+            exec_oneof(ip, stmt, ctx)
+        elif stmt.kind == "solve":
+            from .solve import exec_solve  # local import avoids a cycle
 
-        exec_solve(ip, stmt, ctx)
-    else:  # pragma: no cover
-        raise UCRuntimeError(
-            f"unknown construct {stmt.kind!r}", stmt.line, stmt.col
-        )
+            exec_solve(ip, stmt, ctx)
+        else:  # pragma: no cover
+            raise UCRuntimeError(
+                f"unknown construct {stmt.kind!r}", stmt.line, stmt.col
+            )
+    finally:
+        ip.current_construct = prev
 
 
 # ---------------------------------------------------------------------------

@@ -41,3 +41,11 @@ class UCRuntimeError(UCError):
 
 class UCMultipleAssignmentError(UCRuntimeError):
     """A ``par`` statement assigned conflicting values to one variable."""
+
+
+class UCSanitizerError(UCRuntimeError):
+    """The runtime sanitizer observed behaviour contradicting a static
+    verdict of the analyzer (``repro lint``): a reference serviced by a
+    tier the static classifier excluded, or a duplicate write at a site
+    proven injective.  Either is a bug in the analyzer or the engines —
+    it is raised as a hard failure, never downgraded."""

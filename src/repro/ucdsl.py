@@ -518,3 +518,30 @@ class UCBuilder:
 
         prog = self.build()
         return generate_cstar(prog.info, prog.layouts)
+
+    def lint(
+        self,
+        *,
+        defines: Optional[Dict[str, int]] = None,
+        apply_maps: bool = True,
+        filename: str = "<ucdsl>",
+    ):
+        """Run the whole-program static analyzer over the built program.
+
+        Returns the :class:`~repro.analysis.diagnostics.LintReport`;
+        never raises on analyzable input (front-end failures come back
+        as UC001/UC002 diagnostics).  DSL nodes carry no source
+        positions, so diagnostics have line 0 and the runtime sanitizer
+        makes no per-site claims — the structural checks (races, solve
+        cycles, tiers, hygiene) still run in full.
+        """
+        from .analysis import lint_program
+
+        if self._program.main is None:
+            raise RuntimeError("lint() before main() was defined")
+        return lint_program(
+            self._program,
+            defines=defines,
+            apply_maps=apply_maps,
+            filename=filename,
+        )

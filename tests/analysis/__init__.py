@@ -1,0 +1,1 @@
+"""Static-analyzer (repro lint) and sanitizer tests."""

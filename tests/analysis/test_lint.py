@@ -1,0 +1,322 @@
+"""Whole-program static analyzer (``repro lint``) tests."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import CODES, Diagnostic, LintReport, lint_program
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "uc"
+EXAMPLE_DEFINES = {"apsp.uc": {"N": 8}, "histogram.uc": {"N": 16}}
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+class TestDiagnosticModel:
+    def test_codes_are_documented(self):
+        for code in ("UC101", "UC201", "UC301", "UC401"):
+            assert code in CODES
+
+    def test_render_has_position_and_code(self):
+        d = Diagnostic(
+            code="UC101",
+            severity="error",
+            message="boom",
+            line=3,
+            col=7,
+            file="x.uc",
+            hint="fix it",
+        )
+        text = d.render()
+        assert "x.uc:3:7: error: UC101: boom" in text
+        assert "hint: fix it" in text
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="UC999", severity="error", message="?")
+
+    def test_exit_codes(self):
+        rep = LintReport(file="x.uc")
+        assert rep.exit_code() == 0
+        rep.add(Diagnostic(code="UC102", severity="warning", message="w"))
+        assert rep.exit_code() == 0
+        assert rep.exit_code(werror=True) == 1
+        rep.add(Diagnostic(code="UC101", severity="error", message="e"))
+        assert rep.exit_code() == 1
+
+
+class TestRaceDetection:
+    def test_definite_race_is_uc101(self):
+        rep = lint_program(
+            "index_set I:i = {0..7}, J:j = I;\nint a[8];\n"
+            "main { par (I, J) a[i] = j; }"
+        )
+        errs = [d for d in rep.errors if d.code == "UC101"]
+        assert len(errs) == 1
+        assert errs[0].line == 3
+        assert "multiple distinct values" in errs[0].message
+        assert "$," in errs[0].hint
+
+    def test_benign_collapse_not_flagged(self):
+        # all colliding lanes write the same value: §3.4 allows it
+        rep = lint_program(
+            "index_set I:i = {0..7}, J:j = I;\nint a[8];\n"
+            "main { par (I, J) a[i] = i; }"
+        )
+        assert not rep.has("UC101")
+
+    def test_injective_write_clean(self):
+        rep = lint_program(
+            "index_set I:i = {0..7};\nint a[8];\nmain { par (I) a[i] = i; }"
+        )
+        assert not rep.has("UC101") and not rep.has("UC102")
+
+    def test_data_dependent_target_is_possible_race(self):
+        rep = lint_program(
+            "index_set I:i = {0..7};\nint a[8], p[8];\n"
+            "main { par (I) a[p[i]] = i; }"
+        )
+        assert rep.has("UC102")
+
+    def test_scalar_target_race(self):
+        rep = lint_program(
+            "index_set I:i = {0..7};\nint s;\nmain { par (I) s = i; }"
+        )
+        assert any(d.code == "UC101" and "scalar" in d.message for d in rep.errors)
+
+    def test_cross_statement_overlap_is_uc103(self):
+        rep = lint_program(
+            "index_set I:i = {0..7};\nint a[8];\n"
+            "main { par (I) { a[i] = i; a[7 - i] = i; } }"
+        )
+        assert rep.has("UC103")
+
+    def test_static_out_of_bounds_is_uc104(self):
+        rep = lint_program(
+            "index_set I:i = {0..7};\nint a[8];\nmain { par (I) a[i + 4] = 0; }"
+        )
+        oob = [d for d in rep.diagnostics if d.code == "UC104"]
+        assert oob and oob[0].severity == "error"
+        assert "out of range" in oob[0].message
+
+
+class TestSolveChecks:
+    def test_zero_offset_cycle_is_uc201(self):
+        rep = lint_program(
+            "index_set I:i = {0..7};\nint x[8], y[8];\n"
+            "main { solve (I) { x[i] = y[i] + 1; y[i] = x[i] * 2; } }"
+        )
+        errs = [d for d in rep.errors if d.code == "UC201"]
+        assert errs and errs[0].line in (3,)
+        assert "cycle" in errs[0].message
+
+    def test_self_dependence_is_uc201(self):
+        rep = lint_program(
+            "index_set I:i = {0..3};\nint a[4];\n"
+            "main { solve (I) a[i] = a[i] + 1; }"
+        )
+        assert rep.has("UC201")
+
+    def test_shifted_recurrence_is_proper(self):
+        rep = lint_program(
+            "index_set I:i = {0..7};\nint f[8];\n"
+            "main { solve (I) f[i] = (i < 2) ? 1 : f[i-1] + f[i-2]; }"
+        )
+        assert not rep.has("UC201")
+
+    def test_star_solve_exempt_from_cycle_check(self):
+        rep = lint_program(
+            "index_set I:i = {0..3};\nint a[4];\n"
+            "main { *solve (I) a[i] = a[i]; }"
+        )
+        assert not rep.has("UC201")
+
+    def test_constant_solve_predicate_is_uc203(self):
+        rep = lint_program(
+            "index_set I:i = {0..7};\nint a[8];\n"
+            "main { solve (I) st (0 == 1) a[i] = (i == 0) ? 1 : a[i - 1]; }"
+        )
+        assert rep.has("UC203")
+
+    def test_unreachable_others_is_uc202(self):
+        rep = lint_program(
+            "index_set I:i = {0..7};\nint a[8];\n"
+            "main { par (I) st (1) a[i] = 0; others a[i] = 1; }"
+        )
+        assert rep.has("UC202")
+
+
+class TestCommLints:
+    def test_data_dependent_router_is_uc301(self):
+        rep = lint_program(
+            "index_set I:i = {0..7};\nint a[8], p[8];\n"
+            "main { par (I) a[i] = a[p[i]]; }"
+        )
+        routers = [d for d in rep.diagnostics if d.code == "UC301"]
+        assert routers
+        assert routers[0].line == 3
+        assert "router" in routers[0].message
+
+    def test_news_shift_is_uc303(self):
+        rep = lint_program(
+            "index_set I:i = {0..6};\nint a[8], b[8];\n"
+            "main { par (I) a[i] = b[i + 1]; }"
+        )
+        news = [d for d in rep.diagnostics if d.code == "UC303"]
+        assert news and "permute" in news[0].hint
+
+    def test_spread_is_uc302_with_copy_hint(self):
+        rep = lint_program(
+            "index_set I:i = {0..3}, K:k = I;\nint v[4], m[4][4];\n"
+            "main { par (I, K) m[i][k] = v[i]; }"
+        )
+        spreads = [d for d in rep.diagnostics if d.code == "UC302"]
+        assert spreads and "copy" in spreads[0].hint
+
+    def test_permute_map_silences_the_lint(self):
+        src = (
+            "index_set I:i = {0..6};\nint a[8], b[8];\n"
+            "map (I) { permute (I) b[i+1] :- a[i]; }\n"
+            "main { par (I) a[i] = a[i] + b[i + 1]; }"
+        )
+        assert not lint_program(src).has("UC303")
+        assert lint_program(src, apply_maps=False).has("UC303")
+
+
+class TestHygiene:
+    def test_unused_index_set(self):
+        rep = lint_program(
+            "index_set I:i = {0..7}, DEAD:q = {0..3};\nint a[8];\n"
+            "main { par (I) a[i] = i; }"
+        )
+        unused = [d for d in rep.diagnostics if d.code == "UC401"]
+        assert unused and "DEAD" in unused[0].message
+
+    def test_shadowed_element(self):
+        rep = lint_program(
+            "index_set I:i = {0..3};\nint a[4];\n"
+            "main { par (I) par (I) a[i] = 0; }"
+        )
+        assert rep.has("UC402")
+
+    def test_dead_arm(self):
+        rep = lint_program(
+            "index_set I:i = {0..7};\nint a[8];\n"
+            "main { par (I) st (0) a[i] = 1; }"
+        )
+        assert rep.has("UC403")
+
+
+class TestFrontEndErrors:
+    def test_syntax_error_is_uc001(self):
+        rep = lint_program("main { par (I a[i] = 0; }")
+        assert rep.has("UC001") and rep.exit_code() == 1
+
+    def test_semantic_error_is_uc002(self):
+        rep = lint_program("index_set I:i = {0..N-1};\nmain { }")
+        assert rep.has("UC002")
+        assert rep.errors[0].line > 0
+
+
+class TestReportFormats:
+    SRC = (
+        "index_set I:i = {0..7}, J:j = I;\nint a[8];\n"
+        "main { par (I, J) a[i] = j; }"
+    )
+
+    def test_text_has_footer(self):
+        text = lint_program(self.SRC, filename="race.uc").render_text()
+        assert "race.uc:" in text and "error(s)" in text
+
+    def test_json_roundtrips(self):
+        data = json.loads(lint_program(self.SRC, filename="race.uc").render_json())
+        assert data["file"] == "race.uc"
+        assert data["errors"] >= 1
+        assert any(d["code"] == "UC101" for d in data["diagnostics"])
+
+    def test_diagnostics_sorted_by_position(self):
+        rep = lint_program(self.SRC)
+        lines = [d.line for d in rep.diagnostics]
+        assert lines == sorted(lines)
+
+
+class TestExamplesGate:
+    """The shipped examples must stay lint-clean (no errors)."""
+
+    @pytest.mark.parametrize(
+        "name", sorted(p.name for p in EXAMPLES.glob("*.uc"))
+    )
+    def test_example_has_no_errors(self, name):
+        rep = lint_program(
+            (EXAMPLES / name).read_text(),
+            defines=EXAMPLE_DEFINES.get(name, {}),
+            filename=name,
+        )
+        assert rep.errors == [], rep.render_text()
+        assert rep.warnings == [], rep.render_text()
+
+
+class TestDslLint:
+    def test_builder_lint_finds_structural_race(self):
+        from repro.ucdsl import UCBuilder
+
+        b = UCBuilder()
+        I, i = b.index_set("I", "i", range(8))
+        J, j = b.alias("J", "j", I)
+        a = b.int_array("a", 8)
+        with b.main():
+            with b.par(I, J):
+                a[i].set(j)
+        rep = b.lint()
+        assert any(d.code in ("UC101", "UC102") for d in rep.diagnostics)
+
+    def test_builder_lint_clean_program(self):
+        from repro.ucdsl import UCBuilder
+
+        b = UCBuilder()
+        I, i = b.index_set("I", "i", range(8))
+        a = b.int_array("a", 8)
+        with b.main():
+            with b.par(I):
+                a[i].set(i)
+        rep = b.lint()
+        assert rep.errors == []
+
+
+class TestCli:
+    def test_lint_subcommand_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        good = tmp_path / "good.uc"
+        good.write_text(
+            "index_set I:i = {0..7};\nint a[8];\nmain { par (I) a[i] = i; }"
+        )
+        bad = tmp_path / "bad.uc"
+        bad.write_text(
+            "index_set I:i = {0..7}, J:j = I;\nint a[8];\n"
+            "main { par (I, J) a[i] = j; }"
+        )
+        assert main(["lint", str(good)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "UC101" in out
+
+    def test_lint_werror_and_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        warn = tmp_path / "warn.uc"
+        warn.write_text(
+            "index_set I:i = {0..7}, DEAD:q = {0..3};\nint a[8];\n"
+            "main { par (I) a[i] = i; }"
+        )
+        assert main(["lint", str(warn)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(warn), "--werror"]) == 1
+        capsys.readouterr()
+        assert main(["lint", str(warn), "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["warnings"] >= 1

@@ -1,0 +1,216 @@
+"""Runtime sanitizer tests: static claims vs observed engine behaviour."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitize import Sanitizer
+from repro.interp.program import UCProgram
+from repro.lang.errors import (
+    UCMultipleAssignmentError,
+    UCSanitizerError,
+)
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "uc"
+EXAMPLE_DEFINES = {"apsp.uc": {"N": 8}, "histogram.uc": {"N": 16}}
+
+
+def run_sanitized(src, inputs=None, **kwargs):
+    prog = UCProgram(src, sanitize=True, **kwargs)
+    return prog, prog.run(inputs or {})
+
+
+class TestDifferential:
+    """Every example runs clean under the sanitizer on both engines."""
+
+    @pytest.mark.parametrize(
+        "name", sorted(p.name for p in EXAMPLES.glob("*.uc"))
+    )
+    @pytest.mark.parametrize("plans", [True, False], ids=["plans", "oracle"])
+    def test_example_is_contradiction_free(self, name, plans):
+        src = (EXAMPLES / name).read_text()
+        _prog, result = run_sanitized(
+            src, defines=EXAMPLE_DEFINES.get(name, {}), plans=plans
+        )
+        assert result.sanitizer["writes_checked"] > 0
+        assert result.sanitizer["tier_sites_verified"] == (
+            result.sanitizer["tier_sites_observed"]
+        )
+
+    @pytest.mark.parametrize(
+        "name", sorted(p.name for p in EXAMPLES.glob("*.uc"))
+    )
+    def test_sanitized_engines_fingerprint_match(self, name):
+        src = (EXAMPLES / name).read_text()
+        defines = EXAMPLE_DEFINES.get(name, {})
+        fps = []
+        for plans in (True, False):
+            _prog, result = run_sanitized(src, defines=defines, plans=plans)
+            fps.append(result.fingerprint)
+        assert fps[0] == fps[1]
+
+    @pytest.mark.parametrize(
+        "name", sorted(p.name for p in EXAMPLES.glob("*.uc"))
+    )
+    def test_sanitize_off_fingerprint_unchanged(self, name):
+        """The sanitizer must be cost-free: with it off, fingerprints are
+        bit-identical to a plain run; with it on, they equal log_tiers
+        runs (its only observable side channel is the tier log)."""
+        src = (EXAMPLES / name).read_text()
+        defines = EXAMPLE_DEFINES.get(name, {})
+        plain = UCProgram(src, defines=defines).run().fingerprint
+        off = UCProgram(src, defines=defines, sanitize=False).run().fingerprint
+        assert plain == off
+        logged = UCProgram(src, defines=defines, log_tiers=True).run().fingerprint
+        sanitized = UCProgram(src, defines=defines, sanitize=True).run().fingerprint
+        assert logged == sanitized
+
+
+class TestEnvToggle:
+    def test_repro_sanitize_env_arms_the_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        prog = UCProgram(
+            "index_set I:i = {0..7};\nint a[8];\nmain { par (I) a[i] = i; }"
+        )
+        result = prog.run()
+        assert prog.last_interpreter.sanitizer is not None
+        assert result.sanitizer["writes_checked"] == 1
+
+    def test_off_by_default(self):
+        prog = UCProgram(
+            "index_set I:i = {0..7};\nint a[8];\nmain { par (I) a[i] = i; }"
+        )
+        result = prog.run()
+        assert prog.last_interpreter.sanitizer is None
+        assert result.sanitizer == {}
+
+
+class TestWriteClaims:
+    SRC = (
+        "index_set I:i = {0..7};\nint a[8], p[8];\n"
+        "main { par (I) a[p[i]] = 1; }"
+    )
+
+    @pytest.mark.parametrize("plans", [True, False], ids=["plans", "oracle"])
+    def test_benign_duplicates_at_unclaimed_site_pass(self, plans):
+        # p collapses every lane onto element 0 with equal values: legal
+        # under §3.4, and the analyzer claimed nothing (data-dependent)
+        _prog, result = run_sanitized(
+            self.SRC, {"p": np.zeros(8, dtype=np.int64)}, plans=plans
+        )
+        assert result.sanitizer["duplicate_writes"] > 0
+
+    def test_duplicate_at_proven_injective_site_is_hard_failure(self):
+        # simulate an analyzer/engine disagreement: upgrade the
+        # data-dependent claim to 'injective', then feed a duplicate
+        prog = UCProgram(self.SRC)
+        san = Sanitizer(prog.info, prog.layouts)
+        target = _find_index_node(prog.info.program, "a")
+        san.write_claims[(target.line, target.col, target.base)] = "injective"
+        with pytest.raises(UCSanitizerError) as exc:
+            san.record_write(target, has_dup=True)
+        assert "injective" in str(exc.value)
+
+
+def _find_index_node(program, base):
+    from repro.lang import ast
+
+    found = []
+
+    def walk(node):
+        if isinstance(node, ast.Index) and node.base == base:
+            found.append(node)
+        for child in ast.children(node):
+            walk(child)
+
+    walk(program.main)
+    return found[0]
+
+
+class TestTierCrossCheck:
+    def test_contradicting_tier_log_raises(self):
+        src = (
+            "index_set I:i = {0..6};\nint a[8], b[8];\n"
+            "main { par (I) a[i] = b[i + 1]; }"
+        )
+        prog = UCProgram(src, sanitize=True)
+        prog.run()
+        interp = prog.last_interpreter
+        # the run verified cleanly; now forge an observation the static
+        # verdict excludes and re-run the cross-check
+        key = next(k for k in interp.tier_log if k[1] == "b")
+        interp.tier_log[key].add("router")
+        with pytest.raises(UCSanitizerError) as exc:
+            interp.sanitizer.cross_check(interp)
+        assert "contradict" in str(exc.value)
+
+    def test_claims_respect_disabled_tiers(self):
+        # with REPRO_NO_COMM_TIERS semantics the expected set is computed
+        # with enabled=False, so a router observation is consistent
+        src = (
+            "index_set I:i = {0..6};\nint a[8], b[8];\n"
+            "main { par (I) a[i] = b[i + 1]; }"
+        )
+        prog = UCProgram(src, sanitize=True, comm_tiers=False)
+        result = prog.run()
+        assert result.sanitizer["tier_sites_verified"] == (
+            result.sanitizer["tier_sites_observed"]
+        )
+
+
+class TestEnrichedErrors:
+    """Satellite: the §3.4 runtime error names colliding VPs, element and
+    construct (both engines)."""
+
+    SRC = (
+        "index_set I:i = {0..3}, J:j = I;\nint a[4], c[4];\n"
+        "main { par (I, J) a[i] = c[j]; }"
+    )
+
+    @pytest.mark.parametrize("plans", [True, False], ids=["plans", "oracle"])
+    def test_message_names_element_values_and_construct(self, plans):
+        prog = UCProgram(self.SRC, plans=plans)
+        with pytest.raises(UCMultipleAssignmentError) as exc:
+            prog.run({"c": np.array([1, 2, 3, 4])})
+        msg = str(exc.value)
+        assert "[UC101]" in msg
+        assert "element a[" in msg
+        assert "VPs (" in msg
+        assert "line 3" in msg  # the enclosing par
+        assert "$," in msg
+        assert exc.value.line == 3
+
+    @pytest.mark.parametrize("plans", [True, False], ids=["plans", "oracle"])
+    def test_scalar_message_reports_values(self, plans):
+        src = "index_set I:i = {0..3};\nint s;\nmain { par (I) s = i; }"
+        with pytest.raises(UCMultipleAssignmentError) as exc:
+            UCProgram(src, plans=plans).run()
+        msg = str(exc.value)
+        assert "[UC101]" in msg and "scalar 's'" in msg and "$," in msg
+
+    def test_plan_memo_path_also_enriched(self):
+        # second sweep hits the scatter memo: the error must be as rich
+        src = (
+            "index_set I:i = {0..3}, J:j = I, K:k = {0..1};\n"
+            "int a[4], c[4];\n"
+            "main { seq (K) par (I, J) a[i] = c[j] + k - k; }"
+        )
+        prog = UCProgram(src, plans=True)
+        with pytest.raises(UCMultipleAssignmentError) as exc:
+            prog.run({"c": np.array([1, 2, 3, 4])})
+        assert "[UC101]" in str(exc.value)
+
+
+class TestStatsLine:
+    def test_run_stats_prints_sanitizer_summary(self, capsys, tmp_path):
+        from repro.cli import main
+
+        f = tmp_path / "p.uc"
+        f.write_text(
+            "index_set I:i = {0..6};\nint a[8], b[8];\n"
+            "main { par (I) a[i] = b[i + 1]; }"
+        )
+        assert main(["run", str(f), "--sanitize", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitizer:" in out and "0 contradictions" in out

@@ -225,3 +225,136 @@ class TestMapSections:
     def test_copy_needs_extra_subscript(self):
         with pytest.raises(UCSemanticError):
             check(self.SRC + "map (I) { copy (I) b[i] :- b[i]; }")
+
+
+class TestErrorPositions:
+    """Analyzer errors must carry the offending source position (used by
+    ``repro lint`` to anchor UC002 diagnostics) and a precise message."""
+
+    @staticmethod
+    def fails(src, defines=None):
+        with pytest.raises(UCSemanticError) as exc:
+            check(src, defines)
+        return exc.value
+
+    def test_non_constant_bound_names_symbol_and_line(self):
+        err = self.fails("int x;\nindex_set I:i = {0..x};")
+        assert "'x' is not a compile-time constant" in err.message
+        assert err.line == 2 and err.col > 0
+
+    def test_division_by_zero_in_constant(self):
+        err = self.fails("index_set I:i = {0..4/0};")
+        assert "division by zero in constant" in err.message
+        assert err.line == 1 and err.col > 0
+
+    def test_empty_range_reports_bounds(self):
+        err = self.fails("index_set I:i = {5..2};")
+        assert "empty index-set range {5..2} for 'I'" in err.message
+        assert err.line == 1
+
+    def test_unknown_alias_names_both_sets(self):
+        err = self.fails("index_set I:i = {0..3};\nindex_set J:j = K;")
+        assert "index set 'J' aliases unknown set 'K'" in err.message
+        assert err.line == 2
+
+    def test_element_collision_reports_existing_kind(self):
+        err = self.fails("int i;\nindex_set I:i = {0..3};")
+        assert "element name 'i' collides with a" in err.message
+        assert err.line == 2
+
+    def test_duplicate_function_positions_at_second_def(self):
+        err = self.fails(
+            "int f(int x) { return x; }\nint f(int y) { return y; }\nmain { }"
+        )
+        assert "duplicate function 'f'" in err.message
+        assert err.line == 2
+
+    def test_non_positive_extent_reports_value(self):
+        err = self.fails("int a[0];")
+        assert "array 'a' has non-positive extent 0" in err.message
+        assert err.line == 1
+
+    def test_array_initializer_rejected(self):
+        err = self.fails("int a[4] = 3;")
+        assert "array 'a' cannot have an initializer" in err.message
+        assert err.line == 1
+
+    def test_map_unknown_array(self):
+        err = self.fails(
+            "index_set I:i = {0..7};\nint a[8];\n"
+            "map (I) { permute (I) q[i] :- a[i]; }"
+        )
+        assert "map section references unknown array 'q'" in err.message
+        assert err.line == 3
+
+    def test_map_rank_mismatch_reports_both_ranks(self):
+        err = self.fails(
+            "index_set I:i = {0..7};\nint a[8], b[8];\n"
+            "map (I) { permute (I) b[i][i] :- a[i]; }"
+        )
+        assert "has 2 subscripts, array rank is 1" in err.message
+        assert err.line == 3
+
+    def test_duplicate_element_in_cartesian_product(self):
+        err = self.fails(
+            "index_set I:i = {0..3};\nint a[4];\n"
+            "main { par (I, I) a[i] = 0; }"
+        )
+        assert "element identifier 'i' appears twice" in err.message
+        assert err.line == 3
+
+    def test_fold_onto_other_array(self):
+        err = self.fails(
+            "index_set I:i = {0..7};\nint a[8], b[8];\n"
+            "map (I) { fold (I) b[i+4] :- a[i]; }"
+        )
+        assert "fold mapping must fold an array onto itself" in err.message
+        assert err.line == 3
+
+    def test_solve_multiple_statements_per_array(self):
+        err = self.fails(
+            "index_set I:i = {0..3};\nint a[4];\n"
+            "main { solve (I) { a[0] = 1; a[i] = a[i - 1]; } }"
+        )
+        assert (
+            "solve body assigns 'a' in more than one statement" in err.message
+        )
+        assert err.line == 3
+
+    def test_solve_body_non_assignment(self):
+        err = self.fails(
+            "index_set I:i = {0..3};\nint a[4];\n"
+            "main { solve (I) { print(i); } }"
+        )
+        assert (
+            "solve body must consist solely of assignment statements"
+            in err.message
+        )
+        assert err.line == 3
+
+    def test_over_subscripted_array_reports_ranks(self):
+        err = self.fails(
+            "index_set I:i = {0..3};\nint a[4];\n"
+            "main { par (I) a[i][i] = 0; }"
+        )
+        assert "indexed with 2 subscripts, rank is 1" in err.message
+        assert err.line == 3
+
+    def test_assign_to_index_set_element(self):
+        err = self.fails(
+            "index_set I:i = {0..3};\nint a[4];\nmain { par (I) i = 0; }"
+        )
+        assert "cannot assign to 'i'" in err.message
+        assert err.line == 3
+
+    def test_user_function_arity_reports_counts(self):
+        err = self.fails(
+            "int f(int x) { return x; }\nint y;\nmain { y = f(1, 2); }"
+        )
+        assert "function 'f' takes 1 argument(s), got 2" in err.message
+        assert err.line == 3
+
+    def test_builtin_arity_reports_counts(self):
+        err = self.fails("int y;\nmain { y = max(1); }")
+        assert "builtin 'max' takes 2 argument(s), got 1" in err.message
+        assert err.line == 2
