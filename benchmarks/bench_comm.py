@@ -83,7 +83,12 @@ WORKLOADS = {
 
 
 def _best_of(src, defines, *, plans, comm_tiers):
-    prog = UCProgram(src, defines=defines, plans=plans, comm_tiers=comm_tiers)
+    # fusion pinned off so the ratio isolates the tier dispatcher (fused
+    # kernels speed both modes alike and compress it toward 1x; the
+    # fused path is benchmarked in bench_fusion.py)
+    prog = UCProgram(
+        src, defines=defines, plans=plans, comm_tiers=comm_tiers, fusion=False
+    )
     best = None
     result = None
     for _ in range(REPS):

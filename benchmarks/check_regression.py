@@ -36,7 +36,12 @@ TOLERANCE = 0.20
 
 #: benchmark JSON files covered by the gate (missing files are skipped
 #: with a note so the gate can run after any subset of the benchmarks)
-BENCH_FILES = ("BENCH_interp.json", "BENCH_comm.json", "BENCH_frontier.json")
+BENCH_FILES = (
+    "BENCH_interp.json",
+    "BENCH_comm.json",
+    "BENCH_frontier.json",
+    "BENCH_fusion.json",
+)
 
 
 def _row_key(row: dict) -> str:

@@ -135,6 +135,9 @@ def cmd_run(args: argparse.Namespace) -> int:
                         "   frontier.shrink "
                         f"{100.0 * total_a / total_d:.1f}% of full-sweep VPs"
                     )
+        if result.fusion:
+            for key in sorted(result.fusion):
+                print(f"   fusion.{key:18s} {result.fusion[key]}")
         if result.recovery:
             for key in sorted(result.recovery):
                 print(f"   recovery.{key:14s} {result.recovery[key]}")
@@ -256,8 +259,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--stats",
         action="store_true",
-        help="plan-cache, communication-tier dispatch and frontier-sweep "
-        "counters (incl. per-sweep active-VP shrink ratios)",
+        help="plan-cache, communication-tier dispatch, frontier-sweep "
+        "and kernel-fusion counters (incl. per-sweep active-VP shrink "
+        "ratios and fused-segment / charge-table hit counts)",
     )
     p_run.add_argument(
         "--faults",

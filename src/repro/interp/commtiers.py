@@ -39,6 +39,7 @@ TIERS = ("local", "news", "spread", "broadcast", "permute", "router")
 
 _ENV_FLAG = "REPRO_NO_COMM_TIERS"
 _FRONTIER_ENV_FLAG = "REPRO_NO_FRONTIER"
+_FUSION_ENV_FLAG = "REPRO_NO_FUSION"
 
 
 def tiers_disabled_by_env() -> bool:
@@ -49,6 +50,16 @@ def tiers_disabled_by_env() -> bool:
 def frontier_disabled_by_env() -> bool:
     """True when the ``REPRO_NO_FRONTIER`` escape hatch is set."""
     return os.environ.get(_FRONTIER_ENV_FLAG, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+def fusion_disabled_by_env() -> bool:
+    """True when the ``REPRO_NO_FUSION`` escape hatch is set."""
+    return os.environ.get(_FUSION_ENV_FLAG, "").strip().lower() in (
         "1",
         "true",
         "yes",

@@ -73,6 +73,7 @@ class Interpreter:
         plans: bool = True,
         comm_tiers: bool = True,
         frontier: bool = True,
+        fusion: bool = True,
         log_tiers: bool = False,
         sanitize: bool = False,
         checkpoints: bool = False,
@@ -106,6 +107,11 @@ class Interpreter:
         # frontier=False or REPRO_NO_FRONTIER=1 restores full sweeps with
         # bit-identical fingerprints
         self.frontier_enabled = bool(frontier) and not commtiers.frontier_disabled_by_env()
+        # kernel fusion: iterated construct bodies lowered to whole-array
+        # register programs with static charge tables (see
+        # :mod:`repro.interp.fuse`); fusion=False or REPRO_NO_FUSION=1
+        # restores the per-closure plan engine, bit-identically
+        self.fusion_enabled = bool(fusion) and not commtiers.fusion_disabled_by_env()
         # runtime sanitizer (REPRO_SANITIZE=1 / sanitize=True): static
         # claims from the analyzer, cross-checked against observed
         # behaviour after the run — it needs the tier log armed

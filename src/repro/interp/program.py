@@ -76,6 +76,10 @@ class RunResult:
         self.frontier: Dict[str, int] = dict(interp.machine.clock.frontier_counts)
         #: per-compressed-sweep (active, domain) lane counts
         self.frontier_trace = list(interp.machine.clock.frontier_trace)
+        #: kernel-fusion counters (constructs/kernels built, fused vs
+        #: unfused segments, fused/fallback sweeps, charge-table hits;
+        #: empty when fusion is off or nothing fused)
+        self.fusion: Dict[str, int] = dict(interp.machine.clock.fusion_counts)
         #: sanitizer summary (claims checked/verified; empty when off) —
         #: filled in by UCProgram.run after the cross-check passes
         self.sanitizer: Dict[str, int] = {}
@@ -147,6 +151,15 @@ class UCProgram:
         simulated Clock is never higher than with full sweeps.  Set False
         (or export ``REPRO_NO_FRONTIER=1``) to restore full sweeps with
         bit-identical fingerprints to the non-frontier build.
+    fusion:
+        Lower construct bodies to whole-array register programs with
+        static charge tables (see "Kernel fusion" in
+        ``docs/PERFORMANCE.md``): the steady-state sweep loop does no
+        per-statement AST, environment, or charge bookkeeping.
+        Statements the pass cannot prove static run as unfused segments
+        inside the fused sweep.  Results and Clock fingerprints are
+        bit-identical either way; set False (or export
+        ``REPRO_NO_FUSION=1``) to restore the per-closure plan engine.
     log_tiers:
         Record, per ``(line, array)`` reference site, the set of tiers
         dispatched at run time (``last_interpreter.tier_log``) — used by
@@ -191,6 +204,7 @@ class UCProgram:
         plans: bool = True,
         comm_tiers: bool = True,
         frontier: bool = True,
+        fusion: bool = True,
         log_tiers: bool = False,
         sanitize: bool = False,
         faults: Optional[Union[str, FaultPlan]] = None,
@@ -209,6 +223,7 @@ class UCProgram:
         self.plans = plans
         self.comm_tiers = comm_tiers
         self.frontier = frontier
+        self.fusion = fusion
         self.log_tiers = log_tiers
         self.sanitize = sanitize
         # parse eagerly: a bad spec should fail at construction, not mid-run
@@ -254,6 +269,7 @@ class UCProgram:
             plans=self.plans,
             comm_tiers=self.comm_tiers,
             frontier=self.frontier,
+            fusion=self.fusion,
             log_tiers=self.log_tiers,
             sanitize=self.sanitize,
             checkpoints=self.checkpoints or fault_plan is not None,

@@ -343,7 +343,13 @@ def _run_blocks_once(
     body share subexpression evaluations (§4's common sub-expression
     detection; writes invalidate as they happen).
     """
+    from . import fuse
+
+    fused = fuse.fused_for(ip, stmt, inner, plans)
     with ip.cse_arm():
+        if fused is not None:
+            sweep = fused.begin_sweep(ip, inner)
+            return fused.run_body(ip, inner, sweep)
         masks, union = _block_masks(ip, stmt, inner, plans)
         ran = False
         for k, (block, mask) in enumerate(zip(stmt.blocks, masks)):
@@ -392,19 +398,29 @@ def exec_par(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
         else:
             if sess is not None:
                 sess.full_begin()
+            from . import fuse
+
+            fused = fuse.fused_for(ip, stmt, inner, plans)
             with ip.cse_arm():
-                masks, _ = _block_masks(ip, stmt, inner, plans)
+                if fused is not None:
+                    sweep = fused.begin_sweep(ip, inner)
+                    masks = sweep.masks
+                else:
+                    masks, _ = _block_masks(ip, stmt, inner, plans)
                 ip.machine.clock.charge("global_or", vp_ratio=vps.vp_ratio)
                 ip.machine.clock.charge("host_cm_latency")
                 if not any(np.any(m) for m in masks):
                     return
-                for k, (block, mask) in enumerate(zip(stmt.blocks, masks)):
-                    if np.any(mask):
-                        sub = inner.with_mask(mask)
-                        if plans is not None:
-                            plans.stmts[k](ip, sub)
-                        else:
-                            exec_stmt(ip, block.stmt, sub)
+                if fused is not None:
+                    fused.run_body(ip, inner, sweep)
+                else:
+                    for k, (block, mask) in enumerate(zip(stmt.blocks, masks)):
+                        if np.any(mask):
+                            sub = inner.with_mask(mask)
+                            if plans is not None:
+                                plans.stmts[k](ip, sub)
+                            else:
+                                exec_stmt(ip, block.stmt, sub)
             if sess is not None:
                 sess.full_end()
                 sess.note_par_masks(masks)

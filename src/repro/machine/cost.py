@@ -51,6 +51,11 @@ class Clock:
         #: :meth:`fingerprint`, but they checkpoint/restore with the clock
         #: so replayed sweeps are not double-counted.
         self.frontier_counts: Dict[str, int] = {}
+        #: kernel-fusion counters ('constructs'/'unfusable'/'fused_segments'/
+        #: 'unfused_segments'/'fused_sweeps'/'fallback_sweeps'/
+        #: 'charge_table_hits').  Observability only, excluded from
+        #: :meth:`fingerprint`, checkpointed like ``frontier_counts``.
+        self.fusion_counts: Dict[str, int] = {}
         #: per-compressed-sweep ``(active, domain)`` lane counts, in
         #: execution order — the --stats shrink-ratio report reads this.
         self.frontier_trace: List[Tuple[int, int]] = []
@@ -102,6 +107,10 @@ class Clock:
     def count_frontier(self, key: str, n: int = 1) -> None:
         """Bump one frontier-engine counter (observability only)."""
         self.frontier_counts[key] = self.frontier_counts.get(key, 0) + n
+
+    def count_fusion(self, key: str, n: int = 1) -> None:
+        """Bump one kernel-fusion counter (observability only)."""
+        self.fusion_counts[key] = self.fusion_counts.get(key, 0) + n
 
     def trace_frontier(self, active: int, domain: int) -> None:
         """Record one compressed sweep's active-set size vs its domain."""
@@ -198,6 +207,7 @@ class Clock:
             "tier_counts": dict(self.tier_counts),
             "frontier_counts": dict(self.frontier_counts),
             "frontier_trace": list(self.frontier_trace),
+            "fusion_counts": dict(self.fusion_counts),
         }
 
     def load_state(self, state: dict) -> None:
@@ -212,6 +222,7 @@ class Clock:
         self.tier_counts = dict(state["tier_counts"])
         self.frontier_counts = dict(state.get("frontier_counts", {}))
         self.frontier_trace = list(state.get("frontier_trace", []))
+        self.fusion_counts = dict(state.get("fusion_counts", {}))
 
     # -- snapshots ---------------------------------------------------------
 
@@ -234,6 +245,7 @@ class Clock:
         self.tier_counts.clear()
         self.frontier_counts.clear()
         self.frontier_trace.clear()
+        self.fusion_counts.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Clock(t={self._time_us:.1f}us)"

@@ -90,8 +90,8 @@ def _inputs(seed, template):
     return {"v": v, "a": a}
 
 
-def _run(src, inputs, *, plans, frontier):
-    prog = UCProgram(src, plans=plans, frontier=frontier)
+def _run(src, inputs, *, plans, frontier, fusion=True):
+    prog = UCProgram(src, plans=plans, frontier=frontier, fusion=fusion)
     return prog.run({k: val.copy() for k, val in inputs.items()})
 
 
@@ -121,6 +121,31 @@ def test_frontier_matches_full_sweeps_both_engines(case):
 
     # 4. active-set sweeps never cost more simulated time than full sweeps
     assert runs[(True, True)].elapsed_us <= reference.elapsed_us, src
+
+
+@settings(max_examples=25, deadline=None)
+@given(_solve_programs())
+def test_fusion_matches_plan_engine_on_both_frontier_modes(case):
+    """Kernel fusion is invisible: same values, same Clock fingerprint,
+    whatever the frontier mode — and the tree oracle agrees on values."""
+    src, seed, template = case
+    inputs = _inputs(seed, template)
+    oracle = _run(src, inputs, plans=False, frontier=False)
+    for frontier in (True, False):
+        fused = _run(src, inputs, plans=True, frontier=frontier, fusion=True)
+        plain = _run(src, inputs, plans=True, frontier=frontier, fusion=False)
+        assert np.array_equal(fused["v"], plain["v"]), (
+            f"values diverged under fusion (frontier={frontier})\n{src}"
+        )
+        assert np.array_equal(fused["v"], oracle["v"]), (
+            f"fused values diverged from the tree oracle "
+            f"(frontier={frontier})\n{src}"
+        )
+        assert fused.fingerprint == plain.fingerprint, (
+            f"fusion changed the Clock fingerprint (frontier={frontier})"
+            f"\n{src}"
+        )
+        assert not plain.fusion, "fusion=False must not fuse"
 
 
 @settings(max_examples=15, deadline=None)
