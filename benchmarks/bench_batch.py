@@ -1,0 +1,330 @@
+"""Batched lane execution benchmark — ``run_batch`` vs instance loops.
+
+Parameter sweeps run one UC program over many inputs.  The baseline is
+the honest cold loop: a fresh ``UCProgram`` per instance with the
+compile store disabled, paying parse/analysis/plan/kernel builds every
+time.  Two optimizations attack it from different sides:
+
+* the **cross-run compile store** (``warm-store`` rows) keeps the cold
+  loop but shares a :class:`CompileStore`, so instances 2..S reuse the
+  compiled artifacts and pay execution only;
+* the **batched lane engine** (``batched`` rows,
+  ``UCProgram.run_batch``) stacks all S instances on a lane axis and
+  executes them in a single pass — one fused sweep serves every lane,
+  and each lane's Clock replays the static charge table so per-lane
+  fingerprints stay bit-identical to S solo runs (asserted below).
+
+Workloads:
+
+* ``apsp`` — min-plus APSP over connected chain graphs with per-lane
+  edge weights: every lane sweeps the full fixed-point depth, so this
+  measures pure lane-stacking throughput.  The acceptance row: batched
+  instance throughput at S=32 must be at least 4x the sequential cold
+  loop (full sizes).
+* ``wavefront`` — the wavefront recurrence with per-lane border seeds:
+  ternary guards, NEWS gathers and lane-varying values through the
+  fused path.
+* ``divergent`` — a ``*par st`` drain whose lanes converge at very
+  different sweep counts (depth k for lane k): lanes retire one by one
+  and the stack compacts, so this row keeps the retirement path honest
+  rather than showing off.
+
+Writes ``BENCH_batch.json`` at the repository root plus the usual text
+report under ``benchmarks/results/``.
+
+Run small (CI smoke): ``python benchmarks/bench_batch.py --small``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.interp.compile_store import CompileStore
+from repro.interp.program import UCProgram
+
+from _common import save_report
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+REPS = 3
+
+APSP_UC = """
+index_set I:i = {0..N-1}, J:j = I, K:k = I;
+int dist[N][N];
+main {
+    *solve (I, J)
+        dist[i][j] = $<(K; dist[i][k] + dist[k][j]);
+}
+"""
+
+WAVEFRONT_UC = """
+index_set I:i = {0..N-1}, J:j = I;
+int a[N][N];
+main {
+    *solve (I, J)
+        a[i][j] = (i == 0 || j == 0) ? a[i][j]
+                : a[i-1][j] + a[i-1][j-1] + a[i][j-1];
+}
+"""
+
+DRAIN_UC = """
+index_set I:i = {0..N-1}, J:j = I;
+int a[N][N];
+int b[N][N];
+main {
+    *par (I, J) st (a[i][j] > 0) {
+        b[i][j] = b[i][j] + a[i][j];
+        a[i][j] = a[i][j] - 1;
+    }
+}
+"""
+
+FULL = {"apsp": 64, "wavefront": 48, "drain": 64, "batches": (1, 4, 16, 32, 64), "divergent": 32}
+SMALL = {"apsp": 16, "wavefront": 12, "drain": 16, "batches": (1, 4, 8), "divergent": 8}
+
+
+def _chain_input(n: int, w: int) -> dict:
+    d = np.full((n, n), 10**9, dtype=np.int64)
+    np.fill_diagonal(d, 0)
+    for v in range(n - 1):
+        d[v, v + 1] = w
+        d[v + 1, v] = w
+    return {"dist": d}
+
+
+def _wavefront_input(n: int, seed: int) -> dict:
+    a = np.zeros((n, n), dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    a[0, :] = rng.integers(1, 9, size=n)
+    a[:, 0] = rng.integers(1, 9, size=n)
+    return {"a": a}
+
+
+def _drain_input(n: int, depth: int) -> dict:
+    return {
+        "a": np.full((n, n), depth, dtype=np.int64),
+        "b": np.zeros((n, n), dtype=np.int64),
+    }
+
+
+def _copies(inputs):
+    return [{k: v.copy() for k, v in inp.items()} for inp in inputs]
+
+
+def _time_seq(src, defines, inputs, store):
+    """Fresh ``UCProgram`` per instance; ``store`` is None (cold) or a
+    shared CompileStore (warm)."""
+    best = None
+    results = None
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        results = [
+            UCProgram(src, defines=defines, compile_store=store).run(inp)
+            for inp in _copies(inputs)
+        ]
+        dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+    return best, results
+
+
+def _time_batch(src, defines, inputs):
+    best = None
+    results = None
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        results = UCProgram(src, defines=defines, compile_store=None).run_batch(
+            _copies(inputs)
+        )
+        dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+    return best, results
+
+
+def _assert_lanes_identical(name, solo, batch):
+    for i, (a, b) in enumerate(zip(solo, batch)):
+        for var in a.keys():
+            va, vb = a[var], b[var]
+            same = (
+                np.array_equal(va, vb) if isinstance(va, np.ndarray) else va == vb
+            )
+            assert same, f"{name}: lane {i} diverged on {var!r}"
+        assert a.fingerprint == b.fingerprint, (
+            f"{name}: lane {i} Clock fingerprint diverged from the solo run"
+        )
+
+
+def _workload_rows(name, src, defines, make_input, batches):
+    rows = []
+    checked = False
+    for s in batches:
+        inputs = [make_input(k) for k in range(s)]
+        label = f"{name} S={s}"
+        cold_t, cold_r = _time_seq(src, defines, inputs, None)
+        warm_t, _ = _time_seq(src, defines, inputs, CompileStore())
+        batch_t, batch_r = _time_batch(src, defines, inputs)
+        if not checked and s > 1:
+            # per-lane identity (values + fingerprints) vs the cold loop;
+            # once per workload keeps the bench honest without rerunning
+            # the whole matrix
+            _assert_lanes_identical(label, cold_r, batch_r)
+            checked = True
+        base = dict(
+            instances=s,
+            seq_cold_ms=cold_t * 1e3,
+            per_instance_cold_ms=cold_t * 1e3 / s,
+        )
+        rows.append(
+            {
+                "workload": label,
+                "engine": "warm-store",
+                "ms": warm_t * 1e3,
+                "speedup": cold_t / warm_t,
+                **base,
+            }
+        )
+        rows.append(
+            {
+                "workload": label,
+                "engine": "batched",
+                "ms": batch_t * 1e3,
+                "speedup": cold_t / batch_t,
+                "batched_lanes": batch_r[-1].compile.get("batched_lanes", 0.0),
+                **base,
+            }
+        )
+    return rows
+
+
+def run_bench(small: bool = False):
+    sizes = SMALL if small else FULL
+    rows = []
+
+    n = sizes["apsp"]
+    rows.extend(
+        _workload_rows(
+            f"apsp n={n}",
+            APSP_UC,
+            {"N": n},
+            lambda k: _chain_input(n, 1 + k % 7),
+            sizes["batches"],
+        )
+    )
+
+    n = sizes["wavefront"]
+    rows.extend(
+        _workload_rows(
+            f"wavefront n={n}",
+            WAVEFRONT_UC,
+            {"N": n},
+            lambda k: _wavefront_input(n, k),
+            sizes["batches"],
+        )
+    )
+
+    # divergent lane depths: lane k drains in k+1 sweeps, so retirement
+    # and stack compaction run constantly
+    n = sizes["drain"]
+    s = sizes["divergent"]
+    rows.extend(
+        _workload_rows(
+            f"divergent n={n}",
+            DRAIN_UC,
+            {"N": n},
+            lambda k: _drain_input(n, 1 + k),
+            (s,),
+        )
+    )
+    return rows, small
+
+
+def check_bench(rows, small: bool) -> None:
+    by_key = {(r["workload"], r["engine"]): r for r in rows}
+    if not small:
+        # the acceptance row: batched instance throughput at S=32 at
+        # least 4x the sequential cold loop on chain APSP n=64
+        row = by_key[("apsp n=64 S=32", "batched")]
+        assert row["speedup"] >= 4.0, (
+            f"apsp n=64 S=32: batched speedup {row['speedup']:.2f}x below "
+            f"the 4x acceptance bar"
+        )
+        assert row["batched_lanes"] == 32.0, (
+            f"apsp n=64 S=32 did not stay on the lane engine: {row}"
+        )
+    for r in rows:
+        if r["engine"] == "batched" and r["instances"] == 1:
+            # a single lane must not pay a batching cliff
+            assert r["speedup"] >= 0.5, (
+                f"{r['workload']}: single-instance batch overhead exceeded "
+                f"2x ({r['speedup']:.2f}x)"
+            )
+
+
+def write_json(rows, small: bool) -> Path:
+    out = REPO_ROOT / "BENCH_batch.json"
+    out.write_text(
+        json.dumps(
+            {
+                "benchmark": "batched lane engine + compile store vs "
+                "sequential instance loops",
+                "mode": "small" if small else "full",
+                "reps": REPS,
+                "escape_hatch": "REPRO_NO_BATCH=1",
+                "baseline": "fresh UCProgram per instance, compile store "
+                "disabled (cold loop)",
+                "rows": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    return out
+
+
+def report(rows, small: bool) -> None:
+    table = format_table(
+        [
+            "workload",
+            "mode",
+            "total (ms)",
+            "cold loop (ms)",
+            "speedup",
+        ],
+        [
+            (
+                r["workload"],
+                r["engine"],
+                r["ms"],
+                r["seq_cold_ms"],
+                f"{r['speedup']:.2f}x",
+            )
+            for r in rows
+        ],
+        title="Batched lanes / warm compile store vs the sequential cold loop "
+        "(per-lane results and Clock fingerprints identical to solo runs)",
+    )
+    save_report("bench_batch", table)
+    path = write_json(rows, small)
+    print(f"wrote {path}")
+
+
+@pytest.mark.benchmark(group="batch")
+def test_batch_speedup(benchmark):
+    rows, small = benchmark.pedantic(run_bench, iterations=1, rounds=1)
+    check_bench(rows, small)
+    report(rows, small)
+
+
+if __name__ == "__main__":
+    is_small = "--smoke" in sys.argv[1:] or "--small" in sys.argv[1:]
+    bench_rows, bench_small = run_bench(small=is_small)
+    check_bench(bench_rows, bench_small)
+    report(bench_rows, bench_small)

@@ -41,6 +41,7 @@ BENCH_FILES = (
     "BENCH_comm.json",
     "BENCH_frontier.json",
     "BENCH_fusion.json",
+    "BENCH_batch.json",
 )
 
 

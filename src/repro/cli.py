@@ -66,8 +66,94 @@ def _load_program(args: argparse.Namespace) -> UCProgram:
         raise SystemExit(f"{args.file}: {exc}")
 
 
+def _coerce_batch_input(obj, path: str):
+    """One JSON params entry -> a run() inputs dict (lists become arrays)."""
+    if obj is None:
+        return None
+    if not isinstance(obj, dict):
+        raise SystemExit(f"{path}: each batch entry must be an object or null")
+    out = {}
+    for name, val in obj.items():
+        if isinstance(val, list):
+            arr = np.asarray(val)
+            if arr.dtype.kind in "iub":
+                arr = arr.astype(np.int64)
+            elif arr.dtype.kind == "f":
+                arr = arr.astype(np.float64)
+            else:
+                raise SystemExit(
+                    f"{path}: {name!r} must be a numeric array or scalar"
+                )
+            out[name] = arr
+        elif isinstance(val, (int, float)):
+            out[name] = val
+        else:
+            raise SystemExit(f"{path}: {name!r} must be a number or an array")
+    return out
+
+
+def _cmd_run_batch(prog: UCProgram, args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    try:
+        with open(args.batch) as fh:
+            params = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read batch params {args.batch}: {exc}")
+    if not isinstance(params, list) or not params:
+        raise SystemExit(f"{args.batch}: expected a non-empty JSON list")
+    inputs = [_coerce_batch_input(p, args.batch) for p in params]
+    t0 = time.perf_counter()
+    try:
+        results = prog.run_batch(inputs, seed=args.seed)
+    except UCError as exc:
+        raise SystemExit(f"{args.file}: runtime error: {exc}")
+    except MachineError as exc:
+        raise SystemExit(f"{args.file}: machine fault: {exc}")
+    wall_ms = (time.perf_counter() - t0) * 1e3
+    for i, result in enumerate(results):
+        if result.stdout:
+            sys.stdout.write(result.stdout)
+        for name in args.print or []:
+            if name not in result:
+                raise SystemExit(f"no variable named {name!r} in the program")
+            value = result[name]
+            if isinstance(value, np.ndarray):
+                with np.printoptions(threshold=64, linewidth=100):
+                    print(f"[{i}] {name} = {value}")
+            else:
+                print(f"[{i}] {name} = {value}")
+        line = (
+            f"-- lane {i}: simulated elapsed "
+            f"{result.elapsed_us / 1e3:.3f} ms"
+        )
+        if getattr(args, "fingerprint", False):
+            import hashlib
+
+            digest = hashlib.sha256(
+                repr(result.fingerprint).encode()
+            ).hexdigest()
+            line += f"  fingerprint {digest[:16]}"
+        print(line)
+    batched = results[-1].compile.get("batched_lanes", 0.0)
+    mode = (
+        f"batched x{int(batched)} lanes" if batched else "sequential fallback"
+    )
+    print(
+        f"-- batch: {len(results)} instances in {wall_ms:.1f} ms wall ({mode})"
+    )
+    if args.stats:
+        _print_stats(prog, results[-1])
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     prog = _load_program(args)
+    if getattr(args, "batch", None):
+        if args.profile:
+            raise SystemExit("--profile is not supported with --batch")
+        return _cmd_run_batch(prog, args)
     try:
         result = prog.run(seed=args.seed, profile=args.profile)
     except UCError as exc:
@@ -106,9 +192,27 @@ def cmd_run(args: argparse.Namespace) -> int:
             share = 100.0 * us / max(result.elapsed_us, 1e-9)
             print(f"   {us/1e3:10.2f} ms  {share:5.1f}%  {label}")
     if args.stats:
+        _print_stats(prog, result)
+    return 0
+
+
+def _print_stats(prog: UCProgram, result) -> None:
         interp = prog.last_interpreter
         assert interp is not None
         print("-- execution stats:")
+        if result.compile:
+            # wall-clock compile/execute breakdown for this run: *_s keys
+            # are seconds; recompiles counts plan-cache misses during the
+            # run (a warm compile store shows everything as zero)
+            for key in sorted(result.compile):
+                value = result.compile[key]
+                if key.endswith("_s"):
+                    print(f"   compile.{key:16s} {value * 1e3:10.3f} ms")
+                else:
+                    print(f"   compile.{key:16s} {value:g}")
+        if result.store:
+            for key in sorted(result.store):
+                print(f"   store.{key:18s} {result.store[key]}")
         cache = getattr(interp, "plan_cache", None)
         if cache is not None:
             for key, value in sorted(cache.stats().items()):
@@ -154,7 +258,6 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"   fault: {kind} during {op!r} at t={t_us:.0f}us")
         if result.dead_pes:
             print(f"   dead PEs: {result.dead_pes}")
-    return 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -251,6 +354,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--print", action="append", metavar="VAR", help="variable(s) to print"
     )
     p_run.add_argument("--ledger", action="store_true", help="print the cost ledger")
+    p_run.add_argument(
+        "--batch",
+        metavar="PARAMS_JSON",
+        help="execute one instance per entry of a JSON list of input "
+        "dicts ({\"var\": scalar-or-array, ...} or null) through the "
+        "batched lane engine; results are bit-identical to running "
+        "each instance alone (REPRO_NO_BATCH=1 forces the loop)",
+    )
     p_run.add_argument(
         "--profile",
         action="store_true",

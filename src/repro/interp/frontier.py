@@ -197,12 +197,16 @@ def _truthy_arr(v) -> np.ndarray:
 class _RefInfo:
     """One affine reference into a *modified* array, for dilation."""
 
-    __slots__ = ("base", "axes", "in_red")
+    __slots__ = ("base", "axes", "in_red", "dplan")
 
     def __init__(self, base: str, axes, in_red: bool) -> None:
         self.base = base
         self.axes = axes  # per array axis: (elem_name | None, const offset)
         self.in_red = in_red
+        # memoised dilation recipe (index vectors, collapse/transpose
+        # spec); everything in it is static per analysis, so it is built
+        # on first use and replayed every sweep
+        self.dplan = None
 
 
 class _RedInfo:
@@ -218,6 +222,7 @@ class _RedInfo:
         "entries",
         "delta_ok",
         "delta_refs",
+        "delta_vecs",
         "full_refs",
         "read_arrays",
         "node",
@@ -227,6 +232,8 @@ class _RedInfo:
         self.delta_refs: List[Tuple[str, int, int]] = []  # (base, array axis, const)
         self.full_refs: List[str] = []  # modified arrays referenced without the elem
         self.read_arrays: Set[str] = set()
+        #: memoised per-delta-ref clipped index vectors (static per analysis)
+        self.delta_vecs = None
 
 
 class _ArmInfo:
@@ -243,7 +250,14 @@ class _ArmInfo:
         "target_axes",
         "refs",
         "node",
+        "slots_ident",
     )
+
+    def __init__(self) -> None:
+        #: lazily computed: True when the write targets exactly the grid
+        #: (identity subscripts), so the written-slot bound IS the active
+        #: mask and the scatter simulation can be skipped
+        self.slots_ident: Optional[bool] = None
 
 
 class _Analysis:
@@ -724,17 +738,21 @@ def _compile_reduction(
 # ---------------------------------------------------------------------------
 
 
-def _dilate_ref(an: _Analysis, ref: _RefInfo, ch: np.ndarray, red_values) -> Optional[np.ndarray]:
-    """Grid-shaped bool: lanes whose reference can see a changed slot."""
-    if not ch.any():
-        return None
+def _dilate_plan(an: _Analysis, ref: _RefInfo, shape, red_values) -> Tuple:
+    """The static part of one reference's dilation: the clipped index
+    vectors and the collapse/transpose/reshape spec.  Everything here
+    depends only on the analysis (grid geometry, reduction ranges) and
+    the array shape, so it is computed once per reference and replayed
+    every sweep — only the change mask varies."""
     vecs = []
     out_grid_axes: List[Optional[int]] = []  # grid axis per kept output axis
+    identity = True
     for a_ax, (elem, c) in enumerate(ref.axes):
-        extent = ch.shape[a_ax]
+        extent = shape[a_ax]
         if elem is None:
             vecs.append(np.array([min(max(int(c), 0), extent - 1)], dtype=np.int64))
             out_grid_axes.append(None)
+            identity = False
         elif elem in an.grid_axis_of:
             g = an.grid_axis_of[elem]
             vecs.append(np.clip(an.axis_vals[g] + c, 0, extent - 1))
@@ -743,25 +761,58 @@ def _dilate_ref(an: _Analysis, ref: _RefInfo, ch: np.ndarray, red_values) -> Opt
             rv = np.asarray(red_values, dtype=np.int64)
             vecs.append(np.clip(rv + c, 0, extent - 1))
             out_grid_axes.append(-1)
-    sub = ch[np.ix_(*vecs)]
+        if identity and not (
+            len(vecs[-1]) == extent
+            and np.array_equal(vecs[-1], np.arange(extent))
+        ):
+            identity = False
     # collapse reduction-bound and constant axes to a presence bit each,
     # keep grid-bound axes; reorder those into grid-axis order and
     # broadcast over the grid axes the reference does not constrain
     collapse = tuple(i for i, g in enumerate(out_grid_axes) if g is None or g < 0)
+    grid_axes = [g for g in out_grid_axes if g is not None and g >= 0]
+    order = tuple(sorted(range(len(grid_axes)), key=lambda i: grid_axes[i]))
+    kept_lens = [
+        len(vecs[i]) for i, g in enumerate(out_grid_axes) if g is not None and g >= 0
+    ]
+    bshape = [1] * an.rank
+    for i in order:
+        bshape[grid_axes[i]] = kept_lens[i]
+    return (identity, tuple(vecs), collapse, order, tuple(bshape))
+
+
+def _dilate_ref(an: _Analysis, ref: _RefInfo, ch: np.ndarray, red_values) -> Optional[np.ndarray]:
+    """Grid-shaped bool: lanes whose reference can see a changed slot."""
+    if not ch.any():
+        return None
+    plan = ref.dplan
+    if plan is None:
+        plan = ref.dplan = _dilate_plan(an, ref, ch.shape, red_values)
+    identity, vecs, collapse, order, bshape = plan
+    # identity index vectors select the whole mask: skip the fancy gather
+    sub = ch if identity else ch[np.ix_(*vecs)]
     if collapse:
         sub = sub.any(axis=collapse)
-    grid_axes = [g for g in out_grid_axes if g is not None and g >= 0]
-    order = sorted(range(len(grid_axes)), key=lambda i: grid_axes[i])
-    sub = np.transpose(sub, tuple(order))
-    shape = [1] * an.rank
-    for j, i in enumerate(order):
-        shape[grid_axes[i]] = sub.shape[j]
-    sub = sub.reshape(tuple(shape))
+    sub = np.transpose(sub, order)
+    sub = sub.reshape(bshape)
     return np.broadcast_to(sub, an.grid_shape)
 
 
 def _slots_of(an: _Analysis, arm: _ArmInfo, act: np.ndarray, shape) -> np.ndarray:
     """Array-shaped bool bound on the slots ``arm`` can write from ``act``."""
+    if arm.slots_ident is None:
+        arm.slots_ident = (
+            tuple(arm.target_axes) == tuple(range(an.rank))
+            and tuple(shape) == tuple(an.grid_shape)
+            and all(
+                np.array_equal(an.axis_vals[g], np.arange(shape[a]))
+                for a, g in enumerate(arm.target_axes)
+            )
+        )
+    if arm.slots_ident:
+        # identity write: the written slots ARE the active lanes (callers
+        # only read the result, so returning the mask itself is safe)
+        return act
     out = np.zeros(shape, dtype=bool)
     if not act.any():
         return out
@@ -937,7 +988,9 @@ class StarSession:
             return None
         an = self.an
         machine = self.ip.machine
-        pseudo = {name: m.copy() for name, m in self.prev.items()}
+        # the write simulation below rebinds pseudo[target] to a fresh
+        # array (never mutates in place), so a dict copy suffices
+        pseudo = dict(self.prev)
         states: List[_ArmState] = []
         for arm in an.arms:
             st = _ArmState()
@@ -979,8 +1032,21 @@ class StarSession:
                     if full_k:
                         sel[:] = True
                     else:
-                        rv = np.asarray(red.values, dtype=np.int64)
-                        for base_name, a_ax, c in red.delta_refs:
+                        if red.delta_vecs is None:
+                            rv = np.asarray(red.values, dtype=np.int64)
+                            red.delta_vecs = [
+                                (
+                                    base_name,
+                                    a_ax,
+                                    np.clip(
+                                        rv + c,
+                                        0,
+                                        pseudo[base_name].shape[a_ax] - 1,
+                                    ),
+                                )
+                                for base_name, a_ax, c in red.delta_refs
+                            ]
+                        for base_name, a_ax, idx_vec in red.delta_vecs:
                             ch = pseudo[base_name]
                             if not ch.any():
                                 continue
@@ -988,7 +1054,7 @@ class StarSession:
                                 x for x in range(ch.ndim) if x != a_ax
                             )
                             vec = ch.any(axis=other) if other else ch
-                            sel |= vec[np.clip(rv + c, 0, ch.shape[a_ax] - 1)]
+                            sel |= vec[idx_vec]
                     k_eff = int(np.count_nonzero(sel))
                     if k_eff == 0:
                         st.L = 0  # nothing feeds this reduction: arm is a no-op

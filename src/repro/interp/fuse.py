@@ -129,14 +129,7 @@ class _Recorder:
 
 def _replay(clock, entries) -> None:
     """Re-issue a recorded charge table against the real clock."""
-    for e in entries:
-        tag = e[0]
-        if tag == "c":
-            clock.charge(e[1], count=e[2], vp_ratio=e[3])
-        elif tag == "s":
-            clock.charge_scan(e[1], vp_ratio=e[2], steps_per_level=e[3])
-        else:
-            clock.count_tier(e[1])
+    clock.replay(entries)
 
 
 # ---------------------------------------------------------------------------
@@ -1407,6 +1400,8 @@ class FusedConstruct:
         "others_segments",
         "fused_count",
         "unfused_count",
+        "_bound",
+        "_slots",
     )
 
     def __init__(
@@ -1437,12 +1432,28 @@ class FusedConstruct:
         self.others_segments = others_segments
         self.fused_count = fused_count
         self.unfused_count = unfused_count
+        #: currently bound ScalarVar/ArrayVar per name (starts at the
+        #: compile-time bindings; updated when a sweep rebinds)
+        self._bound: Dict[str, Any] = {
+            name: expected for kind, name, expected in checks
+            if kind in ("scalar", "array")
+        }
+        self._slots: Optional[Dict[str, List[Tuple[Any, str]]]] = None
 
     # -- validation --------------------------------------------------------
 
     def validate(self, ip, inner) -> bool:
         """Re-check every binding the compile specialised on.  A False here
-        is a per-sweep fallback to the plan engine, not an error."""
+        is a per-sweep fallback to the plan engine, not an error.
+
+        Scalar and array bindings are compared structurally, not by
+        identity: the kernel may be served from the shared compile store
+        to a different interpreter (a later run, another ``UCProgram``
+        of the same source, a batch lane), whose environment holds fresh
+        but shape/dtype/layout-equal variables.  An equivalent binding
+        is spliced into the steps (:meth:`_rebind`); anything else — a
+        changed layout object, shape, dtype or ctype — still falls back.
+        """
         if inner.mask is not None or tuple(inner.grid.shape) != self.shape:
             return False
         env = inner.env
@@ -1465,13 +1476,76 @@ class FusedConstruct:
                     or b.axis != expected
                 ):
                     return False
-            elif kind in ("scalar", "array"):
-                if b is not expected:
-                    return False
+            elif kind == "scalar":
+                if b is not self._bound[name]:
+                    if (
+                        not isinstance(b, ScalarVar)
+                        or b.ctype != expected.ctype
+                    ):
+                        return False
+                    self._rebind(name, b)
+            elif kind == "array":
+                if b is not self._bound[name]:
+                    # the gather recipes / scatter index vectors baked in
+                    # at compile time are functions of layout and shape
+                    # only, so any same-layout same-shape array of the
+                    # same dtype can be spliced in
+                    if (
+                        not isinstance(b, ArrayVar)
+                        or b.ctype != expected.ctype
+                        or b.layout is not expected.layout
+                        or b.shape != expected.shape
+                        or b.dtype != expected.dtype
+                    ):
+                        return False
+                    self._rebind(name, b)
             else:  # const
                 if isinstance(b, bool) or b != expected or type(b) is not type(expected):
                     return False
         return True
+
+    def _rebind(self, name: str, binding: Any) -> None:
+        """Point every step that references ``name`` at ``binding``."""
+        if self._slots is None:
+            self._slots = self._binding_slots()
+        for step, attr in self._slots.get(name, ()):
+            setattr(step, attr, binding)
+        self._bound[name] = binding
+
+    def _binding_slots(self) -> Dict[str, List[Tuple[Any, str]]]:
+        """Map binding name -> the (step, attribute) slots holding it,
+        including steps nested inside :class:`_Reduce` arms."""
+        slots: Dict[str, List[Tuple[Any, str]]] = {}
+
+        def note(step: Any, attr: str) -> None:
+            slots.setdefault(getattr(step, attr).name, []).append((step, attr))
+
+        def walk(steps) -> None:
+            for s in steps:
+                if isinstance(s, (_ReadScalar, _AssignScalar)):
+                    note(s, "var")
+                elif isinstance(s, (_Gather, _Scatter)):
+                    note(s, "arr")
+                elif isinstance(s, _Reduce):
+                    for psteps, _po, _am, esteps, _eo in s.arms:
+                        if psteps is not None:
+                            walk(psteps)
+                        walk(esteps)
+                    if s.others is not None:
+                        walk(s.others[0])
+
+        for prog in self.pred_progs:
+            if prog is not None:
+                walk(prog[1])
+        for segs in self.arm_segments:
+            for seg in segs:
+                if seg[0] == "f":
+                    walk(seg[2])
+        if self.others_segments is not None:
+            for seg in self.others_segments:
+                if seg[0] == "f":
+                    walk(seg[2])
+        return slots
 
     # -- execution ---------------------------------------------------------
 
@@ -1553,16 +1627,31 @@ class FusedConstruct:
 
 
 def _build(ip, stmt: ast.UCStmt, inner):
-    clock = ip.machine.clock
     try:
-        fused = _Fuser(ip, stmt, inner).compile_construct()
+        return _Fuser(ip, stmt, inner).compile_construct()
     except _Bail:
-        clock.count_fusion("unfusable")
         return _UNFUSABLE
+
+
+def _note_fusion(ip, stmt, sig, fused) -> None:
+    """Count the per-construct fusion telemetry once per run.
+
+    The kernel itself may come from the shared compile store, already
+    built by an earlier run — counting at build time would make a warm
+    run report zero constructs.  Counting at first use per (construct,
+    grid) per interpreter makes warm and cold runs report identically.
+    """
+    key = (id(stmt), sig)
+    if key in ip.fusion_noted:
+        return
+    ip.fusion_noted.add(key)
+    clock = ip.machine.clock
+    if fused is _UNFUSABLE:
+        clock.count_fusion("unfusable")
+        return
     clock.count_fusion("constructs")
     clock.count_fusion("fused_segments", fused.fused_count)
     clock.count_fusion("unfused_segments", fused.unfused_count)
-    return fused
 
 
 def fused_for(ip, stmt: ast.UCStmt, inner, plans) -> Optional[FusedConstruct]:
@@ -1585,9 +1674,11 @@ def fused_for(ip, stmt: ast.UCStmt, inner, plans) -> Optional[FusedConstruct]:
         return None
     if inner.mask is not None:
         return None
+    sig = tuple(inner.grid.axes)
     fused = ip.plan_cache.get_or_build(
-        "fuse", stmt, tuple(inner.grid.axes), lambda: _build(ip, stmt, inner)
+        "fuse", stmt, sig, lambda: _build(ip, stmt, inner)
     )
+    _note_fusion(ip, stmt, sig, fused)
     if fused is _UNFUSABLE:
         return None
     if not fused.validate(ip, inner):

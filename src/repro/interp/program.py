@@ -21,7 +21,8 @@ True
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Union
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -30,7 +31,13 @@ from ..lang.semantics import ProgramInfo
 from ..machine import FaultPlan, Machine, MachineConfig
 from ..mapping.maps import build_layouts
 from ..mapping.layout import LayoutTable
-from .interpreter import Interpreter
+from .compile_store import CompileStore, default_store
+from .interpreter import Interpreter, resolve_engine_flags
+from .plan_cache import PlanCache
+
+#: sentinel distinguishing "use the process-wide store" (the default)
+#: from an explicit ``compile_store=None`` (a private, per-program cache)
+_DEFAULT_STORE = object()
 
 
 class RunResult:
@@ -83,6 +90,15 @@ class RunResult:
         #: sanitizer summary (claims checked/verified; empty when off) —
         #: filled in by UCProgram.run after the cross-check passes
         self.sanitizer: Dict[str, int] = {}
+        #: compile/execute wall-time breakdown + recompile counts for
+        #: this run (parse/semantics/layouts are zero on a warm frontend
+        #: hit; plan/fuse/frontier build seconds and ``recompiles`` are
+        #: deltas over the run, so a warm run shows them all as zero) —
+        #: filled in by UCProgram.run
+        self.compile: Dict[str, float] = {}
+        #: compile-store counters after this run (empty when the program
+        #: runs with a private cache) — filled in by UCProgram.run
+        self.store: Dict[str, int] = {}
 
     def __getitem__(self, name: str) -> Union[int, float, np.ndarray]:
         return self._values[name]
@@ -189,6 +205,16 @@ class UCProgram:
         Cap on ``solve``/``*solve`` sweeps before the divergence error
         (default: the global ``MAX_SWEEPS`` backstop; also settable via
         ``REPRO_SOLVE_SWEEP_LIMIT``).
+    compile_store:
+        The content-addressed :class:`~repro.interp.compile_store.CompileStore`
+        to compile through (default: the process-wide store, so repeated
+        ``UCProgram`` constructions of the same source reuse the parsed
+        frontend, and repeated runs under the same machine config and
+        effective engine flags reuse compiled plans, fused kernels and
+        frontier analyses).  Pass ``None`` for fully private per-program
+        compilation (the pre-store behaviour).  Results and Clock
+        fingerprints are bit-identical either way: compilation charges
+        nothing on the simulated clock.
     """
 
     def __init__(
@@ -211,6 +237,7 @@ class UCProgram:
         recovery=None,
         checkpoints: bool = False,
         solve_sweep_limit: Optional[int] = None,
+        compile_store: Any = _DEFAULT_STORE,
         _ast=None,
     ) -> None:
         self.source = source
@@ -233,9 +260,48 @@ class UCProgram:
         self.recovery = recovery
         self.checkpoints = checkpoints
         self.solve_sweep_limit = solve_sweep_limit
-        self.ast = _ast if _ast is not None else parse_program(source)
-        self.info: ProgramInfo = analyze(self.ast, self.defines)
-        self.layouts: LayoutTable = build_layouts(self.info, apply_maps=apply_maps)
+        #: the shared compile store (None = private per-program caching;
+        #: programs built from an AST always compile privately — there is
+        #: no source text to content-address)
+        self.compile_store: Optional[CompileStore] = (
+            default_store() if compile_store is _DEFAULT_STORE else compile_store
+        )
+        #: per-phase frontend wall times for this object (all zero when
+        #: the store served a cached frontend)
+        self.compile_times: Dict[str, float] = {
+            "parse_s": 0.0,
+            "semantics_s": 0.0,
+            "layouts_s": 0.0,
+        }
+        #: True when parse/semantics/layouts came from the compile store
+        self.compile_cached = False
+        self._frontend_key = None
+
+        def _compile_frontend():
+            t0 = time.perf_counter()
+            tree = _ast if _ast is not None else parse_program(source)
+            t1 = time.perf_counter()
+            info = analyze(tree, self.defines)
+            t2 = time.perf_counter()
+            layouts = build_layouts(info, apply_maps=apply_maps)
+            t3 = time.perf_counter()
+            self.compile_times["parse_s"] = 0.0 if _ast is not None else t1 - t0
+            self.compile_times["semantics_s"] = t2 - t1
+            self.compile_times["layouts_s"] = t3 - t2
+            return tree, info, layouts
+
+        if self.compile_store is not None and _ast is None:
+            self._frontend_key = CompileStore.frontend_key(
+                source, self.defines, apply_maps
+            )
+            entry, self.compile_cached = self.compile_store.frontend(
+                self._frontend_key, _compile_frontend, len(source)
+            )
+            # sharing the AST object across program instances is what
+            # lines up the plan cache's id(node) keys between them
+            self.ast, self.info, self.layouts = entry.ast, entry.info, entry.layouts
+        else:
+            self.ast, self.info, self.layouts = _compile_frontend()
         self.last_interpreter: Optional[Interpreter] = None
 
     @classmethod
@@ -258,6 +324,7 @@ class UCProgram:
         """
         m = machine if machine is not None else Machine(self.machine_config, seed=seed)
         fault_plan = self.faults
+        plan_cache = self._shared_plan_cache(m, machine)
         interp = Interpreter(
             self.info,
             m,
@@ -275,6 +342,7 @@ class UCProgram:
             checkpoints=self.checkpoints or fault_plan is not None,
             recovery_policy=self.recovery,
             solve_sweep_limit=self.solve_sweep_limit,
+            plan_cache=plan_cache,
         )
         if inputs:
             interp.load_inputs(inputs)
@@ -285,15 +353,110 @@ class UCProgram:
         # fault spec means the same thing whatever the setup traffic was
         if fault_plan is not None:
             m.install_faults(fault_plan)
+        pc_before = interp.plan_cache.counters()
+        t_exec = time.perf_counter()
         try:
             interp.run_main(profile=profile)
         finally:
             if fault_plan is not None:
                 # leave the machine reusable (and the plan's log readable)
                 m.clock.fault_hook = None
+        execute_s = time.perf_counter() - t_exec
         self.last_interpreter = interp
         result = RunResult(interp)
+        result.compile = self._compile_summary(
+            interp.plan_cache.counters(), pc_before, execute_s
+        )
+        if plan_cache is not None and self.compile_store is not None:
+            result.store = self.compile_store.stats()
         if interp.sanitizer is not None:
             # hard failure on any contradiction; the summary feeds --stats
             result.sanitizer = interp.sanitizer.cross_check(interp)
         return result
+
+    def run_batch(
+        self,
+        inputs: Sequence[Optional[Dict[str, Union[int, float, np.ndarray]]]],
+        *,
+        seed: int = 20250704,
+    ) -> List[RunResult]:
+        """Execute one instance of the program per element of ``inputs``.
+
+        Each element is an inputs dict (or None/{} for defaults), exactly
+        as :meth:`run` takes; the return value is one :class:`RunResult`
+        per instance, bit-identical — values, stdout and clock
+        fingerprints — to ``[self.run(inp, seed=seed) for inp in
+        inputs]``.  When the instances share grid geometry (they always
+        do: same program, same machine config) the batched lane engine
+        executes fused ``*par``/``*solve`` sweeps once over a
+        lane-stacked array instead of once per instance; anything the
+        batched path cannot model falls back to the sequential loop
+        (``REPRO_NO_BATCH=1`` forces that loop).
+        """
+        from .batch import run_batch as _run_batch
+
+        return _run_batch(self, inputs, seed=seed)
+
+    def _shared_plan_cache(
+        self, m: Machine, machine_arg: Optional[Machine]
+    ) -> Optional[PlanCache]:
+        """The store's shared PlanCache for this (program, machine, flags).
+
+        Returns None — a private per-run cache — whenever sharing would
+        be unsound or unkeyable: no store, a program built from an AST
+        (no content key), an injected fault plan (recovery remaps
+        layouts mid-run), or a caller-provided machine (its config may
+        not describe its mutated state, e.g. dead PEs from a prior run).
+        """
+        if (
+            self.compile_store is None
+            or self._frontend_key is None
+            or self.faults is not None
+            or machine_arg is not None
+        ):
+            return None
+        flags = resolve_engine_flags(
+            solve_strategy=self.solve_strategy,
+            processor_opt=self.processor_opt,
+            cse=self.cse,
+            plans=self.plans,
+            comm_tiers=self.comm_tiers,
+            frontier=self.frontier,
+            fusion=self.fusion,
+            log_tiers=self.log_tiers,
+            sanitize=self.sanitize,
+            solve_sweep_limit=self.solve_sweep_limit,
+        )
+        cache, _existed = self.compile_store.backend(
+            self._frontend_key, m.config, flags
+        )
+        return cache
+
+    def _compile_summary(
+        self, pc_after: Dict[str, float], pc_before: Dict[str, float], execute_s: float
+    ) -> Dict[str, float]:
+        """The --stats breakdown: frontend times + per-kind build deltas."""
+        out: Dict[str, float] = {
+            "frontend_cached": float(self.compile_cached),
+            "parse_s": self.compile_times["parse_s"],
+            "semantics_s": self.compile_times["semantics_s"],
+            "layouts_s": self.compile_times["layouts_s"],
+            "execute_s": execute_s,
+            "recompiles": pc_after["misses"] - pc_before["misses"],
+        }
+        plan_s = fuse_s = frontier_s = 0.0
+        for key, after in pc_after.items():
+            if not key.startswith("build_seconds."):
+                continue
+            delta = after - pc_before.get(key, 0.0)
+            kind = key[len("build_seconds.") :]
+            if kind == "fuse":
+                fuse_s += delta
+            elif kind == "frontier":
+                frontier_s += delta
+            else:
+                plan_s += delta
+        out["plan_s"] = plan_s
+        out["fuse_s"] = fuse_s
+        out["frontier_s"] = frontier_s
+        return out

@@ -333,6 +333,9 @@ def _exec_solve_star(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
     vps = ip.grid_vpset(inner.grid.shape)
     sess = frontier.star_session(ip, stmt, inner, "solve")
     sweeps = 0
+    # the divergence diagnostic is only rendered if the sweep limit trips,
+    # so keep a thunk for the last sweep instead of formatting every sweep
+    summarize = _NO_SUMMARY
     while True:
         states = sess.plan_compressed() if sess is not None else None
         if states is not None:
@@ -341,7 +344,7 @@ def _exec_solve_star(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
             # strictly less than the measured full sweep)
             if not sess.run_compressed(states):
                 return
-            summary = sess.delta_summary()
+            summarize = sess.delta_summary
         else:
             before = _snapshot(inner, modified)
             if sess is not None:
@@ -357,17 +360,21 @@ def _exec_solve_star(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
                 sess.full_end()
             if _snapshots_equal(before, after):
                 return
-            summary = _delta_summary(before, after)
+            summarize = lambda b=before, a=after: _delta_summary(b, a)
         sweeps += 1
         if sweeps > ip.solve_sweep_limit:
             raise UCRuntimeError(
                 f"*solve exceeded the sweep limit ({ip.solve_sweep_limit}; "
                 "raise via UCProgram(solve_sweep_limit=...) or "
                 "REPRO_SOLVE_SWEEP_LIMIT); still changing each sweep: "
-                f"{summary}",
+                f"{summarize()}",
                 stmt.line,
                 stmt.col,
             )
+
+
+def _NO_SUMMARY() -> str:
+    return "nothing yet (limit of 0 sweeps?)"
 
 
 def _modified_names(stmt: ast.UCStmt) -> List[str]:

@@ -171,6 +171,41 @@ class SliceParam:
         return self.array.data[self.prefix]
 
 
+class LaneScalars:
+    """A per-lane vector of scalar values for batched lane execution.
+
+    The batched executor (:mod:`repro.interp.batch`) evaluates one
+    register program over ``S`` program instances at once.  Scalars that
+    differ between lanes (solve parameters, per-lane reduction results)
+    are carried as a ``LaneScalars`` wrapping an ``(S,)`` object vector
+    of plain python ints/floats.  Mixing a ``LaneScalars`` with a lane-
+    stacked ndarray lifts it to shape ``(S, 1, ..., 1)`` so numpy
+    broadcasting applies it lane-wise; scalar-scalar arithmetic is done
+    per lane in python, preserving solo scalar semantics exactly
+    (arbitrary precision, division-by-zero errors).
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Sequence) -> None:
+        self.values = list(values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def lifted(self, ndim: int) -> np.ndarray:
+        """As an ndarray of shape ``(S, 1, ..., 1)`` with ``ndim`` dims."""
+        arr = np.asarray(self.values)
+        return arr.reshape((len(self.values),) + (1,) * max(0, ndim - 1))
+
+    def compact(self, keep: Sequence[int]) -> "LaneScalars":
+        """A new ``LaneScalars`` holding only the lanes in ``keep``."""
+        return LaneScalars([self.values[i] for i in keep])
+
+    def __repr__(self) -> str:
+        return f"LaneScalars({self.values!r})"
+
+
 def numpy_ctype(ctype: str) -> np.dtype:
     if ctype == "float":
         return np.dtype(np.float64)

@@ -126,6 +126,25 @@ class Clock:
             "scan_step", count=levels * steps_per_level, vp_ratio=vp_ratio
         )
 
+    def replay(self, entries) -> None:
+        """Re-issue a recorded charge table.
+
+        Entries are the tuples the fusion compiler records while tracing
+        one sweep: ``("c", kind, count, vp_ratio)`` for a plain charge,
+        ``("s", n_vps, vp_ratio, steps_per_level)`` for a scan, and
+        ``("t", tier)`` for a communication-tier dispatch count.  Batched
+        execution replays the same table once per active lane, which is
+        what keeps per-lane fingerprints identical to solo runs.
+        """
+        for e in entries:
+            tag = e[0]
+            if tag == "c":
+                self.charge(e[1], count=e[2], vp_ratio=e[3])
+            elif tag == "s":
+                self.charge_scan(e[1], vp_ratio=e[2], steps_per_level=e[3])
+            else:
+                self.count_tier(e[1])
+
     def advance(self, dt: float) -> None:
         """Advance the clock by a raw amount (used by the seqc model)."""
         if dt < 0:

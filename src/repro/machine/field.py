@@ -100,3 +100,33 @@ class Field:
 
     def __repr__(self) -> str:
         return f"Field({self.name!r}, shape={self.shape}, dtype={self.dtype})"
+
+
+# ---------------------------------------------------------------------------
+# batched-lane helpers
+# ---------------------------------------------------------------------------
+
+
+def lane_stack(fields: "list[Field]") -> np.ndarray:
+    """Stack one field per lane into an ``(S,) + shape`` array (copies).
+
+    All fields must share shape and dtype — the batched executor only
+    stacks fields of lanes running the same program on the same machine
+    geometry, so a mismatch is a caller bug, not a user error.
+    """
+    if not fields:
+        raise FieldError("lane_stack needs at least one field")
+    base = fields[0]
+    for f in fields[1:]:
+        if f.data.shape != base.data.shape or f.dtype != base.dtype:
+            raise FieldError(
+                f"lane_stack mismatch: {f.name!r} {f.data.shape}/{f.dtype} "
+                f"vs {base.name!r} {base.data.shape}/{base.dtype}"
+            )
+    return np.stack([f.data for f in fields], axis=0)
+
+
+def lane_writeback(fields: "list[Field]", stacked: np.ndarray) -> None:
+    """Write each lane's slice of a stacked array back into its field."""
+    for i, f in enumerate(fields):
+        f.data[...] = stacked[i]

@@ -149,6 +149,43 @@ def test_fusion_matches_plan_engine_on_both_frontier_modes(case):
 
 
 @settings(max_examples=15, deadline=None)
+@given(_solve_programs(), st.integers(2, 4))
+def test_batch_lanes_match_solo_runs(case, n_lanes):
+    """Lane ``i`` of ``run_batch`` is bit-identical — values and Clock
+    fingerprint — to solo run ``i``, whatever the engine, frontier and
+    fusion mode.  Frontier programs exercise the lane-demotion path
+    (lanes whose sessions elect compressed sweeps finish solo)."""
+    src, seed, template = case
+    lane_inputs = [_inputs(seed ^ k, template) for k in range(n_lanes)]
+    for plans, frontier, fusion in (
+        (True, True, True),
+        (True, False, True),
+        (True, True, False),
+        (False, False, False),
+    ):
+        solo = [
+            UCProgram(src, plans=plans, frontier=frontier, fusion=fusion).run(
+                {k: v.copy() for k, v in inp.items()}
+            )
+            for inp in lane_inputs
+        ]
+        batch = UCProgram(
+            src, plans=plans, frontier=frontier, fusion=fusion
+        ).run_batch(
+            [{k: v.copy() for k, v in inp.items()} for inp in lane_inputs]
+        )
+        for i, (one, lane) in enumerate(zip(solo, batch)):
+            assert np.array_equal(one["v"], lane["v"]), (
+                f"lane {i} values diverged (plans={plans} "
+                f"frontier={frontier} fusion={fusion})\n{src}"
+            )
+            assert one.fingerprint == lane.fingerprint, (
+                f"lane {i} fingerprint diverged (plans={plans} "
+                f"frontier={frontier} fusion={fusion})\n{src}"
+            )
+
+
+@settings(max_examples=15, deadline=None)
 @given(_solve_programs())
 def test_frontier_disable_flag_restores_full_sweep_fingerprint(case):
     src, seed, template = case
