@@ -1,0 +1,283 @@
+"""Execution-service benchmark — throughput, tail latency, and chaos.
+
+``repro serve`` exists to keep many tenants' jobs flowing through a
+bounded pool of simulated machines, so this benchmark measures the
+service as a service:
+
+* **throughput rows** — S identical-shape jobs (mixed tenants) pushed
+  through ``ExecutionService``; the baseline is the honest sequential
+  loop a tenant would otherwise run (fresh ``UCProgram`` per job,
+  compile store disabled).  The service wins by coalescing identical
+  programs into ``run_batch`` lanes and sharing one compile store, and
+  the row records throughput (jobs/s) plus p50/p99 per-job latency
+  (submit -> terminal result, queueing included).  Full mode runs
+  S=1000 and S=4000; ``--small``/``--smoke`` run S=64 for CI.
+* **chaos rows** — the acceptance configuration, once per engine
+  (compiled plans and the ``REPRO_NO_PLANS=1`` oracle): a job mix where
+  a third carry a seeded fault-storm plan that exhausts in-run recovery
+  (service-level retry re-runs them clean), random snapshot preemptions
+  fire at top-level boundaries, and the service is killed mid-drain and
+  resumed from its spool.  The row asserts **zero lost jobs** and that
+  every completed job's Clock fingerprint is bit-identical to a
+  fault-free solo run of the same program.
+
+Writes ``BENCH_serve.json`` at the repository root plus the usual text
+report under ``benchmarks/results/``.
+
+Run small (CI smoke): ``python benchmarks/bench_serve.py --small``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+import pytest
+
+from repro.bench.report import format_table
+from repro.interp.program import UCProgram
+from repro.service import ExecutionService, JobSpec, RetryPolicy, ServiceConfig
+
+from _common import save_report
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: the job body: three top-level statements so preemption has
+#: boundaries to land on, and a *par drain for some real sweep work
+JOB_UC = """
+int N = 16;
+index_set I:i = {0..N-1};
+int a[16];
+int b[16];
+main {
+  par (I) a[i] = i * i;
+  par (I) b[i] = a[i] + 1;
+  *par (I) st (a[i] < 400) a[i] = a[i] + b[i];
+}
+"""
+
+#: enough transient drops to exhaust the default in-run recovery
+#: manager, forcing a service-level retry (attempt 2 runs clean)
+STORM = ";".join(f"drop@alu#{k}" for k in range(1, 9))
+
+TENANTS = ("alice", "bob", "carol", "dave")
+
+FULL = {"sizes": (1000, 4000), "chaos": 96, "workers": 8}
+SMALL = {"sizes": (64,), "chaos": 24, "workers": 4}
+
+
+def _percentile(xs, q):
+    return float(np.percentile(np.asarray(xs, dtype=np.float64), q))
+
+
+def _solo_loop_s(count: int) -> float:
+    """The baseline: what `count` jobs cost run back to back, cold."""
+    t0 = time.perf_counter()
+    for _ in range(count):
+        UCProgram(JOB_UC, compile_store=None).run()
+    return time.perf_counter() - t0
+
+
+def _throughput_row(size: int, workers: int, probe: int) -> dict:
+    """S clean jobs from mixed tenants through the service."""
+    svc = ExecutionService(ServiceConfig(workers=workers, max_queue=size + 1))
+    t0 = time.perf_counter()
+    ids = [
+        svc.submit(JobSpec(source=JOB_UC, tenant=TENANTS[k % len(TENANTS)]))
+        for k in range(size)
+    ]
+    results = svc.drain()
+    service_s = time.perf_counter() - t0
+    assert svc.lost_jobs() == [], "throughput run lost jobs"
+    assert all(results[j].ok for j in ids)
+    latencies_ms = [results[j].wall_s * 1e3 for j in ids]
+    # baseline extrapolated from a probe: the full cold loop at S=4000
+    # would dominate the benchmark's wall clock without informing it
+    probe = min(probe, size)
+    solo_s = _solo_loop_s(probe) * (size / probe)
+    return {
+        "workload": f"serve S={size}",
+        "engine": "service",
+        "jobs": size,
+        "workers": workers,
+        "ms": service_s * 1e3,
+        "solo_loop_ms": solo_s * 1e3,
+        "speedup": solo_s / service_s,
+        "throughput_jobs_s": size / service_s,
+        "p50_ms": _percentile(latencies_ms, 50),
+        "p99_ms": _percentile(latencies_ms, 99),
+        "coalesced_lanes": svc.stats["coalesced_lanes"],
+        "batches": svc.stats["batches"],
+    }
+
+
+def _chaos_row(size: int, workers: int, engine: str) -> dict:
+    """Fault storms + chaos preemption + mid-drain kill/resume.
+
+    Every job must reach a terminal state (zero lost) and every DONE
+    fingerprint must equal the fault-free solo run's, bit for bit.
+    """
+    solo_fp = UCProgram(JOB_UC, compile_store=None).run().fingerprint
+    with tempfile.TemporaryDirectory() as tmp:
+        spool = os.path.join(tmp, "spool")
+        config = dict(
+            workers=workers,
+            max_queue=size + 1,
+            coalesce=False,  # chaos wants every job on the preemptable path
+            preempt_probability=0.25,
+            seed=1234,
+        )
+        svc = ExecutionService(ServiceConfig(spool_dir=spool, **config))
+        t0 = time.perf_counter()
+        ids = []
+        for k in range(size):
+            faults = [STORM] if k % 3 == 0 else None
+            ids.append(
+                svc.submit(
+                    JobSpec(
+                        source=JOB_UC,
+                        tenant=TENANTS[k % len(TENANTS)],
+                        faults=faults,
+                        retry=RetryPolicy(max_attempts=3),
+                    )
+                )
+            )
+        # run part-way, then kill the service mid-drain (abandon the
+        # object, as a crash would) and recover from the spool
+        for _ in range(3 + size // 8):
+            svc.step()
+        in_flight_at_kill = len(svc.lost_jobs())
+        svc.spool.close()
+        svc = ExecutionService.resume(spool, ServiceConfig(**config))
+        results = svc.drain()
+        chaos_s = time.perf_counter() - t0
+
+        lost = svc.lost_jobs()
+        assert lost == [], f"chaos run lost jobs: {lost}"
+        mismatched = [
+            j for j in ids if results[j].ok and results[j].fingerprint != solo_fp
+        ]
+        assert mismatched == [], (
+            f"chaos run fingerprints diverged from the fault-free solo "
+            f"run: {mismatched}"
+        )
+        done = [j for j in ids if results[j].ok]
+        assert len(done) == size, (
+            f"chaos run: {size - len(done)} jobs failed outright "
+            f"(retry should have recovered every storm)"
+        )
+        retried = [j for j in ids if results[j].attempts > 1]
+        preempted = sum(results[j].preemptions for j in ids)
+        solo_s = _solo_loop_s(min(16, size)) * (size / min(16, size))
+    return {
+        "workload": f"chaos S={size}",
+        "engine": engine,
+        "jobs": size,
+        "workers": workers,
+        "ms": chaos_s * 1e3,
+        "speedup": solo_s / chaos_s,
+        "lost": len(lost),
+        "done": len(done),
+        "retried_jobs": len(retried),
+        "preemptions": preempted,
+        "in_flight_at_kill": in_flight_at_kill,
+        "fingerprints_equal_solo": True,
+    }
+
+
+def run_bench(small: bool = False):
+    sizes = SMALL if small else FULL
+    rows = []
+    for size in sizes["sizes"]:
+        rows.append(
+            _throughput_row(size, sizes["workers"], probe=64 if small else 200)
+        )
+    # chaos acceptance, once per engine
+    rows.append(_chaos_row(sizes["chaos"], sizes["workers"], "plans"))
+    os.environ["REPRO_NO_PLANS"] = "1"
+    try:
+        rows.append(_chaos_row(sizes["chaos"], sizes["workers"], "oracle"))
+    finally:
+        os.environ.pop("REPRO_NO_PLANS", None)
+    return rows, small
+
+
+def check_bench(rows, small: bool) -> None:
+    by_key = {(r["workload"], r["engine"]): r for r in rows}
+    for r in rows:
+        if r["workload"].startswith("chaos"):
+            assert r["lost"] == 0
+            assert r["fingerprints_equal_solo"]
+    if not small:
+        # acceptance: >= 10^3 concurrent jobs with a measured tail, and
+        # the coalescing service beats the tenants' own sequential loops
+        row = by_key[(f"serve S=1000", "service")]
+        assert row["p99_ms"] > 0.0 and row["p50_ms"] > 0.0
+        assert row["speedup"] >= 2.0, (
+            f"serve S=1000: speedup {row['speedup']:.2f}x below the 2x bar"
+        )
+
+
+def write_json(rows, small: bool) -> Path:
+    out = REPO_ROOT / "BENCH_serve.json"
+    out.write_text(
+        json.dumps(
+            {
+                "benchmark": "execution service throughput/latency + chaos "
+                "(faults, preemption, kill/resume) acceptance",
+                "mode": "small" if small else "full",
+                "baseline": "sequential cold loop (fresh UCProgram per job, "
+                "no compile store)",
+                "chaos": "1/3 jobs carry a fault storm (service retry), "
+                "p=0.25 snapshot preemption, service killed mid-drain and "
+                "resumed from its spool; zero lost jobs and solo-equal "
+                "fingerprints asserted in both engines",
+                "rows": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    return out
+
+
+def report(rows, small: bool) -> None:
+    table = format_table(
+        ["workload", "engine", "total (ms)", "speedup", "p50 (ms)", "p99 (ms)"],
+        [
+            (
+                r["workload"],
+                r["engine"],
+                r["ms"],
+                f"{r['speedup']:.2f}x",
+                f"{r.get('p50_ms', 0.0):.1f}",
+                f"{r.get('p99_ms', 0.0):.1f}",
+            )
+            for r in rows
+        ],
+        title="Execution service vs sequential tenant loops "
+        "(chaos rows: zero lost jobs, fingerprints equal fault-free solo runs)",
+    )
+    save_report("bench_serve", table)
+    path = write_json(rows, small)
+    print(f"wrote {path}")
+
+
+@pytest.mark.benchmark(group="serve")
+def test_serve_bench(benchmark):
+    rows, small = benchmark.pedantic(run_bench, iterations=1, rounds=1)
+    check_bench(rows, small)
+    report(rows, small)
+
+
+if __name__ == "__main__":
+    is_small = "--smoke" in sys.argv[1:] or "--small" in sys.argv[1:]
+    bench_rows, bench_small = run_bench(small=is_small)
+    check_bench(bench_rows, bench_small)
+    report(bench_rows, bench_small)

@@ -42,6 +42,7 @@ BENCH_FILES = (
     "BENCH_frontier.json",
     "BENCH_fusion.json",
     "BENCH_batch.json",
+    "BENCH_serve.json",
 )
 
 

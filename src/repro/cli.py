@@ -148,14 +148,35 @@ def _cmd_run_batch(prog: UCProgram, args: argparse.Namespace) -> int:
     return 0
 
 
+#: exit code for a run cancelled by ``--timeout`` (the conventional
+#: "command timed out" code, distinct from the generic error exit 1)
+TIMEOUT_EXIT = 124
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    from .interp.deadline import UCDeadlineError
+
     prog = _load_program(args)
     if getattr(args, "batch", None):
         if args.profile:
             raise SystemExit("--profile is not supported with --batch")
+        if getattr(args, "timeout", None):
+            raise SystemExit("--timeout is not supported with --batch")
         return _cmd_run_batch(prog, args)
     try:
-        result = prog.run(seed=args.seed, profile=args.profile)
+        result = prog.run(
+            seed=args.seed, profile=args.profile, deadline=args.timeout
+        )
+    except UCDeadlineError as exc:
+        # deliberately not a bare abort: report how far the run got
+        # (the checkpoint-position diagnostic) and exit distinctly
+        print(
+            f"{args.file}: timeout: {exc.reason} deadline exceeded after "
+            f"{exc.wall_used_s:.3f}s wall / {exc.clock_used_us:.0f}us simulated",
+            file=sys.stderr,
+        )
+        print(f"{args.file}: cancelled at {exc.position}", file=sys.stderr)
+        return TIMEOUT_EXIT
     except UCError as exc:
         raise SystemExit(f"{args.file}: runtime error: {exc}")
     except MachineError as exc:
@@ -328,6 +349,110 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return worst
 
 
+def _spec_from_json(entry, path: str):
+    """One job object from a ``repro serve`` jobs file -> JobSpec."""
+    from .interp.deadline import Deadline
+    from .service import JobSpec, RetryPolicy
+
+    if not isinstance(entry, dict):
+        raise SystemExit(f"{path}: each job must be a JSON object")
+    if "source" in entry:
+        source = entry["source"]
+    elif "file" in entry:
+        try:
+            source = open(entry["file"]).read()
+        except OSError as exc:
+            raise SystemExit(f"{path}: cannot read {entry['file']}: {exc}")
+    else:
+        raise SystemExit(f"{path}: job needs a \"source\" or \"file\" key")
+    deadline = None
+    if entry.get("deadline"):
+        d = entry["deadline"]
+        deadline = Deadline(wall_s=d.get("wall_s"), clock_us=d.get("clock_us"))
+    retry = None
+    if entry.get("retry"):
+        retry = RetryPolicy(**entry["retry"])
+    return JobSpec(
+        source=source,
+        defines={k: int(v) for k, v in (entry.get("defines") or {}).items()},
+        inputs=_coerce_batch_input(entry.get("inputs"), path),
+        tenant=entry.get("tenant", "default"),
+        seed=int(entry.get("seed", 20250704)),
+        deadline=deadline,
+        faults=entry.get("faults"),
+        retry=retry,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import ExecutionService, ServiceConfig
+
+    budgets = {}
+    for item in args.budget or []:
+        if "=" not in item:
+            raise SystemExit(f"bad budget {item!r}: expected TENANT=MICROSECONDS")
+        tenant, _, us = item.partition("=")
+        budgets[tenant.strip()] = float(us)
+    config = ServiceConfig(
+        workers=args.workers,
+        max_queue=args.max_queue,
+        coalesce=not args.no_coalesce,
+        preempt_slice_us=args.slice_us,
+        preempt_probability=args.chaos,
+        seed=args.seed,
+        spool_dir=args.spool,
+        tenant_budget_us=budgets or None,
+    )
+    if args.resume:
+        svc = ExecutionService.resume(args.resume, config)
+        print(
+            f"-- resumed {len(svc.jobs)} journalled jobs from {args.resume} "
+            f"({len(svc.queue)} in flight)"
+        )
+    else:
+        svc = ExecutionService(config)
+    if args.jobs:
+        try:
+            with open(args.jobs) as fh:
+                entries = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read jobs file {args.jobs}: {exc}")
+        if not isinstance(entries, list):
+            raise SystemExit(f"{args.jobs}: expected a JSON list of job objects")
+        for entry in entries:
+            svc.submit(_spec_from_json(entry, args.jobs))
+    elif not args.resume:
+        raise SystemExit("serve needs a jobs file, --resume DIR, or both")
+    results = svc.drain()
+    for job_id in sorted(results, key=lambda j: int(j[1:])):
+        res = results[job_id]
+        line = f"{job_id:>6s}  {res.state:8s} tenant={res.tenant}"
+        if res.ok:
+            import hashlib
+
+            digest = hashlib.sha256(repr(res.fingerprint).encode()).hexdigest()
+            line += (
+                f"  {res.clock_us / 1e3:10.3f} ms simulated"
+                f"  attempts={res.attempts} preemptions={res.preemptions}"
+                f"  fingerprint {digest[:16]}"
+            )
+        elif res.error is not None:
+            reason = res.error.get("reason") or res.error.get("type")
+            line += f"  {reason}: {res.error.get('message', '')}"[:120]
+        print(line)
+    lost = svc.lost_jobs()
+    s = svc.stats
+    print(
+        f"-- service: {s['done']} done, {s['failed']} failed, "
+        f"{s['rejected']} rejected of {s['submitted']} submitted; "
+        f"{s['preemptions']} preemptions, {s['retries']} retries, "
+        f"{s['coalesced_lanes']} coalesced lanes, {len(lost)} lost"
+    )
+    return 1 if lost else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -391,7 +516,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-check the run against the static analyzer's verdicts "
         "(also via REPRO_SANITIZE=1; see docs/ANALYSIS.md)",
     )
+    p_run.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="cancel the run at the next construct boundary once this much "
+        f"wall time has elapsed (exit {TIMEOUT_EXIT}, with a "
+        "checkpoint-position diagnostic; the execution service's deadline "
+        "machinery)",
+    )
     p_run.set_defaults(func=cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="multi-tenant execution service: run a JSON job list on a "
+        "bounded worker pool with deadlines, retries, preemption and "
+        "crash-durable state (see docs/ROBUSTNESS.md)",
+    )
+    p_serve.add_argument(
+        "jobs",
+        nargs="?",
+        help="JSON list of job objects ({\"source\"|\"file\", \"defines\", "
+        "\"inputs\", \"tenant\", \"seed\", \"deadline\": {\"wall_s\", "
+        "\"clock_us\"}, \"faults\", \"retry\": {...}}); optional with "
+        "--resume",
+    )
+    p_serve.add_argument("--workers", type=int, default=4, help="pool size")
+    p_serve.add_argument(
+        "--max-queue", type=int, default=256, help="admission bound (load-shed past it)"
+    )
+    p_serve.add_argument(
+        "--spool", metavar="DIR", help="journal + snapshots here (crash durability)"
+    )
+    p_serve.add_argument(
+        "--resume",
+        metavar="DIR",
+        help="recover a crashed service from its spool directory and finish "
+        "its in-flight jobs",
+    )
+    p_serve.add_argument(
+        "--slice-us",
+        type=float,
+        default=None,
+        help="preempt a running job after this much simulated time per slice",
+    )
+    p_serve.add_argument(
+        "--chaos",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="probability of forcing a snapshot-preemption at each top-level "
+        "boundary (seeded chaos testing)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0, help="service seed")
+    p_serve.add_argument(
+        "--budget",
+        action="append",
+        metavar="TENANT=US",
+        help="per-tenant simulated-Clock budget in microseconds (repeatable)",
+    )
+    p_serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable run_batch coalescing of identical queued programs",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_check = sub.add_parser("check", help="parse + semantic analysis only")
     common(p_check)

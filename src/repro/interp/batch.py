@@ -115,22 +115,34 @@ class _BatchAbort(Exception):
 # ---------------------------------------------------------------------------
 
 
-def run_batch(prog, inputs, *, seed: int = 20250704) -> List[Any]:
-    """Execute ``prog`` once per element of ``inputs``; see
-    :meth:`UCProgram.run_batch`."""
-    inputs = list(inputs)
-    if not inputs:
-        return []
-    if (
+def batchable(prog) -> bool:
+    """Can instances of ``prog`` share lockstep ``run_batch`` lanes?
+
+    False for every engine feature the batched path does not model
+    (faults, checkpoints, sanitizer, tier logs, a custom recovery
+    policy) and under ``REPRO_NO_BATCH=1``.  The execution service's
+    coalescer uses this screen to decide whether identical queued jobs
+    ride one batch or run solo; ``run_batch`` itself applies the same
+    screen (plus the lane-count minimum) to pick the sequential loop.
+    """
+    return not (
         os.environ.get("REPRO_NO_BATCH") == "1"
-        or len(inputs) < 2
         or prog.faults is not None
         or prog.checkpoints
         or prog.sanitize
         or prog.log_tiers
         or prog.recovery is not None
         or prog.info.program.main is None
-    ):
+    )
+
+
+def run_batch(prog, inputs, *, seed: int = 20250704) -> List[Any]:
+    """Execute ``prog`` once per element of ``inputs``; see
+    :meth:`UCProgram.run_batch`."""
+    inputs = list(inputs)
+    if not inputs:
+        return []
+    if len(inputs) < 2 or not batchable(prog):
         return _sequential(prog, inputs, seed)
     try:
         return _BatchRun(prog, inputs, seed).execute()

@@ -74,12 +74,16 @@ class CompileStore:
         self.plan_capacity = plan_capacity
         self._frontends: "OrderedDict[Hashable, FrontendEntry]" = OrderedDict()
         self._backends: "OrderedDict[Hashable, PlanCache]" = OrderedDict()
+        self._programs: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.frontend_hits = 0
         self.frontend_misses = 0
         self.frontend_evictions = 0
         self.backend_hits = 0
         self.backend_misses = 0
         self.backend_evictions = 0
+        self.program_hits = 0
+        self.program_misses = 0
+        self.program_evictions = 0
 
     # -- keys ---------------------------------------------------------------
 
@@ -145,12 +149,59 @@ class CompileStore:
             self.backend_evictions += 1
         return cache, False
 
+    # -- program level ------------------------------------------------------
+
+    def shared_program(
+        self,
+        source: str,
+        *,
+        defines: Optional[Dict[str, int]] = None,
+        machine_config: Any = None,
+        **flags: Any,
+    ) -> Any:
+        """One shared :class:`UCProgram` per distinct program content.
+
+        The execution service funnels every job through this so that
+        identical submissions (same source, defines, machine config and
+        engine flags — all of which must be hashable) coalesce onto one
+        program object: ``run_batch`` lanes then line up and the plan
+        cache's ``id(node)`` keys match across tenants.  Bounded LRU
+        like the other levels (the backend capacity bounds it).
+        """
+        from .program import UCProgram  # local import avoids a cycle
+
+        defines = dict(defines or {})
+        key = (
+            self.frontend_key(source, defines, flags.get("apply_maps", True)),
+            machine_config,
+            tuple(sorted(flags.items())),
+        )
+        prog = self._programs.get(key)
+        if prog is not None:
+            self.program_hits += 1
+            self._programs.move_to_end(key)
+            return prog
+        self.program_misses += 1
+        prog = UCProgram(
+            source,
+            defines=defines,
+            machine_config=machine_config,
+            compile_store=self,
+            **flags,
+        )
+        self._programs[key] = prog
+        while len(self._programs) > self.backend_capacity:
+            self._programs.popitem(last=False)
+            self.program_evictions += 1
+        return prog
+
     # -- maintenance --------------------------------------------------------
 
     def clear(self) -> None:
         """Drop all entries (counters survive, as for PlanCache)."""
         self._frontends.clear()
         self._backends.clear()
+        self._programs.clear()
 
     def stats(self) -> dict:
         """Hit/miss/size counters plus an approximate byte size.
@@ -169,6 +220,10 @@ class CompileStore:
             "backend_hits": self.backend_hits,
             "backend_misses": self.backend_misses,
             "backend_evictions": self.backend_evictions,
+            "program_entries": len(self._programs),
+            "program_hits": self.program_hits,
+            "program_misses": self.program_misses,
+            "program_evictions": self.program_evictions,
             "plans_cached": sum(len(c) for c in self._backends.values()),
             "source_bytes": sum(e.source_bytes for e in self._frontends.values()),
         }

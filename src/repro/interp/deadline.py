@@ -1,0 +1,215 @@
+"""Deadline supervision: cancel a run at the next construct boundary.
+
+One :class:`DeadlineMonitor` watches a single execution and is polled at
+every safe cancellation point — the entry of each outermost construct,
+each sweep of an iterated construct, and each top-level statement
+boundary of ``main``.  When any of its limits is exceeded it raises
+:class:`UCDeadlineError` *between* construct sweeps, so no partially
+mutated sweep is ever observable: the program state at cancellation is
+a state a shorter program could have produced.
+
+Three independent limits share the one monitor:
+
+* ``wall_s`` — host wall-clock seconds actually spent executing (time
+  suspended in a service queue does not count: the monitor accumulates
+  across :meth:`begin`/:meth:`pause` slices);
+* ``clock_us`` — simulated :class:`~repro.machine.cost.Clock`
+  microseconds, an absolute limit on the job's simulated cost (the
+  clock rides through checkpoints, so the limit spans preemptions);
+* ``budget_us`` — an externally imposed absolute clock limit (the
+  execution service sets it to the submitting tenant's remaining Clock
+  budget each slice).  It raises with ``reason="budget"`` so quota
+  exhaustion is distinguishable from the job's own deadline.
+
+The module also defines :class:`JobPreempted`, the control-flow signal
+the resumable runner (:meth:`Interpreter.run_main_from
+<repro.interp.interpreter.Interpreter.run_main_from>`) raises when a
+boundary hook elects to suspend the job behind a portable snapshot
+(see :mod:`repro.interp.checkpoint`).
+
+``repro run --timeout`` and the execution service's per-job deadlines
+are the same machinery; both report the checkpoint-position diagnostic
+carried by the error.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang.errors import UCRuntimeError
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """Declarative per-run limits (see :class:`DeadlineMonitor`)."""
+
+    wall_s: Optional[float] = None
+    clock_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.wall_s is not None and self.wall_s < 0:
+            raise ValueError(f"wall deadline must be >= 0, got {self.wall_s}")
+        if self.clock_us is not None and self.clock_us < 0:
+            raise ValueError(f"clock deadline must be >= 0, got {self.clock_us}")
+
+
+class UCDeadlineError(UCRuntimeError):
+    """A supervised run exceeded one of its limits.
+
+    ``reason`` is ``"wall"``, ``"clock"`` or ``"budget"``; ``position``
+    is the checkpoint-position diagnostic (last completed top-level
+    statement and the construct boundary the cancellation fired at).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        col: int = 0,
+        *,
+        reason: str,
+        position: str,
+        wall_used_s: float,
+        clock_used_us: float,
+    ) -> None:
+        super().__init__(message, line, col)
+        self.reason = reason
+        self.position = position
+        self.wall_used_s = wall_used_s
+        self.clock_used_us = clock_used_us
+
+
+class JobPreempted(Exception):
+    """Control-flow signal: the run suspended at a top-level boundary.
+
+    Carries the :class:`~repro.interp.checkpoint.PortableSnapshot` the
+    suspended job resumes from (possibly in another process).  Never
+    escapes the execution service's worker.
+    """
+
+    def __init__(self, snapshot) -> None:
+        super().__init__("job preempted at a top-level statement boundary")
+        self.snapshot = snapshot
+
+
+class DeadlineMonitor:
+    """Polled limit checker installed as ``interp.deadline``.
+
+    Zero overhead when absent (one attribute test per boundary); when
+    installed, each poll is two or three comparisons — the wall clock is
+    only read when a wall limit is armed.
+    """
+
+    __slots__ = (
+        "wall_s",
+        "clock_us",
+        "budget_us",
+        "_wall_used_s",
+        "_slice_t0",
+        "last_pc",
+    )
+
+    def __init__(
+        self,
+        *,
+        wall_s: Optional[float] = None,
+        clock_us: Optional[float] = None,
+        budget_us: Optional[float] = None,
+        wall_used_s: float = 0.0,
+    ) -> None:
+        self.wall_s = wall_s
+        self.clock_us = clock_us
+        self.budget_us = budget_us
+        self._wall_used_s = wall_used_s
+        self._slice_t0: Optional[float] = None
+        #: last completed top-level statement index (set by the runner)
+        self.last_pc: Optional[int] = None
+
+    @classmethod
+    def from_spec(cls, spec) -> "DeadlineMonitor":
+        """Build from a :class:`Deadline`, a number (wall seconds), or
+        an existing monitor (returned unchanged)."""
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, Deadline):
+            return cls(wall_s=spec.wall_s, clock_us=spec.clock_us)
+        return cls(wall_s=float(spec))
+
+    # -- slice accounting ---------------------------------------------------
+
+    def begin(self) -> None:
+        """Start (or resume) counting wall time against the limit."""
+        if self._slice_t0 is None:
+            self._slice_t0 = time.monotonic()
+
+    def pause(self) -> None:
+        """Stop counting wall time (the job is leaving the machine)."""
+        if self._slice_t0 is not None:
+            self._wall_used_s += time.monotonic() - self._slice_t0
+            self._slice_t0 = None
+
+    @property
+    def wall_used_s(self) -> float:
+        used = self._wall_used_s
+        if self._slice_t0 is not None:
+            used += time.monotonic() - self._slice_t0
+        return used
+
+    # -- polling ------------------------------------------------------------
+
+    def check(self, ip, at=None) -> None:
+        """Raise :class:`UCDeadlineError` if any armed limit is exceeded.
+
+        ``at`` is the construct whose boundary is being crossed (for the
+        position diagnostic); ``None`` at top-level statement boundaries.
+        """
+        clock_now = ip.machine.clock.time_us
+        if self.clock_us is not None and clock_now >= self.clock_us:
+            self._raise("clock", ip, at, clock_now)
+        if self.budget_us is not None and clock_now >= self.budget_us:
+            self._raise("budget", ip, at, clock_now)
+        if self.wall_s is not None and self.wall_used_s >= self.wall_s:
+            self._raise("wall", ip, at, clock_now)
+
+    def _raise(self, reason: str, ip, at, clock_now: float) -> None:
+        position = self.describe_position(at)
+        wall = self.wall_used_s
+        if reason == "wall":
+            head = f"wall-clock deadline exceeded ({wall:.3f}s >= {self.wall_s:g}s)"
+        elif reason == "clock":
+            head = (
+                f"simulated-clock deadline exceeded "
+                f"({clock_now:.0f}us >= {self.clock_us:g}us)"
+            )
+        else:
+            head = (
+                f"tenant Clock budget exhausted "
+                f"({clock_now:.0f}us >= {self.budget_us:g}us)"
+            )
+        line = at.line if at is not None else 0
+        col = at.col if at is not None else 0
+        raise UCDeadlineError(
+            f"{head}; cancelled at {position}",
+            line,
+            col,
+            reason=reason,
+            position=position,
+            wall_used_s=wall,
+            clock_used_us=clock_now,
+        )
+
+    def describe_position(self, at=None) -> str:
+        """The checkpoint-position diagnostic for error messages."""
+        parts = []
+        if self.last_pc is not None:
+            parts.append(f"top-level statement #{self.last_pc}")
+        if at is not None:
+            star = "*" if getattr(at, "star", False) else ""
+            parts.append(
+                f"the {star}{getattr(at, 'kind', '?')} boundary at line {at.line}"
+            )
+        if not parts:
+            parts.append("the start of main")
+        return ", ".join(parts)

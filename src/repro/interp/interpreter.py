@@ -229,6 +229,9 @@ class Interpreter:
             self.recovery = RecoveryManager(
                 self, recovery_policy or RecoveryPolicy()
             )
+        # optional DeadlineMonitor polled at construct/sweep boundaries
+        # (see repro.interp.deadline); None costs one attribute test
+        self.deadline = None
         self.stdout: List[str] = []
         self.global_env = Env()
         self._vpsets: Dict[Tuple[int, ...], VPSet] = {}
@@ -382,6 +385,50 @@ class Interpreter:
                 self._run_profiled(ctx)
             else:
                 exec_stmt(self, self.info.program.main, ctx)
+        except ReturnSignal:
+            pass
+
+    def poll_boundary(self, at=None) -> None:
+        """Deadline poll at a safe cancellation point (outermost construct
+        entry or an iterated-construct sweep boundary)."""
+        if self.deadline is not None:
+            self.deadline.check(self, at)
+
+    def make_main_context(self) -> "ExecContext":
+        """The context :meth:`run_main_from` executes ``main`` in.
+
+        Its environment is a *direct* child of the global environment,
+        which is what makes portable snapshots possible (every top-level
+        binding of ``main`` is reachable by name from it).
+        """
+        return ExecContext(GridContext(), None, Env(self.global_env))
+
+    def run_main_from(self, ctx: "ExecContext", start_pc: int = 0, boundary=None) -> None:
+        """Execute ``main``'s top-level statements from index ``start_pc``.
+
+        The resumable entry point behind deadlines, preemption and crash
+        recovery: statements execute exactly as :meth:`run_main` does
+        (same charges, same semantics — the precedent is
+        :meth:`_run_profiled`, which also iterates the top level with the
+        main context directly), but between statements the runner calls
+        ``boundary(pc)``, which may raise
+        :class:`~repro.interp.deadline.JobPreempted` after taking a
+        :class:`~repro.interp.checkpoint.PortableSnapshot` at ``pc``, the
+        index of the next statement to run.
+        """
+        main = self.info.program.main
+        if main is None:
+            raise UCRuntimeError("program has no main block")
+        monitor = self.deadline
+        try:
+            for pc in range(start_pc, len(main.stmts)):
+                if boundary is not None:
+                    boundary(pc)
+                if monitor is not None:
+                    monitor.check(self)
+                exec_stmt(self, main.stmts[pc], ctx)
+                if monitor is not None:
+                    monitor.last_pc = pc
         except ReturnSignal:
             pass
 

@@ -32,12 +32,18 @@ from ..machine import FaultPlan, Machine, MachineConfig
 from ..mapping.maps import build_layouts
 from ..mapping.layout import LayoutTable
 from .compile_store import CompileStore, default_store
+from .deadline import DeadlineMonitor
 from .interpreter import Interpreter, resolve_engine_flags
 from .plan_cache import PlanCache
 
 #: sentinel distinguishing "use the process-wide store" (the default)
 #: from an explicit ``compile_store=None`` (a private, per-program cache)
 _DEFAULT_STORE = object()
+
+#: sentinel for per-run overrides that default to the program's setting
+#: (``None`` is a meaningful override: "this run, no faults / default
+#: recovery policy")
+_UNSET = object()
 
 
 class RunResult:
@@ -316,15 +322,49 @@ class UCProgram:
         seed: int = 20250704,
         machine: Optional[Machine] = None,
         profile: bool = False,
+        deadline=None,
+        faults: Any = _UNSET,
+        recovery: Any = _UNSET,
     ) -> RunResult:
         """Execute ``main`` on a fresh machine; returns the final state.
 
         With ``profile=True`` the result's ``.profile`` maps each
         top-level statement of ``main`` to its simulated time.
+        ``deadline`` (seconds, a :class:`~repro.interp.deadline.Deadline`
+        or a :class:`~repro.interp.deadline.DeadlineMonitor`) cancels the
+        run with :class:`~repro.interp.deadline.UCDeadlineError` at the
+        next construct/sweep boundary once exceeded.  ``faults`` and
+        ``recovery`` override the program-level settings for this run
+        only (pass ``None`` to run a fault-configured program clean —
+        the execution service's retries use this).
         """
+        pr = self.prepare(
+            inputs, seed=seed, machine=machine, faults=faults, recovery=recovery
+        )
+        return pr.run(profile=profile, deadline=deadline)
+
+    def prepare(
+        self,
+        inputs: Optional[Dict[str, Union[int, float, np.ndarray]]] = None,
+        *,
+        seed: int = 20250704,
+        machine: Optional[Machine] = None,
+        faults: Any = _UNSET,
+        recovery: Any = _UNSET,
+    ) -> "PreparedRun":
+        """Build a machine + interpreter primed at the start of ``main``.
+
+        :meth:`run` is ``prepare(...).run(...)``; the execution service
+        uses the pieces separately so a job can execute in preemptible
+        slices (:meth:`Interpreter.run_main_from`) and resume — possibly
+        in another process — from a portable snapshot.
+        """
+        fault_plan = self.faults if faults is _UNSET else (
+            FaultPlan.parse(faults) if isinstance(faults, str) else faults
+        )
+        recovery_policy = self.recovery if recovery is _UNSET else recovery
         m = machine if machine is not None else Machine(self.machine_config, seed=seed)
-        fault_plan = self.faults
-        plan_cache = self._shared_plan_cache(m, machine)
+        plan_cache = self._shared_plan_cache(m, machine, fault_plan)
         interp = Interpreter(
             self.info,
             m,
@@ -340,7 +380,7 @@ class UCProgram:
             log_tiers=self.log_tiers,
             sanitize=self.sanitize,
             checkpoints=self.checkpoints or fault_plan is not None,
-            recovery_policy=self.recovery,
+            recovery_policy=recovery_policy,
             solve_sweep_limit=self.solve_sweep_limit,
             plan_cache=plan_cache,
         )
@@ -353,26 +393,7 @@ class UCProgram:
         # fault spec means the same thing whatever the setup traffic was
         if fault_plan is not None:
             m.install_faults(fault_plan)
-        pc_before = interp.plan_cache.counters()
-        t_exec = time.perf_counter()
-        try:
-            interp.run_main(profile=profile)
-        finally:
-            if fault_plan is not None:
-                # leave the machine reusable (and the plan's log readable)
-                m.clock.fault_hook = None
-        execute_s = time.perf_counter() - t_exec
-        self.last_interpreter = interp
-        result = RunResult(interp)
-        result.compile = self._compile_summary(
-            interp.plan_cache.counters(), pc_before, execute_s
-        )
-        if plan_cache is not None and self.compile_store is not None:
-            result.store = self.compile_store.stats()
-        if interp.sanitizer is not None:
-            # hard failure on any contradiction; the summary feeds --stats
-            result.sanitizer = interp.sanitizer.cross_check(interp)
-        return result
+        return PreparedRun(self, m, interp, fault_plan, plan_cache)
 
     def run_batch(
         self,
@@ -398,7 +419,10 @@ class UCProgram:
         return _run_batch(self, inputs, seed=seed)
 
     def _shared_plan_cache(
-        self, m: Machine, machine_arg: Optional[Machine]
+        self,
+        m: Machine,
+        machine_arg: Optional[Machine],
+        fault_plan: Any = _UNSET,
     ) -> Optional[PlanCache]:
         """The store's shared PlanCache for this (program, machine, flags).
 
@@ -407,11 +431,15 @@ class UCProgram:
         (no content key), an injected fault plan (recovery remaps
         layouts mid-run), or a caller-provided machine (its config may
         not describe its mutated state, e.g. dead PEs from a prior run).
+        ``fault_plan`` is the *effective* plan when a run overrides the
+        program's (the execution service's per-job plans).
         """
+        if fault_plan is _UNSET:
+            fault_plan = self.faults
         if (
             self.compile_store is None
             or self._frontend_key is None
-            or self.faults is not None
+            or fault_plan is not None
             or machine_arg is not None
         ):
             return None
@@ -460,3 +488,77 @@ class UCProgram:
         out["fuse_s"] = fuse_s
         out["frontier_s"] = frontier_s
         return out
+
+
+class PreparedRun:
+    """A machine + interpreter primed at the start of ``main``.
+
+    Built by :meth:`UCProgram.prepare`.  :meth:`run` executes to
+    completion (this is exactly what ``UCProgram.run`` does); the
+    execution service instead drives :attr:`interp` itself —
+    ``run_main_from(prepared.context, start_pc, boundary)`` in slices,
+    suspending into portable snapshots between them — and calls
+    :meth:`finish` when the program completes.
+    """
+
+    def __init__(
+        self,
+        program: UCProgram,
+        machine: Machine,
+        interp: Interpreter,
+        fault_plan: Optional[FaultPlan],
+        plan_cache: Optional[PlanCache],
+    ) -> None:
+        self.program = program
+        self.machine = machine
+        self.interp = interp
+        self.fault_plan = fault_plan
+        self.plan_cache = plan_cache
+        #: the main context resumable slices execute in (its environment
+        #: is a direct child of the global environment — the property
+        #: portable snapshots need)
+        self.context = interp.make_main_context()
+        self._pc_before = interp.plan_cache.counters()
+        #: accumulated execute wall seconds (slices add to it)
+        self.execute_s = 0.0
+
+    def run(self, *, profile: bool = False, deadline=None) -> RunResult:
+        """Execute ``main`` to completion and package the result."""
+        interp = self.interp
+        monitor = None
+        if deadline is not None:
+            monitor = DeadlineMonitor.from_spec(deadline)
+            interp.deadline = monitor
+            monitor.begin()
+        t_exec = time.perf_counter()
+        try:
+            if monitor is None or profile:
+                interp.run_main(profile=profile)
+            else:
+                interp.run_main_from(self.context)
+        finally:
+            if monitor is not None:
+                monitor.pause()
+            if self.fault_plan is not None:
+                # leave the machine reusable (and the plan's log readable)
+                self.machine.clock.fault_hook = None
+            self.execute_s += time.perf_counter() - t_exec
+        return self.finish()
+
+    def finish(self) -> RunResult:
+        """Package the completed run (counters, summaries, sanitizer)."""
+        interp = self.interp
+        program = self.program
+        if self.fault_plan is not None:
+            self.machine.clock.fault_hook = None
+        program.last_interpreter = interp
+        result = RunResult(interp)
+        result.compile = program._compile_summary(
+            interp.plan_cache.counters(), self._pc_before, self.execute_s
+        )
+        if self.plan_cache is not None and program.compile_store is not None:
+            result.store = program.compile_store.stats()
+        if interp.sanitizer is not None:
+            # hard failure on any contradiction; the summary feeds --stats
+            result.sanitizer = interp.sanitizer.cross_check(interp)
+        return result

@@ -43,15 +43,42 @@ class RecoveryPolicy:
     ``max_attempts`` counts executions of the protected construct (so
     ``max_attempts - 1`` faults are survivable per construct entry);
     the ``attempt``-th retry waits ``backoff_base * backoff_factor **
-    (attempt - 1)`` simulated ``recovery`` cycles.
+    (attempt - 1)`` simulated ``recovery`` cycles, clamped to
+    ``backoff_cap`` so an adversarial fault plan (or a raised
+    ``max_attempts``) cannot make the charged backoff grow without
+    bound.  ``jitter`` spreads each wait uniformly over ``[cycles,
+    cycles * (1 + jitter)]`` — *seeded* (``jitter_seed`` and the attempt
+    number), so a given policy still produces bit-reproducible
+    fingerprints while distinct seeds decorrelate tenants retrying after
+    a shared fault.  The defaults (cap above the largest default-policy
+    backoff, zero jitter) leave existing fingerprints unchanged.
+
+    Override per program via ``UCProgram(recovery=RecoveryPolicy(...))``;
+    see the ``recovery`` row in ``docs/COSTMODEL.md``.
     """
 
     max_attempts: int = 8
     backoff_base: int = 50
     backoff_factor: float = 2.0
+    backoff_cap: int = 10_000
+    jitter: float = 0.0
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backoff_cap < 1:
+            raise ValueError(f"backoff_cap must be >= 1, got {self.backoff_cap}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
 
     def backoff_cycles(self, attempt: int) -> int:
-        return max(1, int(self.backoff_base * self.backoff_factor ** (attempt - 1)))
+        cycles = max(1, int(self.backoff_base * self.backoff_factor ** (attempt - 1)))
+        cycles = min(cycles, self.backoff_cap)
+        if self.jitter > 0.0:
+            import numpy as np
+
+            rng = np.random.default_rng((self.jitter_seed, attempt))
+            cycles = int(cycles * (1.0 + self.jitter * rng.random()))
+        return min(cycles, self.backoff_cap)
 
 
 class RecoveryManager:

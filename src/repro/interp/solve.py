@@ -149,6 +149,8 @@ def _exec_solve_guarded(
 
     sweeps = 0
     while True:
+        # sweeps complete atomically; between them is a safe cancel point
+        ip.poll_boundary(stmt)
         ip.machine.clock.charge("global_or", vp_ratio=vps.vp_ratio)
         ip.machine.clock.charge("host_cm_latency")
         newly: Optional[Dict[str, np.ndarray]] = None
@@ -337,6 +339,8 @@ def _exec_solve_star(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
     # so keep a thunk for the last sweep instead of formatting every sweep
     summarize = _NO_SUMMARY
     while True:
+        # sweeps complete atomically; between them is a safe cancel point
+        ip.poll_boundary(stmt)
         states = sess.plan_compressed() if sess is not None else None
         if states is not None:
             # compressed sweep: evaluate only the lanes whose inputs

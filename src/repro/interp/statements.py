@@ -112,6 +112,10 @@ def exec_stmt(ip, stmt: ast.Stmt, ctx: ExecContext) -> None:
     if isinstance(stmt, ast.Continue):
         raise ContinueSignal()
     if isinstance(stmt, ast.UCStmt):
+        # deadline poll at the entry of each *outermost* construct: a
+        # safe cancellation point (no sweep in flight, no element bound)
+        if ip.current_construct is None:
+            ip.poll_boundary(stmt)
         # a nested construct rebinds elements: run it outside any armed
         # CSE cache (it arms its own) and drop stale entries afterwards
         with ip.cse_suspend():
@@ -388,6 +392,8 @@ def exec_par(ip, stmt: ast.UCStmt, ctx: ExecContext) -> None:
     sweeps = 0
     vps = ip.grid_vpset(inner.grid.shape)
     while True:
+        # sweeps complete atomically; between them is a safe cancel point
+        ip.poll_boundary(stmt)
         states = sess.plan_compressed() if sess is not None else None
         if states is not None:
             # compressed sweep over the active lanes only; the cached

@@ -149,6 +149,29 @@ class FaultPlan:
     def describe(self) -> str:
         return "; ".join(ev.describe() for ev in self.events)
 
+    def fork(self) -> "FaultPlan":
+        """A fresh, unfired copy of this plan's schedule.
+
+        The execution service gives every job (and every service-level
+        retry attempt) its own plan instance: event fired-flags and
+        cumulative counters are per-run state, so sharing one plan
+        object across pool jobs would let one tenant's traffic consume
+        another tenant's scheduled faults.
+        """
+        return FaultPlan(
+            [
+                FaultEvent(
+                    kind=ev.kind,
+                    op=ev.op,
+                    at_count=ev.at_count,
+                    at_us=ev.at_us,
+                    pe=ev.pe,
+                )
+                for ev in self.events
+            ],
+            seed=self.seed,
+        )
+
     # -- run control ---------------------------------------------------------
 
     def reset(self) -> None:

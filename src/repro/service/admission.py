@@ -1,0 +1,65 @@
+"""Admission control: bounded queue + per-tenant simulated-Clock quotas.
+
+Overload is handled by *load shedding at the door*, never by letting
+queued work time out: a submission that would push the queue past
+``max_queue`` is rejected immediately with a structured reason, so the
+tenant knows at submit time rather than after a deadline.  Tenant
+budgets meter the one resource the simulator actually models — simulated
+Clock microseconds — across all of a tenant's jobs: exhausted tenants
+are rejected at admission, and a job that exhausts the budget *mid-run*
+is cancelled at the next construct boundary by its deadline monitor
+(``reason="budget"``, distinct from the job's own deadline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .jobstate import Job
+
+#: structured rejection reasons
+QUEUE_FULL = "queue_full"
+BUDGET_EXHAUSTED = "budget_exhausted"
+
+
+class AdmissionController:
+    """Decides, at submit time, whether a job may enter the queue."""
+
+    def __init__(
+        self,
+        *,
+        max_queue: int = 256,
+        tenant_budget_us: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.max_queue = max_queue
+        #: tenant -> total simulated us the tenant may consume (absent
+        #: tenants are unmetered)
+        self.budgets: Dict[str, float] = dict(tenant_budget_us or {})
+        #: tenant -> simulated us charged by terminal jobs so far
+        self.spent: Dict[str, float] = {}
+        self.rejections: Dict[str, int] = {QUEUE_FULL: 0, BUDGET_EXHAUSTED: 0}
+
+    def admit(self, job: Job, queued_now: int) -> Optional[str]:
+        """None to admit, or a structured rejection reason."""
+        if queued_now >= self.max_queue:
+            self.rejections[QUEUE_FULL] += 1
+            return QUEUE_FULL
+        remaining = self.remaining_budget_us(job.spec.tenant)
+        if remaining is not None and remaining <= 0.0:
+            self.rejections[BUDGET_EXHAUSTED] += 1
+            return BUDGET_EXHAUSTED
+        return None
+
+    def remaining_budget_us(self, tenant: str) -> Optional[float]:
+        """Unspent budget, or None for an unmetered tenant."""
+        budget = self.budgets.get(tenant)
+        if budget is None:
+            return None
+        return budget - self.spent.get(tenant, 0.0)
+
+    def charge(self, tenant: str, clock_us: float) -> None:
+        """Account a terminal job's simulated time against its tenant."""
+        if clock_us > 0.0:
+            self.spent[tenant] = self.spent.get(tenant, 0.0) + clock_us

@@ -1,0 +1,176 @@
+"""Crash durability: an append-only journal plus a snapshot spool.
+
+Layout of a spool directory::
+
+    journal.jsonl        append-only event log (one JSON object per line)
+    spec-<job>.pkl       pickled JobSpec, written once at submit
+    snap-<job>-<n>.pkl   portable snapshot of suspension n (atomic)
+    result-<job>.npz     final arrays/scalars of a DONE job
+
+The journal is the source of truth; payload files are only meaningful
+when a journal line references them.  Every write that a recovery
+depends on is ordered *payload file first (atomic tmp + rename), journal
+line second (flushed + fsynced)* — so a crash at any instant leaves
+either a fully recorded state transition or none, never a dangling
+reference.  :func:`Spool.scan` replays the journal into the last known
+state of every job: jobs with a terminal event are reported as finished
+(their tenants' spent budget is reconstructed too) and everything else
+is in-flight, restartable from its newest journalled snapshot — or from
+scratch when it never suspended.  That replay is exactly what
+``repro serve --resume <dir>`` feeds the scheduler.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..interp.checkpoint import PortableSnapshot, snapshot_from_bytes, snapshot_to_bytes
+from .jobstate import DONE, FAILED, REJECTED, JobSpec
+
+
+def fingerprint_to_json(fp) -> Any:
+    """Clock fingerprints are nested tuples; journal them as lists."""
+    if isinstance(fp, tuple):
+        return [fingerprint_to_json(x) for x in fp]
+    return fp
+
+
+def fingerprint_from_json(fp) -> Any:
+    if isinstance(fp, list):
+        return tuple(fingerprint_from_json(x) for x in fp)
+    return fp
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as f:
+        f.write(data)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+class Spool:
+    """One service's durable state under a single directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.journal_path = os.path.join(root, "journal.jsonl")
+        self._journal = open(self.journal_path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        self._journal.close()
+
+    # -- journal ------------------------------------------------------------
+
+    def append(self, event: Dict[str, Any], *, sync: bool = True) -> None:
+        self._journal.write(json.dumps(event, sort_keys=True) + "\n")
+        self._journal.flush()
+        if sync:
+            os.fsync(self._journal.fileno())
+
+    # -- payloads -----------------------------------------------------------
+
+    def save_spec(self, job_id: str, spec: JobSpec) -> str:
+        name = f"spec-{job_id}.pkl"
+        _atomic_write(
+            os.path.join(self.root, name),
+            pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        return name
+
+    def load_spec(self, name: str) -> JobSpec:
+        with open(os.path.join(self.root, name), "rb") as f:
+            return pickle.load(f)
+
+    def save_snapshot(self, job_id: str, n: int, snap: PortableSnapshot) -> str:
+        name = f"snap-{job_id}-{n}.pkl"
+        _atomic_write(os.path.join(self.root, name), snapshot_to_bytes(snap))
+        return name
+
+    def load_snapshot(self, name: str) -> PortableSnapshot:
+        with open(os.path.join(self.root, name), "rb") as f:
+            return snapshot_from_bytes(f.read())
+
+    def save_result(self, job_id: str, run) -> str:
+        """Persist a DONE job's final variables (arrays + scalars)."""
+        name = f"result-{job_id}.npz"
+        path = os.path.join(self.root, name)
+        tmp = path + ".tmp.npz"
+        np.savez(tmp, **{var: np.asarray(run[var]) for var in run})
+        os.replace(tmp, path)
+        return name
+
+    def load_result(self, name: str) -> Dict[str, np.ndarray]:
+        with np.load(os.path.join(self.root, name)) as data:
+            return {k: data[k] for k in data.files}
+
+    # -- recovery -----------------------------------------------------------
+
+    def scan(self) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, float]]:
+        """Replay the journal into per-job last-known state.
+
+        Returns ``(records, spent_us)``: ``records[job_id]`` holds the
+        spec, the last journalled snapshot reference (if any), attempt
+        and preemption counters, and — for finished jobs — the terminal
+        event; ``spent_us`` is the per-tenant simulated time already
+        charged by terminal jobs (budget reconstruction).
+        """
+        records: Dict[str, Dict[str, Any]] = {}
+        spent: Dict[str, float] = {}
+        if not os.path.exists(self.journal_path):
+            return records, spent
+        with open(self.journal_path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    ev = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line from a crash mid-append
+                job_id = ev.get("job")
+                if job_id is None:
+                    continue
+                kind = ev.get("ev")
+                if kind == "submit":
+                    records[job_id] = {
+                        "spec_file": ev["spec"],
+                        "tenant": ev.get("tenant", "default"),
+                        "state": None,
+                        "attempt": 1,
+                        "snapshot_file": None,
+                        "pc": 0,
+                        "wall_used_s": 0.0,
+                        "preemptions": 0,
+                        "terminal": None,
+                    }
+                    continue
+                rec = records.get(job_id)
+                if rec is None:
+                    continue  # reference to a job whose submit never landed
+                if kind == "attempt":
+                    rec["attempt"] = ev.get("attempt", rec["attempt"])
+                    # a new attempt starts from scratch, not the old snapshot
+                    rec["snapshot_file"] = None
+                    rec["pc"] = 0
+                elif kind == "suspend":
+                    rec["snapshot_file"] = ev["snapshot"]
+                    rec["pc"] = ev.get("pc", 0)
+                    rec["attempt"] = ev.get("attempt", rec["attempt"])
+                    rec["wall_used_s"] = ev.get("wall_used_s", 0.0)
+                    rec["preemptions"] = ev.get("preemptions", rec["preemptions"])
+                elif kind in (DONE, FAILED, REJECTED):
+                    rec["state"] = kind
+                    rec["terminal"] = ev
+                    clock_us = ev.get("clock_us", 0.0)
+                    if clock_us:
+                        tenant = rec["tenant"]
+                        spent[tenant] = spent.get(tenant, 0.0) + clock_us
+        return records, spent

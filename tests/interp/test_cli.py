@@ -144,3 +144,127 @@ class TestStats:
         main(["run", apsp_file, "-D", "N=4"])
         out = capsys.readouterr().out
         assert "execution stats" not in out
+
+
+SLOW_UC = """
+int N = 32;
+index_set I:i = {0..N-1};
+int a[32];
+main {
+    par (I) a[i] = 2000;
+    *par (I) st (a[i] > 0) a[i] = a[i] - 1;
+}
+"""
+
+SERVE_UC = """
+int N = 8;
+index_set I:i = {0..N-1};
+int a[8];
+main {
+  par (I) a[i] = i * i;
+  *par (I) st (a[i] < 100) a[i] = a[i] + 1;
+}
+"""
+
+
+class TestRunTimeout:
+    def test_timeout_cancels_with_diagnostic(self, tmp_path, capsys):
+        from repro.cli import TIMEOUT_EXIT
+
+        f = tmp_path / "slow.uc"
+        f.write_text(SLOW_UC)
+        rc = main(["run", str(f), "--timeout", "0.001"])
+        assert rc == TIMEOUT_EXIT
+        err = capsys.readouterr().err
+        assert "timeout: wall deadline exceeded" in err
+        # checkpoint-position diagnostic: where the run was cancelled
+        assert "cancelled at" in err
+
+    def test_generous_timeout_is_harmless(self, apsp_file, capsys):
+        assert main(["run", apsp_file, "-D", "N=4", "--timeout", "600"]) == 0
+        assert "simulated elapsed" in capsys.readouterr().out
+
+    def test_timeout_rejected_with_batch(self, tmp_path):
+        f = tmp_path / "slow.uc"
+        f.write_text(SLOW_UC)
+        batch = tmp_path / "batch.json"
+        batch.write_text("[]")
+        with pytest.raises(SystemExit, match="--timeout"):
+            main(["run", str(f), "--timeout", "1", "--batch", str(batch)])
+
+
+class TestServe:
+    @pytest.fixture
+    def jobs_file(self, tmp_path):
+        import json
+
+        f = tmp_path / "jobs.json"
+        f.write_text(json.dumps([{"source": SERVE_UC}, {"source": SERVE_UC}]))
+        return str(f)
+
+    def test_serve_runs_jobs_file(self, jobs_file, capsys):
+        assert main(["serve", jobs_file, "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("done") >= 2
+        assert "fingerprint" in out
+        assert "0 lost" in out
+
+    def test_serve_reports_failures_per_job(self, tmp_path, capsys):
+        import json
+
+        f = tmp_path / "jobs.json"
+        f.write_text(
+            json.dumps([{"source": SERVE_UC}, {"source": "main { par ("}])
+        )
+        assert main(["serve", str(f)]) == 0  # failed != lost
+        out = capsys.readouterr().out
+        assert "failed" in out
+        assert "1 failed" in out
+
+    def test_serve_deadline_and_retry_keys(self, tmp_path, capsys):
+        import json
+
+        f = tmp_path / "jobs.json"
+        f.write_text(
+            json.dumps(
+                [
+                    {
+                        "source": SERVE_UC,
+                        "deadline": {"clock_us": 1.0},
+                        "retry": {"max_attempts": 2},
+                    }
+                ]
+            )
+        )
+        assert main(["serve", str(f)]) == 0
+        out = capsys.readouterr().out
+        assert "clock" in out
+
+    def test_serve_resume_round_trip(self, jobs_file, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        assert main(["serve", jobs_file, "--spool", spool]) == 0
+        capsys.readouterr()
+        # a fresh process would do exactly this: replay the journal
+        assert main(["serve", "--resume", spool]) == 0
+        out = capsys.readouterr().out
+        assert "resumed 2 journalled jobs" in out
+        assert "0 lost" in out
+
+    def test_serve_requires_jobs_or_resume(self):
+        with pytest.raises(SystemExit, match="jobs file"):
+            main(["serve"])
+
+    def test_serve_bad_budget_spec(self, jobs_file):
+        with pytest.raises(SystemExit, match="budget"):
+            main(["serve", jobs_file, "--budget", "nonsense"])
+
+    def test_serve_chaos_matches_clean_fingerprints(self, jobs_file, capsys):
+        import re
+
+        assert main(["serve", jobs_file, "--no-coalesce"]) == 0
+        clean = re.findall(r"fingerprint (\w+)", capsys.readouterr().out)
+        assert main(
+            ["serve", jobs_file, "--no-coalesce", "--chaos", "0.7", "--seed", "5"]
+        ) == 0
+        chaotic = re.findall(r"fingerprint (\w+)", capsys.readouterr().out)
+        assert clean and sorted(clean) == sorted(chaotic)

@@ -243,3 +243,74 @@ class TestSolveSweepLimit:
         )
         with pytest.raises(ValueError, match="positive"):
             prog.run({"dist": DIST.copy()})
+
+
+# ---------------------------------------------------------------------------
+# Satellite (PR 8): capped + jittered retry backoff
+
+
+class TestBackoffPolicy:
+    def test_cap_clamps_runaway_backoff(self):
+        policy = RecoveryPolicy(max_attempts=64, backoff_cap=500)
+        cycles = [policy.backoff_cycles(k) for k in range(1, 20)]
+        assert max(cycles) == 500  # 50 * 2**18 would be ~13M uncapped
+        assert cycles == sorted(cycles)  # still monotone up to the cap
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError, match="backoff_cap"):
+            RecoveryPolicy(backoff_cap=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RecoveryPolicy(jitter=1.5)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        a = RecoveryPolicy(jitter=0.5, jitter_seed=1)
+        b = RecoveryPolicy(jitter=0.5, jitter_seed=1)
+        c = RecoveryPolicy(jitter=0.5, jitter_seed=2)
+        xs = [a.backoff_cycles(k) for k in range(1, 8)]
+        assert xs == [b.backoff_cycles(k) for k in range(1, 8)]  # reproducible
+        assert xs != [c.backoff_cycles(k) for k in range(1, 8)]  # decorrelated
+        plain = RecoveryPolicy()
+        for k, x in enumerate(xs, start=1):
+            base = plain.backoff_cycles(k)
+            assert base <= x <= min(int(base * 1.5), a.backoff_cap)
+
+    def test_defaults_leave_fingerprints_unchanged(self, plans=None):
+        """The new cap sits above the largest default-schedule backoff, so
+        a faulted run under an explicit default policy matches one that
+        never heard of the cap."""
+        implicit = run_apsp(
+            W.APSP_SOLVE_UC, APSP_DEFS, {"dist": DIST}, faults=KILL_MID_SOLVE
+        )
+        explicit = run_apsp(
+            W.APSP_SOLVE_UC, APSP_DEFS, {"dist": DIST},
+            faults=KILL_MID_SOLVE, recovery=RecoveryPolicy(),
+        )
+        assert implicit.fingerprint == explicit.fingerprint
+
+    def test_jittered_policy_is_reproducible_end_to_end(self):
+        """Same jittered policy, same seed -> bit-identical fingerprints;
+        different jitter seeds -> different recovery charges."""
+        pol = RecoveryPolicy(jitter=0.3, jitter_seed=11)
+        runs = [
+            run_apsp(
+                W.APSP_SOLVE_UC, APSP_DEFS, {"dist": DIST},
+                faults=KILL_MID_SOLVE, recovery=pol,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].fingerprint == runs[1].fingerprint
+        other = run_apsp(
+            W.APSP_SOLVE_UC, APSP_DEFS, {"dist": DIST},
+            faults=KILL_MID_SOLVE,
+            recovery=RecoveryPolicy(jitter=0.3, jitter_seed=12),
+        )
+        assert other.counts["recovery"] != runs[0].counts["recovery"]
+
+    def test_fork_yields_fresh_unfired_plan(self):
+        plan = FaultPlan.parse("kill:2@alu#5; drop@scan_step#20")
+        child = plan.fork()
+        assert child is not plan
+        assert [(e.kind, e.op, e.at_count) for e in child.events] == [
+            (e.kind, e.op, e.at_count) for e in plan.events
+        ]
+        assert not any(e.fired for e in child.events)
