@@ -1,0 +1,215 @@
+"""Shard benchmark — map-driven placement vs naive block placement.
+
+``UCProgram(shards=K)`` partitions the VP grid across K simulated CM-2
+shards and charges every slab that crosses a shard boundary on the
+``intershard`` tier — the most expensive row of the cost model.  The
+placement policy decides *which* grid axis the partition cuts:
+
+* ``block`` slices axis 0, the naive distribution every shard paper
+  warns about;
+* ``map`` scores each candidate axis with the same static reference
+  classifier the uclint/runtime tier decider uses and picks the axis
+  whose cross-shard slab volume is smallest.
+
+On the n^3 APSP kernel ``d[i][j] = $<(K; d[i][k] + d[k][j])`` over grid
+(I, J, K), axis 0 leaves every ``d[k][j]`` read remote (a full n x n
+slab per shard pair per sweep) while axis 2 localizes it down to the
+reduction frontier — a 4x intershard-cycle reduction at K=4.  That
+factor is the benchmark payload; acceptance pins it at >= 3x in both
+modes, and every sharded run must keep the Clock fingerprint
+bit-identical to the unsharded run on both engines (K in {1, 2, 4}).
+
+Writes ``BENCH_shard.json`` at the repository root plus the usual text
+report under ``benchmarks/results/``.
+
+Run small (CI smoke): ``python benchmarks/bench_shard.py --smoke``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+import pytest
+
+from repro.algorithms.shortest_path import random_distance_matrix
+from repro.bench.report import format_table
+from repro.bench.workloads import APSP_N3_UC
+from repro.interp.program import UCProgram
+
+from _common import save_report
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+REPS = 3
+
+#: shard count the headline ratio is measured at (matches uclint UC305)
+K = 4
+
+FULL_N = 64
+SMOKE_N = 16
+
+
+def _defines(n: int) -> dict:
+    return {"N": n, "LOGN": max(1, (n - 1).bit_length())}
+
+
+def _run_once(src, defines, inputs, *, plans, shards, placement):
+    prog = UCProgram(
+        src, defines=defines, plans=plans, shards=shards, placement=placement
+    )
+    best = None
+    result = None
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        result = prog.run({k: v.copy() for k, v in inputs.items()})
+        dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+    return best, result
+
+
+def _row(name, src, defines, inputs, *, plans):
+    engine = "plans" if plans else "tree"
+    t_map, r_map = _run_once(
+        src, defines, inputs, plans=plans, shards=K, placement="map"
+    )
+    t_block, r_block = _run_once(
+        src, defines, inputs, plans=plans, shards=K, placement="block"
+    )
+    _, r_solo = _run_once(
+        src, defines, inputs, plans=plans, shards=1, placement="map"
+    )
+    # placement is pure bookkeeping: values and the Clock fingerprint
+    # must not depend on the partition (or on sharding at all)
+    assert np.array_equal(r_map["d"], r_solo["d"]), f"{name}/{engine}: values"
+    assert np.array_equal(r_block["d"], r_solo["d"]), f"{name}/{engine}: values"
+    assert r_map.fingerprint == r_solo.fingerprint == r_block.fingerprint, (
+        f"{name}/{engine}: sharding changed the Clock fingerprint"
+    )
+    cyc_map = r_map.shards["intershard_cycles"]
+    cyc_block = r_block.shards["intershard_cycles"]
+    return {
+        "workload": name,
+        "engine": engine,
+        "shards": K,
+        "map_axis": r_map.shards["axis"],
+        "block_axis": r_block.shards["axis"],
+        "map_intershard_cycles": cyc_map,
+        "block_intershard_cycles": cyc_block,
+        "map_intershard_bytes": r_map.shards["intershard_bytes"],
+        "block_intershard_bytes": r_block.shards["intershard_bytes"],
+        "speedup": cyc_block / cyc_map,
+        "map_ms": t_map * 1e3,
+        "block_ms": t_block * 1e3,
+        "fingerprint": r_map.fingerprint,
+    }
+
+
+def _check_all_k_fingerprints(src, defines, inputs):
+    """K in {1, 2, 4} and both engines agree on the exact fingerprint."""
+    fps = set()
+    for plans in (True, False):
+        for shards in (1, 2, 4):
+            _, res = _run_once(
+                src, defines, inputs, plans=plans, shards=shards, placement="map"
+            )
+            fps.add(res.fingerprint)
+    assert len(fps) == 1, f"fingerprints diverge across engines/K: {fps}"
+
+
+def run_bench(small: bool = False):
+    n = SMOKE_N if small else FULL_N
+    defines = _defines(n)
+    inputs = {"d": random_distance_matrix(n, seed=7)}
+    name = f"apsp-n3 n={n}"
+    rows = [
+        _row(name, APSP_N3_UC, defines, inputs, plans=True),
+        _row(name, APSP_N3_UC, defines, inputs, plans=False),
+    ]
+    assert rows[0]["fingerprint"] == rows[1]["fingerprint"], (
+        f"{name}: engines disagree on the sharded fingerprint"
+    )
+    _check_all_k_fingerprints(APSP_N3_UC, defines, inputs)
+    return rows, small
+
+
+def check_bench(rows, small: bool) -> None:
+    for row in rows:
+        # both placements partition the same grid; only the axis differs
+        assert row["map_axis"] != row["block_axis"], (
+            f"{row['workload']}/{row['engine']}: map placement picked the "
+            f"naive axis"
+        )
+        assert row["speedup"] >= 3.0, (
+            f"{row['workload']}/{row['engine']}: map placement cut "
+            f"intershard cycles only {row['speedup']:.2f}x (< 3x) vs block"
+        )
+
+
+def write_json(rows, small: bool) -> Path:
+    out = REPO_ROOT / "BENCH_shard.json"
+    payload = [{k: v for k, v in r.items() if k != "fingerprint"} for r in rows]
+    out.write_text(
+        json.dumps(
+            {
+                "benchmark": "map-driven vs block placement, "
+                f"{K}-way sharded execution",
+                "mode": "small" if small else "full",
+                "reps": REPS,
+                "escape_hatch": "REPRO_SHARDS=1",
+                "rows": payload,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    return out
+
+
+def report(rows, small: bool) -> None:
+    table = format_table(
+        [
+            "workload",
+            "engine",
+            "block cycles",
+            "map cycles",
+            "speedup",
+            "block axis",
+            "map axis",
+        ],
+        [
+            (
+                r["workload"],
+                r["engine"],
+                r["block_intershard_cycles"],
+                r["map_intershard_cycles"],
+                f"{r['speedup']:.2f}x",
+                r["block_axis"],
+                r["map_axis"],
+            )
+            for r in rows
+        ],
+        title=f"Intershard slab traffic at K={K}: map-driven vs block "
+        "placement (bit-identical fingerprints for K in {1,2,4})",
+    )
+    save_report("bench_shard", table)
+    path = write_json(rows, small)
+    print(f"wrote {path}")
+
+
+@pytest.mark.benchmark(group="shard")
+def test_shard_placement_speedup(benchmark):
+    rows, small = benchmark.pedantic(run_bench, iterations=1, rounds=1)
+    check_bench(rows, small)
+    report(rows, small)
+
+
+if __name__ == "__main__":
+    is_small = "--smoke" in sys.argv[1:] or "--small" in sys.argv[1:]
+    bench_rows, bench_small = run_bench(small=is_small)
+    check_bench(bench_rows, bench_small)
+    report(bench_rows, bench_small)

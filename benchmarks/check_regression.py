@@ -43,6 +43,7 @@ BENCH_FILES = (
     "BENCH_fusion.json",
     "BENCH_batch.json",
     "BENCH_serve.json",
+    "BENCH_shard.json",
 )
 
 

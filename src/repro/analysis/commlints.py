@@ -7,10 +7,17 @@ names the tier the machine will actually charge:
 * ``router`` traffic is a warning (UC301) — with a concrete map
   suggestion when the pattern is a transpose or a constant shift;
 * ``spread`` (UC302), ``news`` (UC303) and ``broadcast`` (UC304) are
-  informational: cheap, but each has a map that makes it cheaper.
+  informational: cheap, but each has a map that makes it cheaper;
+* UC305 (info) flags references the placement model proves cross the
+  shard boundary under the program's *own* map section — the same
+  :meth:`~repro.mapping.placement.Placement.split` the runtime sink
+  charges from, evaluated at the partition axis the same search the
+  runtime uses would pick — with a fix-it naming the fold / permute /
+  copy map that would localize the traffic.
 
 References already demoted to ``local`` — or promoted to the
-precomputed ``permute`` tier by an active map — produce no diagnostic.
+precomputed ``permute`` tier by an active map — produce no UC301-304
+diagnostic.
 """
 
 from __future__ import annotations
@@ -27,6 +34,13 @@ def _text(node) -> str:
     from ..compiler.cstar_gen import expr_to_text  # lazy: avoid import cycle
 
     return expr_to_text(node)
+
+
+#: shard count the UC305 cross-shard lint models.  Any K > 1 proves the
+#: same set of references cross (the affine owner map only rescales the
+#: band widths); 4 matches the benchmark partition, so the lint's
+#: elements-per-sweep figures line up with ``repro run --shards 4``.
+LINT_SHARDS = 4
 
 
 def analyze_comm(
@@ -54,7 +68,125 @@ def analyze_comm(
                 continue
             seen.add(key)
             diags.append(d)
+    diags.extend(_shard_lints(model, verdicts, costs, file))
     return diags
+
+
+def _shard_lints(
+    model: AnalysisModel,
+    verdicts: Sequence[SiteVerdict],
+    costs: CostTable,
+    file: str,
+) -> List[Diagnostic]:
+    """UC305: references still crossing shards under the best placement.
+
+    Shares :func:`~repro.mapping.placement.score_axes_verdicts` and
+    :meth:`~repro.mapping.placement.Placement.split` with the runtime
+    tier machinery, so the lint flags exactly the slabs the shard ledger
+    would charge."""
+    from ..mapping.placement import Placement, score_axes_verdicts
+
+    try:
+        scored = score_axes_verdicts(verdicts, model.layouts, LINT_SHARDS)
+    except Exception:  # pragma: no cover - defensive: lint must not crash
+        return []
+    if not scored or scored[0][0] == 0:
+        return []  # a placement with zero cross-shard traffic exists
+    axis = scored[0][1]
+    pl = Placement(LINT_SHARDS, axis=axis, policy="map")
+    diags: List[Diagnostic] = []
+    seen: Set[Tuple[int, int, str, bool]] = set()
+    for v in verdicts:
+        for write in (False, True):
+            if write and not v.ref.write:
+                continue
+            if not write and not v.ref.read:
+                continue
+            tier = v.tier(costs, write=write)
+            if tier in (None, "local", "broadcast"):
+                continue
+            rc = v.rc_write if write else v.rc
+            if rc is None:
+                continue
+            layout = (
+                model.layouts.get(v.ref.node.base)
+                if v.ref.node.base in model.layouts
+                else None
+            )
+            grid_shape = tuple(a.extent for a in v.ref.axes)
+            split = pl.split(rc, layout, grid_shape, write)
+            if split.cross == 0:
+                continue
+            node = v.ref.node
+            key = (node.line, node.col, node.base, write)
+            if key in seen:
+                continue
+            seen.add(key)
+            text = _text(node)
+            role = "written" if write else "serviced"
+            diags.append(
+                Diagnostic(
+                    code="UC305",
+                    severity="info",
+                    message=(
+                        f"{text} is {role} across the shard boundary under a "
+                        f"{LINT_SHARDS}-way partition (axis {axis}): "
+                        f"{split.cross} element(s) per sweep on the "
+                        "inter-machine link"
+                    ),
+                    line=node.line,
+                    col=node.col,
+                    file=file,
+                    hint=_shard_hint(v, rc, layout, pl, grid_shape, text),
+                )
+            )
+    return diags
+
+
+def _shard_hint(v, rc, layout, pl, grid_shape, text: str) -> str:
+    """Name the fold/permute/copy map that would localize the reference."""
+    from ..mapping.placement import rank_of
+
+    base = v.ref.node.base
+    if rc.axes is None:
+        return (
+            "data-dependent subscripts scatter across every shard; index "
+            f"{base!r} with affine expressions of the construct elements so "
+            "the placement can localize them"
+        )
+    g_a = pl.grid_axis(len(grid_shape))
+    elem = v.ref.axes[g_a].elem  # the partitioned construct element
+    part_desc = None
+    if layout is not None and rc.axes and len(rc.axes) == rank_of(layout):
+        perm = layout.axis_perm or tuple(range(rank_of(layout)))
+        part_desc = rc.axes[perm[min(pl.axis, rank_of(layout) - 1)]]
+    if (
+        part_desc is not None
+        and part_desc[0] == "i"
+        and part_desc[1] == g_a
+        and part_desc[2] != 0
+    ):
+        return (
+            f"only the shift's halo crosses: a permute map with offset "
+            f"{int(part_desc[2])} storing {text} locally removes the exchange"
+        )
+    if part_desc is not None and part_desc[0] == "m" and part_desc[1] == g_a:
+        return (
+            f"a mirror fold map on {base!r} co-locates each element with its "
+            f"reflection, making {text} shard-local"
+        )
+    for slot, desc in enumerate(rc.axes):
+        if desc[0] in ("i", "m") and desc[1] == g_a:
+            return (
+                f"a permute map transposing {base!r} so subscript axis {slot} "
+                f"(bound to element {elem!r}) lands on the partitioned slot "
+                f"would make {text} shard-local"
+            )
+    return (
+        f"{text} has no subscript bound to the partitioned element {elem!r}: "
+        f"a copy map replicating {base!r} along {elem!r} gives every shard a "
+        "local replica"
+    )
 
 
 def _diag_for(

@@ -41,6 +41,7 @@ CODES = {
     "UC302": "spread-tier reference",
     "UC303": "NEWS-shift reference",
     "UC304": "broadcast reference",
+    "UC305": "cross-shard reference under the derived placement",
     "UC401": "unused index set",
     "UC402": "element binding shadows an outer binding",
     "UC403": "dead construct arm (predicate constant false)",

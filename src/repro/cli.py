@@ -59,6 +59,8 @@ def _load_program(args: argparse.Namespace) -> UCProgram:
             apply_maps=not getattr(args, "no_maps", False),
             faults=getattr(args, "faults", None),
             sanitize=getattr(args, "sanitize", False),
+            shards=getattr(args, "shards", None),
+            placement=getattr(args, "placement", None) or "map",
         )
     except UCError as exc:
         raise SystemExit(f"{args.file}: {exc}")
@@ -263,6 +265,32 @@ def _print_stats(prog: UCProgram, result) -> None:
         if result.fusion:
             for key in sorted(result.fusion):
                 print(f"   fusion.{key:18s} {result.fusion[key]}")
+        if result.shards:
+            sh = result.shards
+            print(
+                f"   shards: {sh['n_shards']} ({sh['policy']} placement, "
+                f"axis {sh['axis']}), live {sh['live']}"
+            )
+            print(
+                f"   shards.cross_refs       {sh['cross_refs']}/{sh['refs']} "
+                "remote refs cross a shard boundary"
+            )
+            print(
+                f"   shards.intershard       x{sh['intershard_cycles']} "
+                f"cycles ({sh['intershard_bytes']} bytes)"
+            )
+            for pair, t in sorted(sh["pairs"].items()):
+                print(
+                    f"   shards.pair {pair:10s} {t['elems']} elems "
+                    f"({t['bytes']} bytes)"
+                )
+            for row in sh["per_shard"]:
+                state = "live" if row["live"] else "retired"
+                print(
+                    f"   shards.shard[{row['shard']}] {state:8s} "
+                    f"{row['time_us']:12.0f} us  "
+                    f"intershard x{row['intershard_cycles']}"
+                )
         if result.recovery:
             for key in sorted(result.recovery):
                 print(f"   recovery.{key:14s} {result.recovery[key]}")
@@ -515,6 +543,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="cross-check the run against the static analyzer's verdicts "
         "(also via REPRO_SANITIZE=1; see docs/ANALYSIS.md)",
+    )
+    p_run.add_argument(
+        "--shards",
+        type=int,
+        metavar="K",
+        help="partition the machine into K shards joined by an "
+        "inter-machine link (the 'intershard' cost tier); results and "
+        "fingerprints are bit-identical for every K (REPRO_SHARDS "
+        "overrides; see docs/PERFORMANCE.md)",
+    )
+    p_run.add_argument(
+        "--placement",
+        choices=("map", "block"),
+        help="shard placement policy: 'map' (default) derives the "
+        "partition axis from the program's map section; 'block' is the "
+        "naive axis-0 banding baseline",
     )
     p_run.add_argument(
         "--timeout",

@@ -133,6 +133,10 @@ def batchable(prog) -> bool:
         or prog.log_tiers
         or prog.recovery is not None
         or prog.info.program.main is None
+        # sharded runs keep per-shard clocks and a pair-traffic ledger the
+        # lane machines would not carry; the solo loop preserves them
+        # (results and fingerprints would match either way)
+        or prog.effective_shards() > 1
     )
 
 
@@ -142,7 +146,12 @@ def run_batch(prog, inputs, *, seed: int = 20250704) -> List[Any]:
     inputs = list(inputs)
     if not inputs:
         return []
-    if len(inputs) < 2 or not batchable(prog):
+    if len(inputs) == 1:
+        # single-instance fast path: a batch of one IS a solo run, so
+        # skip the batchability screen and every piece of lane machinery
+        # (stacking, chunking, lockstep driver) and dispatch directly
+        return [prog.run(inputs[0] if inputs[0] else None, seed=seed)]
+    if not batchable(prog):
         return _sequential(prog, inputs, seed)
     try:
         return _BatchRun(prog, inputs, seed).execute()

@@ -34,12 +34,19 @@ from ..machine.config import CostTable
 from ..machine.scan import SPREAD_STEPS_PER_LEVEL
 from ..mapping.locality import RefClass
 
-#: every tier the dispatcher can choose
-TIERS = ("local", "news", "spread", "broadcast", "permute", "router")
+#: every tier the dispatcher can choose, plus ``intershard``: the tier a
+#: reference lands in when the shard placement proves it crosses a shard
+#: boundary of a partitioned machine.  ``decide_tier`` never returns it —
+#: the within-machine tier is decided first, then the placement splits
+#: the reference into intra-shard work (the decided tier, charged on the
+#: owning shard) and cross-shard slabs (``intershard`` cycles, charged
+#: above ``router`` — see docs/COSTMODEL.md)
+TIERS = ("local", "news", "spread", "broadcast", "permute", "router", "intershard")
 
 _ENV_FLAG = "REPRO_NO_COMM_TIERS"
 _FRONTIER_ENV_FLAG = "REPRO_NO_FRONTIER"
 _FUSION_ENV_FLAG = "REPRO_NO_FUSION"
+_SHARDS_ENV_FLAG = "REPRO_SHARDS"
 
 
 def tiers_disabled_by_env() -> bool:
@@ -67,6 +74,23 @@ def fusion_disabled_by_env() -> bool:
     )
 
 
+def shards_from_env() -> Optional[int]:
+    """Shard-count override from ``REPRO_SHARDS``, or None when unset.
+
+    ``REPRO_SHARDS=1`` is the escape hatch that forces unsharded
+    execution whatever the program asked for; ``REPRO_SHARDS=K`` forces
+    a K-way partition everywhere (the differential CI gate runs the
+    suite this way — fingerprints must not move).
+    """
+    raw = os.environ.get(_SHARDS_ENV_FLAG, "").strip()
+    if not raw:
+        return None
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return None
+
+
 def decide_tier(rc: RefClass, costs: CostTable, *, write: bool, enabled: bool = True) -> str:
     """Pick the communication tier for one classified reference.
 
@@ -92,10 +116,20 @@ def decide_tier(rc: RefClass, costs: CostTable, *, write: bool, enabled: bool = 
     return rc.kind
 
 
-def charge_tier(ip, ctx, tier: str, rc: RefClass, *, write: bool) -> None:
+def charge_tier(
+    ip, ctx, tier: str, rc: RefClass, *, write: bool, layout=None
+) -> None:
     """Charge the machine clock for one reference serviced by ``tier``."""
     vps = ip.grid_vpset(ctx.grid.shape)
-    charge_tier_at(ip.machine.clock, tier, rc, write=write, vp_ratio=vps.vp_ratio)
+    charge_tier_at(
+        ip.machine.clock,
+        tier,
+        rc,
+        write=write,
+        vp_ratio=vps.vp_ratio,
+        grid_shape=ctx.grid.shape,
+        layout=layout,
+    )
 
 
 def charge_tier_at(
@@ -106,6 +140,8 @@ def charge_tier_at(
     write: bool,
     vp_ratio: int,
     spread_extent: Optional[int] = None,
+    grid_shape: Optional[Tuple[int, ...]] = None,
+    layout=None,
 ) -> None:
     """Charge one reference serviced by ``tier`` at an explicit VP ratio.
 
@@ -117,6 +153,14 @@ def charge_tier_at(
     compressed estimates and compressed charges identical by
     construction.  ``spread_extent`` overrides the classified extent
     (delta reductions scan only the changed slice).
+
+    ``grid_shape``/``layout`` carry the reference's geometry to a shard
+    sink when one is installed (see :mod:`repro.machine.shards`): the
+    observation happens *after* the charges, so a fault raised
+    mid-charge rolls back cleanly, and never mutates this clock — the
+    charge stream (and therefore the fingerprint) is shard-count
+    independent.  Clock-likes without the hook (the frontier estimator,
+    the fusion recorder's bare replays) skip it.
     """
     clock.count_tier(tier)
     if tier == "local":
@@ -138,6 +182,10 @@ def charge_tier_at(
         clock.charge("router_permute", vp_ratio=vp_ratio)
     else:  # router
         clock.charge("router_send" if write else "router_get", vp_ratio=vp_ratio)
+    if grid_shape is not None:
+        note = getattr(clock, "note_shard_ref", None)
+        if note is not None:
+            note(tier, rc, layout, grid_shape, write)
 
 
 def shift_descriptor(

@@ -93,7 +93,13 @@ def charge_grid_op(ip, ctx: ExecContext, count: int = 1) -> None:
 
 
 def charge_ref(
-    ip, ctx: ExecContext, rc: RefClass, *, write: bool, node: Optional[ast.Index] = None
+    ip,
+    ctx: ExecContext,
+    rc: RefClass,
+    *,
+    write: bool,
+    node: Optional[ast.Index] = None,
+    layout=None,
 ) -> str:
     """Dispatch one classified array reference to its communication tier,
     charge the machine for that tier, and return the tier chosen.
@@ -108,7 +114,7 @@ def charge_ref(
     tier = commtiers.decide_tier(
         rc, ip.machine.clock.costs, write=write, enabled=ip.comm_tiers_enabled
     )
-    commtiers.charge_tier(ip, ctx, tier, rc, write=write)
+    commtiers.charge_tier(ip, ctx, tier, rc, write=write, layout=layout)
     if node is not None and ip.tier_log is not None:
         ip.tier_log.setdefault((node.line, node.base), set()).add(tier)
     return tier
@@ -488,7 +494,7 @@ def eval_gather(ip, node: ast.Index, ctx: ExecContext) -> Value:
         arr.layout,
         positions=ctx.grid.positions,
     )
-    tier = charge_ref(ip, ctx, rc, write=False, node=node)
+    tier = charge_ref(ip, ctx, rc, write=False, node=node, layout=arr.layout)
 
     if tier == "news" and ip.comm_tiers_enabled:
         shifts = commtiers.shift_descriptor(rc, view_shape, ctx.grid.shape)
@@ -544,7 +550,7 @@ def eval_scatter(
         arr.layout,
         positions=ctx.grid.positions,
     )
-    charge_ref(ip, ctx, rc, write=True, node=node)
+    charge_ref(ip, ctx, rc, write=True, node=node, layout=arr.layout)
 
     idx_arrays = []
     for a, s in enumerate(subs):

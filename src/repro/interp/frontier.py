@@ -344,7 +344,7 @@ class _Compiler:
             write=write,
             enabled=self.ip.comm_tiers_enabled,
         )
-        return tier, rc
+        return tier, rc, tuple(grid.shape)
 
     # -- expression compilation ------------------------------------------
 
@@ -435,8 +435,8 @@ class _Compiler:
                         red.delta_refs.append((expr.base, a, c))
                 else:
                     red.full_refs.append(expr.base)
-        tier, rc = self._classify(expr, axes_desc, arr, write=False)
-        entries.append(("ref", tier, rc, False, self._scope()))
+        tier, rc, gshape = self._classify(expr, axes_desc, arr, write=False)
+        entries.append(("ref", tier, rc, False, self._scope(), gshape, arr.layout))
         base = expr.base
         node = expr
 
@@ -673,8 +673,8 @@ def _analyze_raising(ip, stmt: ast.UCStmt, inner, kind: str) -> _Analysis:
             raise _NotFrontierable()
         arm.target = t.base
         arm.target_axes = tuple(t_grid_axes)
-        _w_tier, _w_rc = comp._classify(t, t_axes, arr, write=True)
-        arm.scatter_entry = ("ref", _w_tier, _w_rc, True, "lane")
+        _w_tier, _w_rc, _w_gshape = comp._classify(t, t_axes, arr, write=True)
+        arm.scatter_entry = ("ref", _w_tier, _w_rc, True, "lane", _w_gshape, arr.layout)
 
         arm.value_entries = []
         arm.red = None
@@ -846,8 +846,13 @@ def _replay(clk, entries: Sequence, st: _ArmState) -> None:
         if tag == "op":
             clk.charge("alu", count=e[1], vp_ratio=st.ratio(e[2]))
         elif tag == "ref":
+            # e[5]/e[6] carry the full-grid geometry to the shard sink:
+            # slab exchanges are bulk per sweep, so the split is over the
+            # whole grid even on compressed sweeps (the estimator lacks
+            # the hook and is unaffected)
             commtiers.charge_tier_at(
-                clk, e[1], e[2], write=e[3], vp_ratio=st.ratio(e[4])
+                clk, e[1], e[2], write=e[3], vp_ratio=st.ratio(e[4]),
+                grid_shape=e[5], layout=e[6],
             )
         else:  # scan
             clk.charge_scan(st.scan_extent(e[1]), vp_ratio=st.ratio("red"))

@@ -126,6 +126,12 @@ class _Recorder:
     def count_tier(self, tier: str) -> None:
         self.entries.append(("t", tier))
 
+    def note_shard_ref(self, tier, rc, layout, grid_shape, write) -> None:
+        # recorded unconditionally so compiled charge tables are identical
+        # for every shard count (the compile store shares them); replay
+        # ignores the entry unless a shard sink is installed
+        self.entries.append(("x", tier, rc, layout, grid_shape, write))
+
 
 def _replay(clock, entries) -> None:
     """Re-issue a recorded charge table against the real clock."""
@@ -1100,7 +1106,10 @@ class _Fuser:
             rc, self.costs, write=False, enabled=self.ip.comm_tiers_enabled
         )
         rec = _Recorder()
-        commtiers.charge_tier_at(rec, tier, rc, write=False, vp_ratio=g.vp_ratio)
+        commtiers.charge_tier_at(
+            rec, tier, rc, write=False, vp_ratio=g.vp_ratio,
+            grid_shape=tuple(g.shape), layout=arr.layout,
+        )
         self.charges.extend(rec.entries)
         shift = None
         recipe = None
@@ -1178,7 +1187,10 @@ class _Fuser:
             rc, self.costs, write=True, enabled=self.ip.comm_tiers_enabled
         )
         rec = _Recorder()
-        commtiers.charge_tier_at(rec, tier, rc, write=True, vp_ratio=g.vp_ratio)
+        commtiers.charge_tier_at(
+            rec, tier, rc, write=True, vp_ratio=g.vp_ratio,
+            grid_shape=tuple(g.shape), layout=arr.layout,
+        )
         self.charges.extend(rec.entries)
         flat_idx = tuple(ia.reshape(-1) for ia in self._full_idx(subs, view_shape, g.shape))
         full_flat = np.ravel_multi_index(flat_idx, view_shape)

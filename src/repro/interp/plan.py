@@ -553,7 +553,9 @@ class _GatherPlan:
                     for ob in m.oob:
                         if ob is not None and np.any(ob & mask):
                             E._bounds_check(node, subs, view_shape, mask)
-                commtiers.charge_tier(ip, ctx, m.tier, m.rc, write=False)
+                commtiers.charge_tier(
+                    ip, ctx, m.tier, m.rc, write=False, layout=arr.layout
+                )
                 _log_tier(ip, node, m.tier)
                 if m.shift is not None:
                     # NEWS tier: chained clamped shifts, bit-identical to
@@ -582,7 +584,7 @@ class _GatherPlan:
             arr.layout,
             positions=ctx.grid.positions,
         )
-        tier = E.charge_ref(ip, ctx, rc, write=False, node=node)
+        tier = E.charge_ref(ip, ctx, rc, write=False, node=node, layout=arr.layout)
 
         memo_ok = direct and self.names is not None and (
             ip.comm_tiers_enabled or tier == "local"
@@ -710,7 +712,9 @@ class _ScatterPlan:
                     for ob in m.oob:
                         if ob is not None and np.any(ob & mask):
                             E._bounds_check(node, subs, view_shape, mask)
-                commtiers.charge_tier(ip, ctx, m.tier, m.rc, write=True)
+                commtiers.charge_tier(
+                    ip, ctx, m.tier, m.rc, write=True, layout=arr.layout
+                )
                 _log_tier(ip, node, m.tier)
                 flat_mask = mask.reshape(-1)
                 flat_idx = m.flat[flat_mask]
@@ -749,7 +753,7 @@ class _ScatterPlan:
             arr.layout,
             positions=ctx.grid.positions,
         )
-        tier = E.charge_ref(ip, ctx, rc, write=True, node=node)
+        tier = E.charge_ref(ip, ctx, rc, write=True, node=node, layout=arr.layout)
         idx_arrays = []
         for a, s in enumerate(subs):
             if isinstance(s, np.ndarray):

@@ -31,6 +31,7 @@ from ..lang.semantics import ProgramInfo
 from ..machine import FaultPlan, Machine, MachineConfig
 from ..mapping.maps import build_layouts
 from ..mapping.layout import LayoutTable
+from . import commtiers
 from .compile_store import CompileStore, default_store
 from .deadline import DeadlineMonitor
 from .interpreter import Interpreter, resolve_engine_flags
@@ -93,6 +94,11 @@ class RunResult:
         #: unfused segments, fused/fallback sweeps, charge-table hits;
         #: empty when fusion is off or nothing fused)
         self.fusion: Dict[str, int] = dict(interp.machine.clock.fusion_counts)
+        #: sharded-execution counters (shard count, placement axis,
+        #: per-shard clock totals, intershard cycles and bytes per shard
+        #: pair; empty on an unsharded run) — see docs/PERFORMANCE.md
+        sink = getattr(interp.machine.clock, "shard_sink", None)
+        self.shards: Dict[str, Any] = sink.stats() if sink is not None else {}
         #: sanitizer summary (claims checked/verified; empty when off) —
         #: filled in by UCProgram.run after the cross-check passes
         self.sanitizer: Dict[str, int] = {}
@@ -211,6 +217,21 @@ class UCProgram:
         Cap on ``solve``/``*solve`` sweeps before the divergence error
         (default: the global ``MAX_SWEEPS`` backstop; also settable via
         ``REPRO_SOLVE_SWEEP_LIMIT``).
+    shards:
+        Partition the simulated machine into K resident shards connected
+        by an inter-machine link (the ``intershard`` cost tier): remote
+        references the placement proves to cross a shard boundary are
+        gathered into per-destination slabs, one bulk exchange per shard
+        pair per sweep.  Results and Clock fingerprints are bit-identical
+        for every K — sharding is an accounting overlay on the global
+        clock (see "Sharded execution" in ``docs/PERFORMANCE.md``).
+        ``REPRO_SHARDS=K`` overrides in both directions (``=1`` is the
+        escape hatch forcing unsharded execution).
+    placement:
+        ``"map"`` (default) derives the partition axis from the program's
+        own ``map`` section — the axis with the least statically
+        predicted cross-shard slab traffic wins; ``"block"`` is the naive
+        axis-0 banding baseline the sharding benchmark compares against.
     compile_store:
         The content-addressed :class:`~repro.interp.compile_store.CompileStore`
         to compile through (default: the process-wide store, so repeated
@@ -239,6 +260,8 @@ class UCProgram:
         fusion: bool = True,
         log_tiers: bool = False,
         sanitize: bool = False,
+        shards: Optional[int] = None,
+        placement: str = "map",
         faults: Optional[Union[str, FaultPlan]] = None,
         recovery=None,
         checkpoints: bool = False,
@@ -259,6 +282,13 @@ class UCProgram:
         self.fusion = fusion
         self.log_tiers = log_tiers
         self.sanitize = sanitize
+        self.shards = shards
+        self.placement = placement
+        if placement not in ("map", "block"):
+            raise ValueError(f"unknown placement policy {placement!r}")
+        #: (n_shards, policy) -> chosen partition axis; the axis search
+        #: runs static analysis once per program, not once per run
+        self._placement_axis_memo: Dict[tuple, int] = {}
         # parse eagerly: a bad spec should fail at construction, not mid-run
         self.faults = (
             FaultPlan.parse(faults) if isinstance(faults, str) else faults
@@ -364,6 +394,12 @@ class UCProgram:
         )
         recovery_policy = self.recovery if recovery is _UNSET else recovery
         m = machine if machine is not None else Machine(self.machine_config, seed=seed)
+        # sharding is an observability overlay on the clock: it never
+        # perturbs the global charge stream, so plan caches, engines and
+        # fingerprints are shared with (and identical to) unsharded runs
+        n_shards = self.effective_shards()
+        if n_shards > 1:
+            self._make_sharded(m, n_shards)
         plan_cache = self._shared_plan_cache(m, machine, fault_plan)
         interp = Interpreter(
             self.info,
@@ -417,6 +453,36 @@ class UCProgram:
         from .batch import run_batch as _run_batch
 
         return _run_batch(self, inputs, seed=seed)
+
+    def effective_shards(self) -> int:
+        """Shard count this run will use: ``REPRO_SHARDS`` overrides the
+        program's ``shards=`` in both directions (``=1`` forces an
+        unsharded run; the differential CI gate uses ``=4``)."""
+        env_k = commtiers.shards_from_env()
+        if env_k is not None:
+            return env_k
+        return self.shards if self.shards and self.shards > 1 else 1
+
+    def _make_sharded(self, m: Machine, n_shards: int):
+        """Wrap ``m`` in a :class:`~repro.machine.shards.ShardedMachine`.
+
+        The partition-axis search (static analysis over the program's
+        reference verdicts) is memoized per (K, policy); the Placement
+        itself is rebuilt per run — it carries live-shard state that a
+        fault run mutates.
+        """
+        from ..machine.shards import ShardedMachine
+        from ..mapping.placement import Placement, derive_placement
+
+        key = (n_shards, self.placement)
+        axis = self._placement_axis_memo.get(key)
+        if axis is None:
+            axis = derive_placement(
+                self.info, self.layouts, n_shards, policy=self.placement
+            ).axis
+            self._placement_axis_memo[key] = axis
+        placement = Placement(n_shards, axis=axis, policy=self.placement)
+        return ShardedMachine(m, n_shards, placement)
 
     def _shared_plan_cache(
         self,

@@ -63,6 +63,12 @@ class CostTable:
     #: message schedule is compiled once and replayed congestion-free —
     #: cheaper than a general get but dearer than NEWS
     router_permute: float = 1200.0
+    #: one element crossing the inter-machine link between two shards of a
+    #: partitioned machine: gathered into a per-destination slab, shipped in
+    #: one bulk exchange per shard pair per sweep, scattered locally on the
+    #: receiving shard.  Dearer than any intra-machine router cycle — the
+    #: link leaves the backplane
+    intershard: float = 4000.0
     #: broadcast of one scalar from the front end to all processors
     broadcast: float = 150.0
     #: one step of a log-depth reduction / scan tree
@@ -95,6 +101,7 @@ class CostTable:
             router_get=self.router_get * factor,
             router_send=self.router_send * factor,
             router_permute=self.router_permute * factor,
+            intershard=self.intershard * factor,
             broadcast=self.broadcast * factor,
             scan_step=self.scan_step * factor,
             global_or=self.global_or * factor,
@@ -114,6 +121,7 @@ COST_KINDS = (
     "router_get",
     "router_send",
     "router_permute",
+    "intershard",
     "broadcast",
     "scan_step",
     "global_or",

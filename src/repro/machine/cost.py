@@ -64,6 +64,13 @@ class Clock:
         #: ``hook(kind, count)`` before each charge is applied.  ``None``
         #: (the default) costs one pointer test per charge.
         self.fault_hook = None
+        #: sharded-execution observer, installed by
+        #: :class:`repro.machine.shards.ShardedMachine`; receives every
+        #: remote-reference tier charge via :meth:`note_shard_ref` so
+        #: per-shard clocks and the intershard ledger can account the
+        #: reference without touching this clock's charge stream (the
+        #: global fingerprint stays bit-identical for every shard count).
+        self.shard_sink = None
 
     # -- charging ----------------------------------------------------------
 
@@ -104,6 +111,19 @@ class Clock:
         """Record that one array reference was dispatched to ``tier``."""
         self.tier_counts[tier] = self.tier_counts.get(tier, 0) + 1
 
+    def note_shard_ref(self, tier, rc, layout, grid_shape, write) -> None:
+        """Forward one remote-reference observation to the shard sink.
+
+        No-op (one pointer test) on unsharded machines.  Sharded runs
+        route the observation to ``ShardedMachine.observe_ref``, which
+        splits the reference across shard owners and charges the
+        per-shard clocks — never this clock, so fingerprints are
+        shard-count independent by construction.
+        """
+        sink = self.shard_sink
+        if sink is not None:
+            sink.observe_ref(tier, rc, layout, grid_shape, write)
+
     def count_frontier(self, key: str, n: int = 1) -> None:
         """Bump one frontier-engine counter (observability only)."""
         self.frontier_counts[key] = self.frontier_counts.get(key, 0) + n
@@ -131,10 +151,13 @@ class Clock:
 
         Entries are the tuples the fusion compiler records while tracing
         one sweep: ``("c", kind, count, vp_ratio)`` for a plain charge,
-        ``("s", n_vps, vp_ratio, steps_per_level)`` for a scan, and
-        ``("t", tier)`` for a communication-tier dispatch count.  Batched
-        execution replays the same table once per active lane, which is
-        what keeps per-lane fingerprints identical to solo runs.
+        ``("s", n_vps, vp_ratio, steps_per_level)`` for a scan,
+        ``("t", tier)`` for a communication-tier dispatch count, and
+        ``("x", tier, rc, layout, grid_shape, write)`` for a shard-sink
+        observation (ignored unless a shard sink is installed, so charge
+        tables are shared across shard counts).  Batched execution
+        replays the same table once per active lane, which is what keeps
+        per-lane fingerprints identical to solo runs.
         """
         for e in entries:
             tag = e[0]
@@ -142,6 +165,9 @@ class Clock:
                 self.charge(e[1], count=e[2], vp_ratio=e[3])
             elif tag == "s":
                 self.charge_scan(e[1], vp_ratio=e[2], steps_per_level=e[3])
+            elif tag == "x":
+                if self.shard_sink is not None:
+                    self.note_shard_ref(e[1], e[2], e[3], e[4], e[5])
             else:
                 self.count_tier(e[1])
 
@@ -227,6 +253,11 @@ class Clock:
             "frontier_counts": dict(self.frontier_counts),
             "frontier_trace": list(self.frontier_trace),
             "fusion_counts": dict(self.fusion_counts),
+            "shard": (
+                self.shard_sink.dump_state()
+                if self.shard_sink is not None
+                else None
+            ),
         }
 
     def load_state(self, state: dict) -> None:
@@ -242,6 +273,8 @@ class Clock:
         self.frontier_counts = dict(state.get("frontier_counts", {}))
         self.frontier_trace = list(state.get("frontier_trace", []))
         self.fusion_counts = dict(state.get("fusion_counts", {}))
+        if self.shard_sink is not None and state.get("shard") is not None:
+            self.shard_sink.load_state(state["shard"])
 
     # -- snapshots ---------------------------------------------------------
 
@@ -265,6 +298,8 @@ class Clock:
         self.frontier_counts.clear()
         self.frontier_trace.clear()
         self.fusion_counts.clear()
+        if self.shard_sink is not None:
+            self.shard_sink.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Clock(t={self._time_us:.1f}us)"

@@ -41,8 +41,12 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .errors import LinkFault, ProcessorFault
 
-#: fault kinds a plan can schedule
-FAULT_KINDS = ("kill", "drop", "corrupt", "link")
+#: fault kinds a plan can schedule.  ``shardkill`` is the whole-shard
+#: generalisation of ``kill``: on a sharded run it takes down every PE in
+#: shard ``pe``'s physical range (see ``Machine.shard_ranges``, installed
+#: by :class:`repro.machine.shards.ShardedMachine`); on an unsharded
+#: machine it degrades to a single-PE kill.
+FAULT_KINDS = ("kill", "shardkill", "drop", "corrupt", "link")
 
 #: what each kind means when it fires
 _FIRE_MESSAGES = {
@@ -79,7 +83,7 @@ class FaultEvent:
 
     def describe(self) -> str:
         when = f"#{self.at_count}" if self.at_count > 0 else f"@{self.at_us:g}us"
-        target = f":{self.pe}" if self.kind == "kill" else ""
+        target = f":{self.pe}" if self.kind in ("kill", "shardkill") else ""
         return f"{self.kind}{target}@{self.op}{when}"
 
 
@@ -225,6 +229,18 @@ class FaultPlan:
                 f"processor {ev.pe} failed during {op!r} "
                 f"at t={machine.clock.time_us:.0f}us",
                 pe=ev.pe,
+            )
+        if ev.kind == "shardkill":
+            ranges = getattr(machine, "shard_ranges", None)
+            if ranges and 0 <= ev.pe < len(ranges):
+                lo, hi = ranges[ev.pe]
+            else:
+                lo, hi = ev.pe, ev.pe + 1  # unsharded machine: one PE
+            machine.dead_pes.update(range(lo, hi))
+            raise ProcessorFault(
+                f"shard {ev.pe} (PEs {lo}..{hi - 1}) failed during {op!r} "
+                f"at t={machine.clock.time_us:.0f}us",
+                pe=lo,
             )
         raise LinkFault(
             f"{_FIRE_MESSAGES[ev.kind]} during {op!r} "

@@ -191,6 +191,43 @@ class TestFallbacks:
         assert np.array_equal(solo["dist"], batch["dist"])
         assert solo.fingerprint == batch.fingerprint
 
+    def test_single_input_skips_lane_machinery(self, monkeypatch):
+        entered = []
+        orig = batch_mod._BatchRun.execute
+
+        def spy(self):
+            entered.append(1)
+            return orig(self)
+
+        monkeypatch.setattr(batch_mod._BatchRun, "execute", spy)
+        inp = {"dist": _chain(12, 3)}
+        solo = UCProgram(APSP, compile_store=None).run(_copy(inp))
+        [batch] = UCProgram(APSP, compile_store=None).run_batch([_copy(inp)])
+        assert np.array_equal(solo["dist"], batch["dist"])
+        assert solo.fingerprint == batch.fingerprint
+        assert not entered, "a batch of one must dispatch straight to run()"
+
+    def test_sharded_program_takes_the_sequential_loop(self, monkeypatch):
+        entered = []
+        orig = batch_mod._BatchRun.execute
+
+        def spy(self):
+            entered.append(1)
+            return orig(self)
+
+        monkeypatch.setattr(batch_mod._BatchRun, "execute", spy)
+        prog = UCProgram(APSP, compile_store=None, shards=2)
+        assert not batch_mod.batchable(prog)
+        inputs = [{"dist": _chain(12, w)} for w in (1, 2)]
+        batch = prog.run_batch([_copy(inp) for inp in inputs])
+        solo = [
+            UCProgram(APSP, compile_store=None, shards=2).run(_copy(inp))
+            for inp in inputs
+        ]
+        _assert_lanes_match(solo, batch, ["dist"])
+        assert not entered, "sharded programs must not enter the lane engine"
+        assert all(r.shards.get("n_shards") == 2 for r in batch)
+
     def test_no_batch_env_restores_loop(self, monkeypatch):
         monkeypatch.setenv("REPRO_NO_BATCH", "1")
         calls = []

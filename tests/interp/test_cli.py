@@ -146,6 +146,47 @@ class TestStats:
         assert "execution stats" not in out
 
 
+class TestShards:
+    def test_run_sharded_stats_prints_shard_counters(self, apsp_file, capsys):
+        assert main(["run", apsp_file, "-D", "N=4", "--shards", "2", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "shards: 2 (map placement" in out
+        assert "shards.cross_refs" in out
+        assert "shards.intershard" in out
+        assert "shards.shard[0]" in out and "shards.shard[1]" in out
+
+    def test_run_block_placement_accepted(self, apsp_file, capsys):
+        rc = main(
+            [
+                "run",
+                apsp_file,
+                "-D",
+                "N=4",
+                "--shards",
+                "2",
+                "--placement",
+                "block",
+                "--stats",
+            ]
+        )
+        assert rc == 0
+        assert "shards: 2 (block placement" in capsys.readouterr().out
+
+    def test_unsharded_stats_has_no_shard_section(self, apsp_file, capsys):
+        assert main(["run", apsp_file, "-D", "N=4", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "execution stats" in out
+        assert "shards:" not in out
+
+    def test_sharded_fingerprint_matches_unsharded(self, apsp_file, capsys):
+        main(["run", apsp_file, "-D", "N=4", "--fingerprint"])
+        solo = capsys.readouterr().out
+        main(["run", apsp_file, "-D", "N=4", "--shards", "4", "--fingerprint"])
+        sharded = capsys.readouterr().out
+        fp = [l for l in solo.splitlines() if "fingerprint" in l]
+        assert fp and fp == [l for l in sharded.splitlines() if "fingerprint" in l]
+
+
 SLOW_UC = """
 int N = 32;
 index_set I:i = {0..N-1};

@@ -1,0 +1,85 @@
+"""Property tests for sharded execution (``UCProgram(shards=K)``).
+
+Sharding is pure bookkeeping: the K resident shard machines observe the
+*same* instruction stream the single machine executes, so for any
+program, any engine (tree oracle / compiled plans), any frontier or
+fusion mode, and any shard count, the variable values AND the Clock cost
+fingerprint must be bit-identical to the unsharded run.  These
+properties drive the full engine x frontier x fusion x shards product
+over the same randomized convergent ``*solve`` bodies the frontier
+suite uses.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interp.program import UCProgram
+
+from tests.properties.test_frontier_props import _inputs, _solve_programs
+
+_SHARDS = (1, 2, 4)
+
+
+def _run(src, inputs, *, plans, frontier, fusion, shards):
+    prog = UCProgram(
+        src, plans=plans, frontier=frontier, fusion=fusion, shards=shards
+    )
+    return prog.run({k: val.copy() for k, val in inputs.items()})
+
+
+@settings(max_examples=10, deadline=None)
+@given(_solve_programs())
+def test_shards_invisible_across_engine_frontier_fusion_product(case):
+    src, seed, template = case
+    inputs = _inputs(seed, template)
+    for plans in (True, False):
+        for frontier in (True, False):
+            for fusion in (True, False):
+                if not plans and fusion:
+                    continue  # fusion rides the plan engine only
+                base = None
+                for k in _SHARDS:
+                    res = _run(
+                        src,
+                        inputs,
+                        plans=plans,
+                        frontier=frontier,
+                        fusion=fusion,
+                        shards=k,
+                    )
+                    if base is None:
+                        base = res
+                        assert res.shards == {}, src
+                        continue
+                    assert np.array_equal(res["v"], base["v"]), (
+                        f"values diverged for plans={plans} "
+                        f"frontier={frontier} fusion={fusion} K={k}\n{src}"
+                    )
+                    assert res.fingerprint == base.fingerprint, (
+                        f"fingerprint diverged for plans={plans} "
+                        f"frontier={frontier} fusion={fusion} K={k}\n{src}"
+                    )
+                    assert res.shards["n_shards"] == k, src
+
+
+@settings(max_examples=8, deadline=None)
+@given(_solve_programs(), st.sampled_from((2, 4)))
+def test_shard_ledger_is_consistent(case, k):
+    """The per-pair element ledger and the per-shard clocks agree with
+    the global intershard counter (cycles = total slab elements)."""
+    src, seed, template = case
+    inputs = _inputs(seed, template)
+    res = _run(src, inputs, plans=True, frontier=False, fusion=True, shards=k)
+    stats = res.shards
+    assert stats["n_shards"] == k
+    pair_total = sum(p["elems"] for p in stats["pairs"].values())
+    assert stats["intershard_cycles"] == pair_total
+    assert stats["intershard_bytes"] == sum(
+        p["bytes"] for p in stats["pairs"].values()
+    )
+    per_shard = sum(s["intershard_cycles"] for s in stats["per_shard"])
+    assert per_shard == pair_total
+    for key in stats["pairs"]:
+        a, b = key.split("->")
+        assert a != b, "a shard never exchanges a slab with itself"
