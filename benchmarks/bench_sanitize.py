@@ -1,0 +1,71 @@
+"""Sanitizer order-permutation overhead (the UC5xx determinism checks).
+
+``REPRO_SANITIZE=1`` re-executes every observed reduction under a seeded
+operand permutation to cross-check the determinism pass's UC501 proofs
+(docs/ANALYSIS.md, "Determinism envelopes").  This benchmark measures
+what that costs on reduction-heavy workloads and asserts the contract:
+results are unchanged, every reduction site is permuted, and every
+permuted site either confirms its UC501 proof or records the expected
+order sensitivity.  The overhead ratio is reported, not gated — wall
+clock is too noisy for a CI assertion.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench import workloads as W
+from repro.interp.program import UCProgram
+
+from _common import save_report
+
+CASES = (
+    ("digit-count", W.DIGIT_COUNT_UC, {"N": 4096}, "samples"),
+    ("matmul", W.MATMUL_UC, {"N": 24}, None),
+    ("apsp-n3", W.APSP_N3_UC, {"N": 16, "LOGN": 4}, None),
+)
+
+
+def _inputs(defines, sample_key):
+    if sample_key is None:
+        return {}
+    rng = np.random.default_rng(11)
+    return {sample_key: rng.integers(0, 10, size=defines["N"])}
+
+
+def _timed(src, defines, inputs, *, sanitize):
+    prog = UCProgram(src, defines=defines, sanitize=sanitize)
+    prog.run({k: v.copy() for k, v in inputs.items()})  # warm compile caches
+    t0 = time.perf_counter()
+    run = prog.run({k: v.copy() for k, v in inputs.items()})
+    return run, time.perf_counter() - t0
+
+
+def run_bench():
+    lines = ["sanitizer order-permutation overhead", ""]
+    lines.append(f"{'workload':<12} {'plain':>9} {'sanitize':>9} {'ratio':>7}  permuted")
+    for name, src, defines, sample_key in CASES:
+        inputs = _inputs(defines, sample_key)
+        plain, t_plain = _timed(src, defines, inputs, sanitize=False)
+        san, t_san = _timed(src, defines, inputs, sanitize=True)
+        stats = san.sanitizer
+        checked = stats["reductions_checked"]
+        confirmed = stats["reductions_confirmed"]
+        for arr in plain.keys():
+            assert np.array_equal(
+                np.asarray(plain[arr]), np.asarray(san[arr])
+            ), (name, arr)
+        assert checked > 0, f"{name}: no reductions permuted"
+        assert confirmed + stats["order_sensitivity_observed"] == checked
+        ratio = t_san / t_plain
+        lines.append(
+            f"{name:<12} {t_plain:>8.3f}s {t_san:>8.3f}s {ratio:>6.2f}x"
+            f"  {checked} sites ({confirmed} confirmed UC501)"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    save_report("sanitize_overhead", run_bench())

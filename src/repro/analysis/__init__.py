@@ -5,21 +5,29 @@ runtime enforces dynamically: single assignment under ``par`` (§3.4),
 properness of ``solve`` equation sets (§3.6), and the communication
 tier every remote reference will be serviced by (§4).  Verdicts are
 surfaced as :class:`Diagnostic` objects with stable codes (UC1xx races,
-UC2xx solve, UC3xx communication, UC4xx hygiene), and the exact subset
-doubles as the claim set the runtime sanitizer
-(:class:`~repro.analysis.sanitize.Sanitizer`, ``REPRO_SANITIZE=1``)
-holds both engines to.
+UC2xx solve, UC3xx communication, UC4xx hygiene, UC5xx determinism
+envelopes), and the exact subset doubles as the claim set the runtime
+sanitizer (:class:`~repro.analysis.sanitize.Sanitizer`,
+``REPRO_SANITIZE=1``) holds both engines to.  The UC5xx reduction
+verdicts (:func:`~repro.analysis.determinism.determinism_claims`) are
+additionally the runtime's reorder-legality oracle for batched blocked
+reductions and cross-shard pre-combining.
 """
 
-from .diagnostics import CODES, Diagnostic, LintReport
+from .determinism import ReductionVerdict, determinism_claims
+from .diagnostics import CODES, DETAILS, Diagnostic, LintReport, explain
 from .linter import build_verdicts, lint_program
 from .sanitize import Sanitizer
 
 __all__ = [
     "CODES",
+    "DETAILS",
     "Diagnostic",
     "LintReport",
+    "ReductionVerdict",
     "Sanitizer",
     "build_verdicts",
+    "determinism_claims",
+    "explain",
     "lint_program",
 ]

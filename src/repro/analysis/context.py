@@ -82,6 +82,26 @@ class AssignSite:
 
 
 @dataclass
+class ReductionSite:
+    """One ``$op(...)`` reduction with the grid context around it.
+
+    ``axes`` is the full inner grid (outer construct axes plus the
+    reduction's own), exactly the grid both engines evaluate the arms
+    on; ``reduce_axes`` is the suffix the reduction collapses.  The
+    determinism pass (UC5xx) classifies each site into an envelope and
+    the runtime consults the verdicts as its reordering legality oracle.
+    """
+
+    node: ast.Reduction
+    axes: Tuple[Axis, ...]
+    reduce_axes: Tuple[Axis, ...]
+    bind: Dict[str, int]
+    scalars: Dict[str, str]
+    guarded: bool
+    construct: Optional["ConstructSite"]
+
+
+@dataclass
 class ConstructSite:
     """One ``par``/``solve``/``oneof`` construct with its full grid."""
 
@@ -105,6 +125,7 @@ class AnalysisModel:
     layouts: LayoutTable
     refs: List[RefSite] = field(default_factory=list)
     constructs: List[ConstructSite] = field(default_factory=list)
+    reductions: List[ReductionSite] = field(default_factory=list)
     #: every index-set declaration seen (top-level and block-local)
     set_decls: List[ast.IndexSetDecl] = field(default_factory=list)
     used_sets: Set[str] = field(default_factory=set)
@@ -116,6 +137,8 @@ class AnalysisModel:
     host_scalars: Set[str] = field(default_factory=set)
     #: scalar variables declared inside a grid (per-VP parallel locals)
     vp_locals: Set[str] = field(default_factory=set)
+    #: declared scalar name -> ctype (globals and block locals alike)
+    scalar_types: Dict[str, str] = field(default_factory=dict)
 
     def array_dims(self, name: str) -> Optional[Tuple[int, ...]]:
         entry = self.info.arrays.get(name) or self.local_arrays.get(name)
@@ -128,6 +151,7 @@ class AnalysisModel:
 def build_model(info: ProgramInfo, layouts: LayoutTable) -> AnalysisModel:
     """Walk the program once and return the shared analysis model."""
     model = AnalysisModel(info=info, layouts=layouts)
+    model.scalar_types.update(info.scalars)
     walker = _Walker(model)
     program = info.program
     for decl in program.decls:
@@ -198,6 +222,7 @@ class _Walker:
     def _var_decl(self, s: ast.VarDecl, st: _State) -> None:
         if not s.dims:
             (self.model.vp_locals if st.axes else self.model.host_scalars).add(s.name)
+            self.model.scalar_types.setdefault(s.name, s.ctype)
         if s.dims:
             try:
                 dims = tuple(self.consts.eval(d) for d in s.dims)
@@ -356,6 +381,17 @@ class _Walker:
         red_base = st.red_base if st.red_base is not None else len(st.axes)
         inner = _State(
             tuple(axes), bind, scalars, st.guarded, st.construct, red_base
+        )
+        self.model.reductions.append(
+            ReductionSite(
+                node=e,
+                axes=tuple(axes),
+                reduce_axes=tuple(axes[len(st.axes):]),
+                bind=dict(bind),
+                scalars=dict(scalars),
+                guarded=st.guarded,
+                construct=st.construct,
+            )
         )
         for arm in e.arms:
             if arm.pred is not None:

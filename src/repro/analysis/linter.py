@@ -18,6 +18,7 @@ from ..machine.config import CostTable
 from ..mapping.maps import build_layouts
 from .commlints import analyze_comm
 from .context import AnalysisModel, build_model
+from .determinism import analyze_determinism
 from .diagnostics import Diagnostic, LintReport
 from .hygiene import analyze_hygiene
 from .races import analyze_races
@@ -68,6 +69,7 @@ def lint_program(
     report.extend(analyze_solves(model, filename))
     report.extend(analyze_comm(model, verdicts, table, filename))
     report.extend(analyze_hygiene(model, filename))
+    report.extend(analyze_determinism(model, filename))
     report.sort()
     return report
 

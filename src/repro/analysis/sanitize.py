@@ -10,7 +10,14 @@ communication tiers they dispatch.  This module turns the analyzer's
 * a reference site whose every subscript realised exactly must be
   serviced only by tiers in the static verdict set — the same
   :func:`repro.interp.commtiers.decide_tier` call, fed the machine's own
-  cost table, so the comparison is decision-for-decision.
+  cost table, so the comparison is decision-for-decision;
+* a reduction site the determinism pass proved **UC501** (commutative +
+  associative, :mod:`repro.analysis.determinism`) must be insensitive to
+  operand order: every observed reduction is re-executed with a seeded
+  permutation of its operands (and reversed arm order) and the values
+  must agree bit-for-bit.  A difference at a proven site is a hard
+  failure; at a UC502/UC503 site it is the *expected* behaviour and is
+  recorded as a confirming observation.
 
 A contradiction means the analyzer and an engine disagree about the
 program — a bug in one of them, never a property of the user's code —
@@ -29,10 +36,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..interp.commtiers import decide_tier
 from ..lang import ast
 from ..lang.errors import UCSanitizerError
 from ..mapping.locality import RefClass
+from .determinism import ReductionVerdict, determinism_claims
 from .races import write_claims
 
 #: tier claim key, matching the interpreter's ``tier_log`` keying
@@ -60,6 +70,90 @@ class Sanitizer:
         self.write_claims: Dict[WriteKey, str] = write_claims(verdicts)
         self.writes_checked = 0
         self.duplicate_writes = 0
+        # reduction determinism claims (UC5xx), keyed by node identity —
+        # the model walks the same AST objects the engines execute
+        self.red_claims: Dict[int, ReductionVerdict] = determinism_claims(model)
+        self.reductions_checked = 0
+        self.reductions_confirmed = 0
+        self.order_sensitivity_observed = 0
+        # private stream: permutations must not consume the program RNG
+        self._perm_rng = np.random.default_rng(0x5C501)
+
+    # -- reduction order-permutation claims ---------------------------------
+
+    def check_reduction(
+        self, node, arm_values, arm_masks, reduce_axes, result
+    ) -> None:
+        """Re-run one observed reduction with permuted operand order.
+
+        Called by both engines right after the combine (``$,`` excluded —
+        it is order-sensitive by definition and claimed under UC504).
+        The permutation is joint across arms and masks (operands keep
+        their enablement) and drawn from a private seeded stream so the
+        program's own RNG — and hence its fingerprint — is untouched.
+        """
+        verdict = self.red_claims.get(id(node))
+        if verdict is None:
+            return  # unmodeled site: the analyzer claims nothing
+        self.reductions_checked += 1
+        from ..interp import eval_expr as E
+
+        lead = arm_values[0].ndim - len(reduce_axes)
+        extent = 1
+        for ax in reduce_axes:
+            extent *= arm_values[0].shape[ax]
+        perm = self._perm_rng.permutation(extent)
+
+        def permuted(a):
+            flat = np.ascontiguousarray(a).reshape(a.shape[:lead] + (extent,))
+            return flat[..., perm].reshape(a.shape)
+
+        order = list(range(len(arm_values)))[::-1]
+        redo = E._reduce_op(
+            node.op,
+            [permuted(arm_values[i]) for i in order],
+            [permuted(arm_masks[i]) for i in order],
+            reduce_axes,
+        )
+        res = np.asarray(result)
+        same = redo.dtype == res.dtype and np.array_equal(
+            redo, res, equal_nan=True
+        )
+        self.note_reduction(node, verdict, same)
+
+    def check_send_reduce(self, node, combine_at, identity, dtype, dest, vals, out) -> None:
+        """The send-with-op scatter variant of :meth:`check_reduction`.
+
+        Replays the ``ufunc.at`` combine against a fresh identity array
+        with jointly permuted (destination, value) pairs.
+        """
+        verdict = self.red_claims.get(id(node))
+        if verdict is None:
+            return
+        self.reductions_checked += 1
+        perm = self._perm_rng.permutation(len(dest))
+        redo = np.full(out.shape, identity, dtype=dtype)
+        combine_at(redo, dest[perm], vals[perm])
+        same = np.array_equal(redo, out, equal_nan=True)
+        self.note_reduction(node, verdict, same)
+
+    def note_reduction(self, node, verdict: ReductionVerdict, same: bool) -> None:
+        """Record one permutation observation; hard-fail a broken proof."""
+        if same:
+            self.reductions_confirmed += 1
+            return
+        if verdict.code == "UC501":
+            raise UCSanitizerError(
+                f"sanitizer: reduction {verdict.op!r} produced a different "
+                "value under permuted operand order at a site the analyzer "
+                "proved commutative+associative [UC501] "
+                f"({verdict.reason}) — the proof and the engine disagree",
+                node.line,
+                node.col,
+            )
+        # UC502/UC503: order sensitivity is the *claimed* behaviour —
+        # the observation confirms the warning, it does not fail the run
+        self.order_sensitivity_observed += 1
 
     # -- write-side claims --------------------------------------------------
 
@@ -128,6 +222,10 @@ class Sanitizer:
             "tier_sites_claimed": len(self.tier_claims),
             "tier_sites_observed": observed_sites,
             "tier_sites_verified": verified,
+            "reduction_sites_claimed": len(self.red_claims),
+            "reductions_checked": self.reductions_checked,
+            "reductions_confirmed": self.reductions_confirmed,
+            "order_sensitivity_observed": self.order_sensitivity_observed,
         }
 
 

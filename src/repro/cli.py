@@ -279,6 +279,11 @@ def _print_stats(prog: UCProgram, result) -> None:
                 f"   shards.intershard       x{sh['intershard_cycles']} "
                 f"cycles ({sh['intershard_bytes']} bytes)"
             )
+            print(
+                f"   shards.reductions       "
+                f"{sh['reductions_precombined']} pre-combined (UC501), "
+                f"{sh['reductions_ordered']} ordered fallback"
+            )
             for pair, t in sorted(sh["pairs"].items()):
                 print(
                     f"   shards.pair {pair:10s} {t['elems']} elems "
@@ -301,7 +306,11 @@ def _print_stats(prog: UCProgram, result) -> None:
                 f"{s['writes_checked']} scatters checked "
                 f"({s['duplicate_writes']} benign duplicates), "
                 f"{s['tier_sites_verified']}/{s['tier_sites_observed']} "
-                "tier sites verified, 0 contradictions"
+                "tier sites verified, "
+                f"{s.get('reductions_checked', 0)} reductions permuted "
+                f"({s.get('reductions_confirmed', 0)} order-independent, "
+                f"{s.get('order_sensitivity_observed', 0)} order-sensitive "
+                "as claimed), 0 contradictions"
             )
         for t_us, kind, op in result.fault_log:
             print(f"   fault: {kind} during {op!r} at t={t_us:.0f}us")
@@ -349,6 +358,18 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import lint_program
+
+    if args.explain:
+        from .analysis import explain
+
+        try:
+            print(explain(args.explain))
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]))
+        if not args.files:
+            return 0
+    elif not args.files:
+        raise SystemExit("repro lint: needs files to lint (or --explain UCxxx)")
 
     defines = _parse_defines(args.define or [])
     worst = 0
@@ -641,9 +662,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint = sub.add_parser(
         "lint",
         help="whole-program static analyzer: par races, solve convergence, "
-        "communication tiers, hygiene (see docs/ANALYSIS.md)",
+        "communication tiers, hygiene, determinism envelopes "
+        "(see docs/ANALYSIS.md)",
     )
-    p_lint.add_argument("files", nargs="+", help="UC source file(s)")
+    p_lint.add_argument("files", nargs="*", help="UC source file(s)")
+    p_lint.add_argument(
+        "--explain",
+        metavar="UCxxx",
+        help="print the code-table entry, severity and fix-it template "
+        "for one stable diagnostic code, then lint any given files",
+    )
     p_lint.add_argument(
         "-D",
         "--define",

@@ -668,15 +668,18 @@ def _try_blocked_reduce(step, st, regs, esteps, eout, inner_b, axes_b):
     out_shape = tuple(inner_b[i] for i in out_axes)
     out_block_pos = out_axes.index(block_axis)
     result = np.empty(out_shape, dtype=dtype)
-    if dtype == np.dtype(np.int64):
-        # Integer reductions are exact and fully associative/commutative
-        # (min/max; add/mul mod 2^64; bitwise), so the layout and the
-        # accumulation order are free choices.  Put the reduced axes
-        # OUTERMOST: numpy then reduces by vectorised accumulation over
-        # long contiguous output rows instead of one short run per
-        # output element.  When interval bounds prove every elementwise
-        # result and partial reduction fits in int32, compute in int32
-        # (half the slab traffic) and upcast the block result exactly.
+    if dtype == np.dtype(np.int64) and step.order_safe:
+        # The reordering below is legal only under the site's UC501
+        # determinism verdict (stamped onto the step at fuse-compile time
+        # from repro.analysis.determinism — min/max always; int add/mul,
+        # exact mod 2^64, identically in both engines).  Unproven sites
+        # fall through to the grouping-preserving path, which is
+        # bit-identical for every dtype.  Put the reduced axes OUTERMOST:
+        # numpy then reduces by vectorised accumulation over long
+        # contiguous output rows instead of one short run per output
+        # element.  When interval bounds prove every elementwise result
+        # and partial reduction fits in int32, compute in int32 (half the
+        # slab traffic) and upcast the block result exactly.
         red_extent = 1
         for ax in axes_b:
             red_extent *= inner_b[ax]
@@ -728,9 +731,12 @@ def _try_blocked_reduce(step, st, regs, esteps, eout, inner_b, axes_b):
             bin_ufunc(a, b, out=t)
             result[tuple(sl_out)] = red_ufunc.reduce(t, axis=red_axes_t)
         return result
-    # float64: keep the reduced axes innermost and the original pairwise
-    # grouping -- float reduction order is observable, so only the
-    # grouping-preserving blocking below is bit-identical to solo
+    # float64 — and int64 without a UC501 proof: keep the reduced axes
+    # innermost and the original pairwise grouping.  Float reduction
+    # order is observable, so only the grouping-preserving blocking below
+    # is bit-identical to solo; for unproven int64 sites the same path is
+    # the verdict-mandated order-preserving fallback (also bit-identical,
+    # integers being exact).
     tmp_shape = list(inner_b)
     tmp_shape[block_axis] = width
     tmp = np.empty(tuple(tmp_shape), dtype=dtype)

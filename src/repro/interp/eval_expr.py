@@ -797,6 +797,16 @@ def eval_reduction(ip, node: ast.Reduction, ctx: ExecContext) -> Value:
     reduce_extent = int(np.prod([len(s) for s in sets]))
     vps = ip.grid_vpset(inner_grid.shape)
     ip.machine.clock.charge_scan(reduce_extent, vp_ratio=vps.vp_ratio)
+    if node.op != "arbitrary":
+        # shard accounting consults the UC5xx verdict: UC501-proven sites
+        # pre-combine per shard, unproven sites ship ordered partials
+        ip.machine.clock.note_shard_reduce(
+            node.op,
+            ip.reduction_order_safe(node),
+            reduce_extent,
+            vps.vp_ratio,
+            inner_grid.shape,
+        )
     if ctx.grid.is_host:
         ip.machine.clock.charge("host_cm_latency")
 
@@ -826,6 +836,10 @@ def eval_reduction(ip, node: ast.Reduction, ctx: ExecContext) -> Value:
         result = _reduce_arbitrary(ip, arm_values, arm_masks, reduce_axes, ctx)
     else:
         result = _reduce_op(node.op, arm_values, arm_masks, reduce_axes)
+        if getattr(ip, "sanitizer", None) is not None:
+            ip.sanitizer.check_reduction(
+                node, arm_values, arm_masks, reduce_axes, result
+            )
 
     if ctx.grid.is_host:
         return result.item() if isinstance(result, np.ndarray) and result.ndim == 0 else result

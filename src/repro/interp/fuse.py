@@ -132,6 +132,11 @@ class _Recorder:
         # ignores the entry unless a shard sink is installed
         self.entries.append(("x", tier, rc, layout, grid_shape, write))
 
+    def note_shard_reduce(self, op, order_safe, n_vps, vp_ratio, grid_shape) -> None:
+        # same story for reduction observations (the "r" tag): the UC5xx
+        # verdict rides the table so sharded replay can gate pre-combining
+        self.entries.append(("r", op, order_safe, n_vps, vp_ratio, grid_shape))
+
 
 def _replay(clock, entries) -> None:
     """Re-issue a recorded charge table against the real clock."""
@@ -450,10 +455,21 @@ class _Reduce:
         "base",
         "arms",
         "others",
+        "order_safe",
     )
 
     def __init__(
-        self, dst, op, n_sets, inner_shape, reduce_axes, mask, base, arms, others
+        self,
+        dst,
+        op,
+        n_sets,
+        inner_shape,
+        reduce_axes,
+        mask,
+        base,
+        arms,
+        others,
+        order_safe=False,
     ) -> None:
         self.dst = dst
         self.op = op
@@ -465,6 +481,9 @@ class _Reduce:
         #: [(pred_steps|None, pred_out, arm_mask_reg, expr_steps, expr_out)]
         self.arms = arms
         self.others = others  # (steps, out, others_mask_reg) | None
+        #: UC501 determinism verdict: the batch engine may reorder the
+        #: blocked combine only when the analyzer proved it order-safe
+        self.order_safe = order_safe
 
     def run(self, ip, regs) -> None:
         m = regs[self.mask]
@@ -1326,7 +1345,14 @@ class _Fuser:
         n_sets = len(sets)
         reduce_axes = tuple(range(g.grid.rank, inner_grid.rank))
         reduce_extent = int(np.prod([len(s) for s in sets]))
+        order_safe = bool(self.ip.reduction_order_safe(node))
         self.charges.append(("s", reduce_extent, gi.vp_ratio, 1))
+        # shard-sink reduction observation (see Clock.replay's "r" tag):
+        # carries the UC5xx verdict so sharded replay pre-combines only
+        # proven sites
+        self.charges.append(
+            ("r", node.op, order_safe, reduce_extent, gi.vp_ratio, gi.shape)
+        )
         pure = not any(
             isinstance(n, (ast.Call, ast.Assign, ast.IncDec))
             for n in ast.walk(node)
@@ -1363,7 +1389,7 @@ class _Fuser:
         self.steps.append(
             _Reduce(
                 r, node.op, n_sets, gi.shape, reduce_axes, mask_reg, base_reg,
-                tuple(arms), others,
+                tuple(arms), others, order_safe,
             )
         )
         return _Val(r, True, _DYN)

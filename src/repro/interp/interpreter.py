@@ -235,7 +235,35 @@ class Interpreter:
         self.stdout: List[str] = []
         self.global_env = Env()
         self._vpsets: Dict[Tuple[int, ...], VPSet] = {}
+        # lazily-built reduction determinism verdicts (UC5xx): the single
+        # reorder-legality oracle batched blocked reductions, cross-shard
+        # pre-combining and the sanitizer consult (keyed by node identity)
+        self._determinism = None
         self._setup_globals()
+
+    # -- determinism oracle ------------------------------------------------------
+
+    def reduction_verdict(self, node):
+        """The UC5xx :class:`ReductionVerdict` for one ``ast.Reduction``,
+        or None for sites the analyzer did not model."""
+        if self._determinism is None:
+            try:
+                from ..analysis.context import build_model
+                from ..analysis.determinism import determinism_claims
+
+                self._determinism = determinism_claims(
+                    build_model(self.info, self.layouts)
+                )
+            except Exception:  # analyzer failure never blocks execution
+                self._determinism = {}
+        return self._determinism.get(id(node))
+
+    def reduction_order_safe(self, node) -> bool:
+        """True only for UC501-proven sites: reordering the combine is
+        proven value-identical.  Everything else (float +/*, unprovable
+        bodies, unmodeled sites) stays on the order-preserving path."""
+        verdict = self.reduction_verdict(node)
+        return verdict is not None and verdict.order_safe
 
     # -- global state -----------------------------------------------------------
 

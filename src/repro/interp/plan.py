@@ -951,6 +951,15 @@ class _ReductionPlan:
         reduce_extent = int(np.prod([len(s) for s in sets]))
         vps = ip.grid_vpset(inner_grid.shape)
         ip.machine.clock.charge_scan(reduce_extent, vp_ratio=vps.vp_ratio)
+        if node.op != "arbitrary":
+            # shard accounting consults the UC5xx verdict (see eval_expr)
+            ip.machine.clock.note_shard_reduce(
+                node.op,
+                ip.reduction_order_safe(node),
+                reduce_extent,
+                vps.vp_ratio,
+                inner_grid.shape,
+            )
         if ctx.grid.is_host:
             ip.machine.clock.charge("host_cm_latency")
 
@@ -982,6 +991,10 @@ class _ReductionPlan:
             result = E._reduce_arbitrary(ip, arm_values, arm_masks, reduce_axes, ctx)
         else:
             result = E._reduce_op(node.op, arm_values, arm_masks, reduce_axes)
+            if getattr(ip, "sanitizer", None) is not None:
+                ip.sanitizer.check_reduction(
+                    node, arm_values, arm_masks, reduce_axes, result
+                )
 
         if ctx.grid.is_host:
             return (

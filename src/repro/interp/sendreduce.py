@@ -162,6 +162,15 @@ def try_send_reduce(ip, node: ast.Reduction, ctx) -> Optional[np.ndarray]:
     ratio = max(operand_vps.vp_ratio, parent_vps.vp_ratio)
     ip.machine.clock.charge("router_send", vp_ratio=ratio)
     ip.machine.clock.count_tier("router")
+    # shard accounting consults the site's UC5xx determinism verdict,
+    # exactly as the product-grid path does
+    ip.machine.clock.note_shard_reduce(
+        node.op,
+        ip.reduction_order_safe(node),
+        operand_grid.size,
+        ratio,
+        operand_grid.shape,
+    )
 
     parent_values = np.asarray(ctx.grid.axes[0].values)
     ident = identity_of(node.op)
@@ -182,7 +191,20 @@ def try_send_reduce(ip, node: ast.Reduction, ctx) -> Optional[np.ndarray]:
     pos_clipped = np.clip(pos, 0, len(sorted_vals) - 1)
     hit = flat_en & (sorted_vals[pos_clipped] == flat_addr)
     dest = order[pos_clipped[hit]]
-    _COMBINE_AT[node.op](out, dest, vals.reshape(-1)[hit])
+    vals_hit = vals.reshape(-1)[hit]
+    _COMBINE_AT[node.op](out, dest, vals_hit)
+    if getattr(ip, "sanitizer", None) is not None:
+        # order-permutation check: replay the combining send with the
+        # (destination, value) pairs jointly permuted
+        ip.sanitizer.check_send_reduce(
+            node,
+            _COMBINE_AT[node.op],
+            out.dtype.type(ident) if out.dtype != bool else bool(ident),
+            out.dtype,
+            dest,
+            vals_hit,
+            out,
+        )
     if node.op in ("logand", "logor", "logxor"):
         out = out.astype(np.int64)
     return out

@@ -124,6 +124,23 @@ class Clock:
         if sink is not None:
             sink.observe_ref(tier, rc, layout, grid_shape, write)
 
+    def note_shard_reduce(
+        self, op, order_safe, n_vps, vp_ratio, grid_shape
+    ) -> None:
+        """Forward one reduction observation to the shard sink.
+
+        Like :meth:`note_shard_ref`, a no-op on unsharded machines.
+        Sharded runs route it to ``ShardedMachine.observe_reduce``, which
+        consults the site's UC5xx determinism verdict (``order_safe``):
+        UC501-proven sites pre-combine per-shard partials locally, while
+        unproven sites ship their partials through the intershard tier in
+        shard order — never touching this clock, so the base fingerprint
+        stays shard-count independent.
+        """
+        sink = self.shard_sink
+        if sink is not None:
+            sink.observe_reduce(op, order_safe, n_vps, vp_ratio, grid_shape)
+
     def count_frontier(self, key: str, n: int = 1) -> None:
         """Bump one frontier-engine counter (observability only)."""
         self.frontier_counts[key] = self.frontier_counts.get(key, 0) + n
@@ -154,8 +171,10 @@ class Clock:
         ``("s", n_vps, vp_ratio, steps_per_level)`` for a scan,
         ``("t", tier)`` for a communication-tier dispatch count, and
         ``("x", tier, rc, layout, grid_shape, write)`` for a shard-sink
-        observation (ignored unless a shard sink is installed, so charge
-        tables are shared across shard counts).  Batched execution
+        observation, and ``("r", op, order_safe, n_vps, vp_ratio,
+        grid_shape)`` for a shard-sink reduction observation (both
+        ignored unless a shard sink is installed, so charge tables are
+        shared across shard counts).  Batched execution
         replays the same table once per active lane, which is what keeps
         per-lane fingerprints identical to solo runs.
         """
@@ -168,6 +187,9 @@ class Clock:
             elif tag == "x":
                 if self.shard_sink is not None:
                     self.note_shard_ref(e[1], e[2], e[3], e[4], e[5])
+            elif tag == "r":
+                if self.shard_sink is not None:
+                    self.note_shard_reduce(e[1], e[2], e[3], e[4], e[5])
             else:
                 self.count_tier(e[1])
 

@@ -28,11 +28,17 @@ survivors absorb its bands and subsequent splits route around it.
 Accounting model: slab exchanges are bulk, once per shard pair per
 sweep, sized by the *unique* source elements of the reference — also
 for frontier-compressed sweeps (a halo exchange ships the slab whether
-or not every lane is active).  Cross-shard reductions are not slab
-traffic: shards pre-combine their partials locally and the K-1 partials
-per output ride the existing global scan tree, which is legal exactly
-when the reduction commutes (the MapReduce-commutativity result, arxiv
-1605.01497 — see docs/PERFORMANCE.md).
+or not every lane is active).  Cross-shard reductions arrive through
+``observe_reduce`` carrying their site's UC5xx determinism verdict
+(:mod:`repro.analysis.determinism`): only a **UC501-proven** site —
+commutative *and* associative, per the MapReduce-commutativity result,
+arxiv 1605.01497 — may pre-combine its partials locally so that just
+K-1 partials per output ride the global scan tree.  Unproven sites
+(float ``$+``/``$*`` under UC502, unprovable bodies under UC503) are
+demoted to the ordered path: every non-owning shard ships its raw band
+through the intershard tier to the first live shard, which runs the
+full order-preserving combine.  The demotion is pure accounting — the
+base machine computes the value either way, bit-identically.
 """
 
 from __future__ import annotations
@@ -80,6 +86,10 @@ class ShardedMachine:
         self.intra_elems = 0
         self.refs_observed = 0
         self.cross_refs = 0
+        #: reductions whose UC501 proof allowed local pre-combining
+        self.reductions_precombined = 0
+        #: reductions demoted to the ordered intershard path (UC502/UC503)
+        self.reductions_ordered = 0
         self._dst_counts_memo: Dict[Tuple, Tuple[int, ...]] = {}
         self._dead_seen = -1
         base.clock.shard_sink = self
@@ -153,6 +163,49 @@ class ShardedMachine:
             self.base.clock.count_tier("intershard")
         self.intra_elems += split.intra
 
+    def observe_reduce(self, op, order_safe, n_vps, vp_ratio, grid_shape) -> None:
+        """Account one reduction across the shards, gated on its verdict.
+
+        ``order_safe`` is the site's UC5xx legality bit (True only for
+        UC501-proven commutative+associative sites).  Proven sites
+        pre-combine: each live shard runs a log-depth scan over its own
+        band and only K-1 partials per output ride the global tree.
+        Unproven sites take the ordered path: every non-owning shard
+        ships its raw band through the intershard tier (same ledger as
+        slab exchanges: pair elems, per-shard clocks, global counter all
+        agree) and the first live shard runs the full combine in written
+        operand order.  Never touches the base clock's charge stream.
+        """
+        self._refresh_live()
+        grid_shape = tuple(grid_shape)
+        bands = self._band_sizes(grid_shape)
+        if order_safe:
+            self.reductions_precombined += 1
+            for s, c in bands:
+                self.shards[s].clock.charge_scan(
+                    c, vp_ratio=ratio_for(c, self.shards[s])
+                )
+            return
+        self.reductions_ordered += 1
+        owner = bands[0][0] if bands else next(iter(self.placement.live))
+        total = 0
+        shipped = 0
+        for s, c in bands:
+            total += c
+            if s == owner:
+                continue
+            self.shards[s].clock.charge("intershard", count=c)
+            self.pair_elems[(s, owner)] = self.pair_elems.get((s, owner), 0) + c
+            shipped += c
+        self.shards[owner].clock.charge_scan(
+            max(1, total), vp_ratio=ratio_for(total, self.shards[owner])
+        )
+        if shipped:
+            self.intershard_elems += shipped
+            # observability on the global clock: tier counts are excluded
+            # from the fingerprint, so this is shard-count safe
+            self.base.clock.count_tier("intershard")
+
     def _band_sizes(self, grid_shape):
         key = (grid_shape, self.placement.live)
         hit = self._dst_counts_memo.get(key)
@@ -178,6 +231,8 @@ class ShardedMachine:
             "refs": self.refs_observed,
             "cross_refs": self.cross_refs,
             "intra_elems": self.intra_elems,
+            "reductions_precombined": self.reductions_precombined,
+            "reductions_ordered": self.reductions_ordered,
             "intershard_cycles": self.intershard_elems,
             "intershard_bytes": self.intershard_bytes(),
             "pairs": {
@@ -208,6 +263,8 @@ class ShardedMachine:
             "intra_elems": self.intra_elems,
             "refs_observed": self.refs_observed,
             "cross_refs": self.cross_refs,
+            "reductions_precombined": self.reductions_precombined,
+            "reductions_ordered": self.reductions_ordered,
         }
 
     def load_state(self, state: dict) -> None:
@@ -218,6 +275,8 @@ class ShardedMachine:
         self.intra_elems = state["intra_elems"]
         self.refs_observed = state["refs_observed"]
         self.cross_refs = state["cross_refs"]
+        self.reductions_precombined = state.get("reductions_precombined", 0)
+        self.reductions_ordered = state.get("reductions_ordered", 0)
 
     def reset(self) -> None:
         """Zero all shard accounting (rides the base clock's reset)."""
@@ -228,6 +287,8 @@ class ShardedMachine:
         self.intra_elems = 0
         self.refs_observed = 0
         self.cross_refs = 0
+        self.reductions_precombined = 0
+        self.reductions_ordered = 0
         self._dead_seen = -1
         if not self.base.dead_pes:
             self.placement.restore_all()

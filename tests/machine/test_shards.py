@@ -226,6 +226,62 @@ class TestShardedRuns:
 
 
 # ---------------------------------------------------------------------------
+# Reduction gating: cross-shard pre-combining only under a UC501 verdict
+
+
+FLOAT_SUM_SRC = (
+    "index_set I:i = {0..63};\nfloat x[64], s_;\n"
+    "main { s_ = $+(I; x[i]); }"
+)
+INT_SUM_SRC = (
+    "index_set I:i = {0..63};\nint x[64], s_;\n"
+    "main { s_ = $+(I; x[i]); }"
+)
+FLOAT_X = np.linspace(0.1, 6.4, 64)
+
+
+def _run_red(src, inputs, shards=None):
+    return UCProgram(src, shards=shards).run(
+        {k: v.copy() for k, v in inputs.items()}
+    )
+
+
+class TestReductionGating:
+    def test_float_sum_takes_ordered_path_and_matches_k1(self):
+        """UC502 float sums must not pre-combine per shard: every K
+        demotes to the order-preserving path and fingerprints like K=1."""
+        base = _run_red(FLOAT_SUM_SRC, {"x": FLOAT_X})
+        for k in (2, 4):
+            r = _run_red(FLOAT_SUM_SRC, {"x": FLOAT_X}, shards=k)
+            assert r["s_"] == base["s_"]
+            assert r.fingerprint == base.fingerprint
+            assert r.shards["reductions_ordered"] >= 1
+            assert r.shards["reductions_precombined"] == 0
+
+    def test_int_sum_precombines_under_uc501_verdict(self):
+        x = np.arange(64, dtype=np.int64)
+        base = _run_red(INT_SUM_SRC, {"x": x})
+        r = _run_red(INT_SUM_SRC, {"x": x}, shards=4)
+        assert r["s_"] == base["s_"]
+        assert r.fingerprint == base.fingerprint
+        assert r.shards["reductions_precombined"] >= 1
+        assert r.shards["reductions_ordered"] == 0
+
+    def test_ordered_fallback_keeps_the_ledger_consistent(self):
+        """The demoted path ships raw bands to an owner shard — that
+        traffic must still satisfy the pair/per-shard ledger invariant."""
+        for k in (2, 4):
+            sh = _run_red(FLOAT_SUM_SRC, {"x": FLOAT_X}, shards=k).shards
+            assert sh["intershard_cycles"] > 0
+            assert sum(t["elems"] for t in sh["pairs"].values()) == sh[
+                "intershard_cycles"
+            ]
+            assert sum(
+                row["intershard_cycles"] for row in sh["per_shard"]
+            ) == sh["intershard_cycles"]
+
+
+# ---------------------------------------------------------------------------
 # Whole-shard faults
 
 
